@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"geomancy/internal/experiments"
+)
+
+// capture redirects stdout around f.
+func capture(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	errRun := f()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	r.Close()
+	if errRun != nil {
+		t.Fatal(errRun)
+	}
+	return string(buf[:n])
+}
+
+func TestRunExperimentTable1(t *testing.T) {
+	out := capture(t, func() error {
+		return runExperiment("table1", experiments.Quick(1), false)
+	})
+	if !strings.Contains(out, "Model 23") {
+		t.Errorf("table1 output missing models:\n%s", out)
+	}
+}
+
+func TestRunExperimentFig4(t *testing.T) {
+	out := capture(t, func() error {
+		return runExperiment("fig4", experiments.Quick(1), false)
+	})
+	if !strings.Contains(out, "pearson r") {
+		t.Errorf("fig4 output missing header:\n%s", out)
+	}
+}
+
+func TestRunExperimentFig4CSV(t *testing.T) {
+	out := capture(t, func() error {
+		return runExperiment("fig4", experiments.Quick(1), true)
+	})
+	if !strings.HasPrefix(out, "feature,pearson r") {
+		t.Errorf("CSV output wrong:\n%s", out[:60])
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	if err := runExperiment("bogus", experiments.Quick(1), false); err == nil {
+		t.Error("unknown id should error")
+	}
+}

@@ -1,0 +1,185 @@
+// Command geomancy runs the full distributed deployment against the
+// simulated Bluesky system: the Interface Daemon listens on TCP, one
+// monitoring agent per mount ships telemetry batches, a control agent
+// executes layout pushes, and the DRL engine trains from the ReplayDB and
+// pushes new layouts every cooldown.
+//
+// This is the wiring of Fig. 2, with the simulated cluster standing in for
+// the target system:
+//
+//	geomancy [-listen 127.0.0.1:0] [-runs 25] [-seed 1] [-epochs 40]
+//	         [-cooldown 5] [-db replay.wal] [-model 1] [-epsilon 0.1]
+//	         [-target throughput|latency] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"geomancy/internal/agents"
+	"geomancy/internal/core"
+	"geomancy/internal/replaydb"
+	"geomancy/internal/storagesim"
+	"geomancy/internal/trace"
+	"geomancy/internal/workload"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:0", "Interface Daemon listen address")
+	runs := flag.Int("runs", 25, "workload runs to execute")
+	seed := flag.Int64("seed", 1, "random seed")
+	epochs := flag.Int("epochs", 40, "training epochs per decision")
+	cooldown := flag.Int("cooldown", 5, "runs between layout decisions")
+	windowX := flag.Int("window", 1000, "per-device ReplayDB training window")
+	dbPath := flag.String("db", "", "ReplayDB WAL path (empty = in-memory)")
+	verbose := flag.Bool("v", false, "log every layout decision")
+	model := flag.Int("model", 1, "Table I architecture number (1-23)")
+	epsilon := flag.Float64("epsilon", 0.1, "exploration rate")
+	target := flag.String("target", "throughput", "modeling target: throughput or latency")
+	flag.Parse()
+
+	cfg := core.Config{
+		ModelNumber:  *model,
+		Epsilon:      *epsilon,
+		Target:       *target,
+		Epochs:       *epochs,
+		CooldownRuns: *cooldown,
+		WindowX:      *windowX,
+		Seed:         *seed,
+	}
+	if err := run(*listen, *runs, *seed, cfg, *dbPath, *verbose); err != nil {
+		log.SetFlags(0)
+		log.Fatalf("geomancy: %v", err)
+	}
+}
+
+func run(listen string, runs int, seed int64, cfg core.Config, dbPath string, verbose bool) error {
+	// Target system.
+	cluster := storagesim.NewBluesky(seed)
+	files := trace.BelleFileSet(seed)
+	runner := workload.NewRunner(cluster, files, 1, seed)
+	if err := runner.SpreadEvenly(cluster.DeviceNames()); err != nil {
+		return err
+	}
+
+	// Geomancy side: ReplayDB + Interface Daemon.
+	db, err := replaydb.Open(replaydb.Options{Path: dbPath, SyncEvery: 256})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	daemon := agents.NewDaemon(db)
+	addr, err := daemon.Start(listen)
+	if err != nil {
+		return err
+	}
+	defer daemon.Close()
+	fmt.Printf("interface daemon listening on %s\n", addr)
+
+	// Target-system side: monitoring agents (one per mount) + control agent.
+	monitors, err := agents.NewMonitorSet(addr, cluster.DeviceNames(), 32)
+	if err != nil {
+		return err
+	}
+	defer monitors.Close()
+	control, err := agents.NewControl(addr, func(id int64, dev string) (bool, error) {
+		mv, err := cluster.Move(id, dev)
+		if err != nil {
+			return false, err
+		}
+		return mv.From != mv.To, nil
+	})
+	if err != nil {
+		return err
+	}
+	defer control.Close()
+
+	// DRL engine. Training data flows through the Interface Daemon (the
+	// paper's Fig. 2 path), not by touching the database directly.
+	store, err := agents.DialRemoteStore(addr)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	engine, err := core.NewEngine(store, cluster.DeviceNames(), cfg)
+	if err != nil {
+		return err
+	}
+	checker := agents.NewActionChecker(rand.New(rand.NewSource(seed+17)), cluster.DeviceNames())
+
+	var tpSum float64
+	var tpN int64
+	for r := 0; r < runs; r++ {
+		stats, err := runner.RunOnce(func(res storagesim.AccessResult, wl, run int) {
+			if err := monitors.Observe(res, wl, run); err != nil {
+				fmt.Fprintf(os.Stderr, "monitor: %v\n", err)
+			}
+			tpSum += res.Throughput
+			tpN++
+		})
+		if err != nil {
+			return err
+		}
+		if err := monitors.Flush(); err != nil {
+			return err
+		}
+		fmt.Printf("run %2d: %4d accesses, mean %.2f GB/s\n", r, stats.Accesses, stats.MeanThroughput/1e9)
+
+		if !engine.ShouldAct(stats.Run) {
+			continue
+		}
+		rep, err := engine.Train()
+		if err != nil {
+			return err
+		}
+		layout := cluster.Layout()
+		metas := make([]core.FileMeta, 0, len(files))
+		for _, f := range files {
+			metas = append(metas, core.FileMeta{ID: f.ID, Path: f.Path, Size: f.Size, Device: layout[f.ID]})
+		}
+		proposal, decisions, err := engine.ProposeLayout(metas, checker, agents.ClusterValidator(cluster))
+		if err != nil {
+			return err
+		}
+		before := cluster.Layout()
+		moved, err := daemon.PushLayout(proposal)
+		if err != nil {
+			return err
+		}
+		// Persist the layout change the way the paper detects it: a file
+		// whose location differs between ReplayDB entries has moved.
+		after := cluster.Layout()
+		for _, f := range files {
+			if before[f.ID] != after[f.ID] {
+				if _, err := db.AppendMovement(replaydb.MovementRecord{
+					Time:        cluster.Now(),
+					FileID:      f.ID,
+					From:        before[f.ID],
+					To:          after[f.ID],
+					Bytes:       f.Size,
+					AccessIndex: tpN,
+				}); err != nil {
+					return err
+				}
+			}
+		}
+		fmt.Printf("  tuned: trained on %d samples in %v (val MARE %s), moved %d files\n",
+			rep.Samples, rep.Duration.Round(1e6), rep.Validation.String(), moved)
+		if verbose {
+			for _, d := range decisions {
+				if d.Chosen != d.Current {
+					fmt.Printf("    file %2d: %s -> %s (predicted %.2f GB/s, random=%v)\n",
+						d.FileID, d.Current, d.Chosen, d.Predictions[d.Chosen]/1e9, d.Random)
+				}
+			}
+		}
+	}
+	if tpN > 0 {
+		fmt.Printf("overall mean throughput: %.2f GB/s over %d accesses (%d telemetry records, %d movements)\n",
+			tpSum/float64(tpN)/1e9, tpN, db.Len(), db.MovementCount())
+	}
+	return nil
+}

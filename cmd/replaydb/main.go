@@ -1,0 +1,71 @@
+// Command replaydb inspects a ReplayDB write-ahead log.
+//
+//	replaydb -db replay.wal stats            # record counts and device mix
+//	replaydb -db replay.wal tail [-n 10]     # most recent accesses
+//	replaydb -db replay.wal movements        # layout-change history
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"geomancy/internal/replaydb"
+)
+
+func main() {
+	dbPath := flag.String("db", "", "ReplayDB WAL path")
+	n := flag.Int("n", 10, "records to show for tail")
+	flag.Parse()
+
+	if *dbPath == "" {
+		fmt.Fprintln(os.Stderr, "replaydb: -db is required")
+		os.Exit(2)
+	}
+	cmd := flag.Arg(0)
+	if cmd == "" {
+		cmd = "stats"
+	}
+	db, err := replaydb.Open(replaydb.Options{Path: *dbPath})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "replaydb: %v\n", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+
+	switch cmd {
+	case "stats":
+		stats(db)
+	case "tail":
+		tail(db, *n)
+	case "movements":
+		movements(db)
+	default:
+		fmt.Fprintf(os.Stderr, "replaydb: unknown command %q (want stats, tail or movements)\n", cmd)
+		os.Exit(2)
+	}
+}
+
+func stats(db *replaydb.DB) {
+	fmt.Printf("access records:   %d\n", db.Len())
+	fmt.Printf("movement records: %d\n", db.MovementCount())
+	for _, s := range db.Summary() {
+		fmt.Printf("  %-8s %7d accesses, %.2f ± %.2f GB/s, %.1f GB served, t=[%.1f, %.1f]\n",
+			s.Device, s.Accesses, s.MeanThroughput/1e9, s.StdThroughput/1e9,
+			float64(s.Bytes)/1e9, s.FirstTime, s.LastTime)
+	}
+}
+
+func tail(db *replaydb.DB, n int) {
+	for _, r := range db.Recent(n) {
+		fmt.Printf("#%-6d t=%.3f wl=%d run=%d file=%d dev=%-8s rb=%d wb=%d tp=%.2f GB/s\n",
+			r.Seq, r.Time, r.Workload, r.Run, r.FileID, r.Device, r.BytesRead, r.BytesWritten, r.Throughput/1e9)
+	}
+}
+
+func movements(db *replaydb.DB) {
+	for _, m := range db.Movements() {
+		fmt.Printf("#%-6d t=%.3f file=%d %s -> %s (%d bytes in %.3fs, at access %d)\n",
+			m.Seq, m.Time, m.FileID, m.From, m.To, m.Bytes, m.Duration, m.AccessIndex)
+	}
+}

@@ -1,0 +1,62 @@
+package geomancy_test
+
+import (
+	"fmt"
+	"log"
+
+	"geomancy"
+)
+
+// Example wires a complete Geomancy deployment over the simulated Bluesky
+// system and runs the closed loop for a few workload runs.
+func Example() {
+	sys, err := geomancy.New(
+		geomancy.WithSeed(1),
+		geomancy.WithEpochs(4), // paper uses 200; tiny for the example
+		geomancy.WithTrainingWindow(200),
+		geomancy.WithCooldown(2),
+		geomancy.WithBootstrapRuns(1),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	if _, err := sys.RunN(3); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d devices, %d files, %d layout decisions\n",
+		len(sys.Devices()), len(sys.Layout()), len(sys.Movements()))
+	// Output: 6 devices, 24 files, 1 layout decisions
+}
+
+// ExampleNew_customCluster shows Geomancy driving a non-Bluesky target
+// system: any set of device profiles works.
+func ExampleNew_customCluster() {
+	tiers := []geomancy.DeviceProfile{
+		{Name: "fast", ReadBW: 10e9, WriteBW: 8e9, LatencyFloor: 0.001, Capacity: 1e12},
+		{Name: "slow", ReadBW: 0.5e9, WriteBW: 0.4e9, LatencyFloor: 0.05, Capacity: 1e13},
+	}
+	files := []geomancy.File{
+		{ID: 1, Path: "/data/a.h5", Size: 1 << 28},
+		{ID: 2, Path: "/data/b.h5", Size: 1 << 29},
+	}
+	sys, err := geomancy.New(
+		geomancy.WithSeed(2),
+		geomancy.WithDevices(tiers),
+		geomancy.WithFiles(files),
+		geomancy.WithEpochs(4),
+		geomancy.WithTrainingWindow(200),
+		geomancy.WithCooldown(2),
+		geomancy.WithBootstrapRuns(1),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+	if _, err := sys.RunN(3); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d devices, %d files\n", len(sys.Devices()), len(sys.Layout()))
+	// Output: 2 devices, 2 files
+}

@@ -1,0 +1,281 @@
+// Package geomancy is the public API of the Geomancy reproduction — an
+// RL-driven data-layout optimizer for distributed storage, after "Geomancy:
+// Automated Performance Enhancement through Data Layout Optimization"
+// (Bel et al., ISPASS 2020).
+//
+// Geomancy watches per-access telemetry from every storage device of a
+// target system, stores it in a replay database, trains a small neural
+// network that predicts the throughput a file would see at every candidate
+// location, and periodically migrates files to the locations with the
+// highest predicted throughput (exploring randomly 10% of the time).
+//
+// The package wires the full closed loop over a simulated target system:
+//
+//	sys, err := geomancy.New(geomancy.WithSeed(42))
+//	if err != nil { ... }
+//	defer sys.Close()
+//	for i := 0; i < 25; i++ {
+//		stats, err := sys.Run()       // one workload run (+ tuning on cooldown)
+//		...
+//	}
+//	fmt.Println(sys.MeanThroughput()) // bytes/second
+//
+// The building blocks live in internal packages: internal/nn (the neural
+// network library), internal/storagesim (the simulated Bluesky cluster),
+// internal/replaydb (the embedded telemetry store), internal/agents (the
+// TCP monitoring/control plane), internal/core (the DRL engine), and
+// internal/experiments (the paper's tables and figures).
+package geomancy
+
+import (
+	"fmt"
+
+	"geomancy/internal/core"
+	"geomancy/internal/replaydb"
+	"geomancy/internal/storagesim"
+	"geomancy/internal/trace"
+	"geomancy/internal/workload"
+)
+
+// RunStats re-exports the per-run workload summary.
+type RunStats = workload.RunStats
+
+// MovementEvent re-exports the layout-change record.
+type MovementEvent = core.MovementEvent
+
+// TrainReport re-exports the engine's training summary.
+type TrainReport = core.TrainReport
+
+// File describes one workload file.
+type File = trace.BelleFile
+
+// DeviceProfile re-exports the simulated-device description so callers can
+// build custom clusters.
+type DeviceProfile = storagesim.DeviceProfile
+
+// config collects the options.
+type config struct {
+	seed          int64
+	model         int
+	epsilon       float64
+	cooldown      int
+	epochs        int
+	windowX       int
+	replayPath    string
+	profiles      []storagesim.DeviceProfile
+	files         []trace.BelleFile
+	bootstrapRun  int
+	target        string
+	gapScheduling bool
+}
+
+// Option customizes New.
+type Option func(*config)
+
+// WithSeed fixes every stochastic component; equal seeds replay
+// identically.
+func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
+
+// WithModel selects the Table I architecture (1–23); default 1.
+func WithModel(n int) Option { return func(c *config) { c.model = n } }
+
+// WithEpsilon sets the exploration rate; default 0.1.
+func WithEpsilon(eps float64) Option { return func(c *config) { c.epsilon = eps } }
+
+// WithCooldown sets how many workload runs pass between layout changes;
+// default 5.
+func WithCooldown(runs int) Option { return func(c *config) { c.cooldown = runs } }
+
+// WithEpochs sets the training epochs per decision; default 200 (the
+// paper's setting — use a smaller value for interactive experimentation).
+func WithEpochs(epochs int) Option { return func(c *config) { c.epochs = epochs } }
+
+// WithTrainingWindow sets the per-device ReplayDB window; default 2000.
+func WithTrainingWindow(x int) Option { return func(c *config) { c.windowX = x } }
+
+// WithReplayDB persists telemetry to the given WAL path instead of memory.
+func WithReplayDB(path string) Option { return func(c *config) { c.replayPath = path } }
+
+// WithDevices replaces the default Bluesky cluster profile.
+func WithDevices(profiles []DeviceProfile) Option {
+	return func(c *config) { c.profiles = profiles }
+}
+
+// WithFiles replaces the default BELLE II working set.
+func WithFiles(files []File) Option { return func(c *config) { c.files = files } }
+
+// WithBootstrapRuns sets how many warm-up runs precede tuning; default 5.
+func WithBootstrapRuns(n int) Option { return func(c *config) { c.bootstrapRun = n } }
+
+// WithLatencyTarget switches the engine to minimizing predicted access
+// latency instead of maximizing predicted throughput (the paper's §V-C
+// future-work variant for latency-sensitive workloads).
+func WithLatencyTarget() Option { return func(c *config) { c.target = core.TargetLatency } }
+
+// WithGapScheduling gates data movements on each file's predicted
+// inter-access gap, so transfers happen while their file is idle (the
+// paper's §X extension).
+func WithGapScheduling() Option { return func(c *config) { c.gapScheduling = true } }
+
+// System is a fully wired Geomancy deployment over a simulated target
+// system. It is not safe for concurrent use.
+type System struct {
+	cluster *storagesim.Cluster
+	db      *replaydb.DB
+	runner  *workload.Runner
+	loop    *core.Loop
+
+	bootstrapLeft int
+	stats         []RunStats
+	tpSum         float64
+	tpCount       int64
+}
+
+// New assembles a system: cluster, working set spread evenly, replay
+// database, and the DRL engine loop.
+func New(opts ...Option) (*System, error) {
+	cfg := config{
+		seed:         1,
+		model:        1,
+		epsilon:      0.1,
+		cooldown:     5,
+		epochs:       200,
+		windowX:      2000,
+		bootstrapRun: 5,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	profiles := cfg.profiles
+	if profiles == nil {
+		profiles = storagesim.BlueskyProfiles()
+	}
+	cluster, err := storagesim.NewCluster(profiles, storagesim.Config{Seed: cfg.seed})
+	if err != nil {
+		return nil, fmt.Errorf("geomancy: building cluster: %w", err)
+	}
+	files := cfg.files
+	if files == nil {
+		files = trace.BelleFileSet(cfg.seed)
+	}
+	runner := workload.NewRunner(cluster, files, 1, cfg.seed)
+	if err := runner.SpreadEvenly(cluster.DeviceNames()); err != nil {
+		return nil, fmt.Errorf("geomancy: placing working set: %w", err)
+	}
+	db, err := replaydb.Open(replaydb.Options{Path: cfg.replayPath})
+	if err != nil {
+		return nil, fmt.Errorf("geomancy: opening replay database: %w", err)
+	}
+	loop, err := core.NewLoop(db, cluster, runner, core.Config{
+		ModelNumber:  cfg.model,
+		Epsilon:      cfg.epsilon,
+		CooldownRuns: cfg.cooldown,
+		Epochs:       cfg.epochs,
+		WindowX:      cfg.windowX,
+		Seed:         cfg.seed,
+		Target:       cfg.target,
+	})
+	if err != nil {
+		db.Close()
+		return nil, fmt.Errorf("geomancy: building engine: %w", err)
+	}
+	if cfg.gapScheduling {
+		loop.EnableGapScheduling()
+	}
+	sys := &System{
+		cluster:       cluster,
+		db:            db,
+		runner:        runner,
+		loop:          loop,
+		bootstrapLeft: cfg.bootstrapRun,
+	}
+	loop.Observer = func(res storagesim.AccessResult, wl, run int) {
+		sys.tpSum += res.Throughput
+		sys.tpCount++
+	}
+	return sys, nil
+}
+
+// Run executes one workload run. During the bootstrap phase only telemetry
+// is collected; afterwards the engine trains and retunes the layout on its
+// cooldown schedule.
+func (s *System) Run() (RunStats, error) {
+	var stats RunStats
+	var err error
+	if s.bootstrapLeft > 0 {
+		s.bootstrapLeft--
+		stats, err = s.runner.RunOnce(func(res storagesim.AccessResult, wl, run int) {
+			s.loop.Observer(res, wl, run)
+			s.recordBootstrap(res, wl, run)
+		})
+	} else {
+		stats, err = s.loop.RunOnce()
+	}
+	if err != nil {
+		return stats, err
+	}
+	s.stats = append(s.stats, stats)
+	return stats, nil
+}
+
+// recordBootstrap stores warm-up telemetry directly.
+func (s *System) recordBootstrap(res storagesim.AccessResult, wl, run int) {
+	s.db.AppendAccess(replaydb.AccessRecord{
+		Time:         res.Start,
+		Workload:     int32(wl),
+		Run:          int32(run),
+		FileID:       res.FileID,
+		Path:         res.Path,
+		Device:       res.Device,
+		BytesRead:    res.BytesRead,
+		BytesWritten: res.BytesWritten,
+		OpenTS:       res.OpenTS,
+		OpenTMS:      res.OpenTMS,
+		CloseTS:      res.CloseTS,
+		CloseTMS:     res.CloseTMS,
+		Throughput:   res.Throughput,
+	})
+}
+
+// RunN executes n workload runs, stopping at the first error.
+func (s *System) RunN(n int) ([]RunStats, error) {
+	out := make([]RunStats, 0, n)
+	for i := 0; i < n; i++ {
+		st, err := s.Run()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// MeanThroughput returns the mean per-access throughput observed so far,
+// in bytes/second.
+func (s *System) MeanThroughput() float64 {
+	if s.tpCount == 0 {
+		return 0
+	}
+	return s.tpSum / float64(s.tpCount)
+}
+
+// Stats returns per-run summaries in order.
+func (s *System) Stats() []RunStats { return append([]RunStats(nil), s.stats...) }
+
+// Movements returns the engine's layout-change history.
+func (s *System) Movements() []MovementEvent { return s.loop.Movements() }
+
+// TrainLog returns the engine's training reports.
+func (s *System) TrainLog() []TrainReport { return s.loop.TrainLog() }
+
+// Layout returns the current file→device placement.
+func (s *System) Layout() map[int64]string { return s.cluster.Layout() }
+
+// Devices returns the storage-device names.
+func (s *System) Devices() []string { return s.cluster.DeviceNames() }
+
+// Telemetry returns the number of access records collected.
+func (s *System) Telemetry() int { return s.db.Len() }
+
+// Close releases the replay database.
+func (s *System) Close() error { return s.db.Close() }

@@ -1,0 +1,3 @@
+module geomancy
+
+go 1.22

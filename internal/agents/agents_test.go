@@ -1,0 +1,471 @@
+package agents
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"geomancy/internal/replaydb"
+	"geomancy/internal/storagesim"
+	"geomancy/internal/trace"
+)
+
+// startDaemon spins up a daemon on a loopback port.
+func startDaemon(t *testing.T) (*Daemon, *replaydb.DB, string) {
+	t.Helper()
+	db, err := replaydb.Open(replaydb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDaemon(db)
+	addr, err := d.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		d.Close()
+		db.Close()
+	})
+	return d, db, addr
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func sampleResult(dev string, i int) storagesim.AccessResult {
+	return storagesim.AccessResult{
+		FileID:     int64(i + 1),
+		Path:       "/belle2/f.root",
+		Device:     dev,
+		BytesRead:  1000,
+		Start:      float64(i),
+		End:        float64(i) + 0.5,
+		OpenTS:     int64(i),
+		CloseTS:    int64(i),
+		CloseTMS:   500,
+		Throughput: 2000,
+	}
+}
+
+func TestMonitorShipsBatches(t *testing.T) {
+	_, db, addr := startDaemon(t)
+	m, err := NewMonitor(addr, "pic", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	for i := 0; i < 3; i++ {
+		if err := m.Observe(sampleResult("pic", i), 1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Pending() != 3 {
+		t.Errorf("pending = %d, want 3 (below batch size)", m.Pending())
+	}
+	// Fourth access fills the batch and ships it.
+	if err := m.Observe(sampleResult("pic", 3), 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Pending() != 0 {
+		t.Errorf("pending = %d after batch flush, want 0", m.Pending())
+	}
+	waitFor(t, "daemon to store batch", func() bool { return db.Len() == 4 })
+
+	// Accesses on other devices are ignored.
+	if err := m.Observe(sampleResult("file0", 9), 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Pending() != 0 {
+		t.Error("monitor buffered an access for a foreign device")
+	}
+}
+
+func TestMonitorFlushAndRecordFidelity(t *testing.T) {
+	_, db, addr := startDaemon(t)
+	m, err := NewMonitor(addr, "var", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	res := sampleResult("var", 7)
+	if err := m.Observe(res, 2, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "record stored", func() bool { return db.Len() == 1 })
+	rec := db.All()[0]
+	if rec.Device != "var" || rec.FileID != 8 || rec.Workload != 2 || rec.Run != 5 {
+		t.Errorf("stored record = %+v", rec)
+	}
+	if rec.Throughput != res.Throughput || rec.CloseTMS != res.CloseTMS {
+		t.Errorf("telemetry mangled: %+v", rec)
+	}
+}
+
+func TestMonitorSetFansOut(t *testing.T) {
+	_, db, addr := startDaemon(t)
+	set, err := NewMonitorSet(addr, []string{"pic", "var"}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+	set.Observe(sampleResult("pic", 0), 1, 0)
+	set.Observe(sampleResult("var", 1), 1, 0)
+	set.Observe(sampleResult("file0", 2), 1, 0) // nobody watches file0
+	if err := set.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "both records stored", func() bool { return db.Len() == 2 })
+	devs := map[string]bool{}
+	for _, r := range db.All() {
+		devs[r.Device] = true
+	}
+	if !devs["pic"] || !devs["var"] || devs["file0"] {
+		t.Errorf("stored devices = %v", devs)
+	}
+}
+
+func TestControlAppliesLayout(t *testing.T) {
+	d, _, addr := startDaemon(t)
+
+	var mu sync.Mutex
+	location := map[int64]string{1: "pic", 2: "pic", 3: "file0"}
+	mover := func(id int64, dev string) (bool, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if location[id] == dev {
+			return false, nil
+		}
+		location[id] = dev
+		return true, nil
+	}
+	ctrl, err := NewControl(addr, mover)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	waitFor(t, "control registration", func() bool { return d.ControlCount() == 1 })
+
+	moved, err := d.PushLayout(map[int64]string{1: "file0", 2: "pic", 3: "var"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 2 {
+		t.Errorf("moved = %d, want 2 (file 2 already in place)", moved)
+	}
+	mu.Lock()
+	if location[1] != "file0" || location[3] != "var" {
+		t.Errorf("layout not applied: %v", location)
+	}
+	mu.Unlock()
+	if ctrl.Applied() != 2 {
+		t.Errorf("Applied = %d, want 2", ctrl.Applied())
+	}
+}
+
+func TestControlReportsMoverErrors(t *testing.T) {
+	d, _, addr := startDaemon(t)
+	mover := func(id int64, dev string) (bool, error) {
+		if id == 2 {
+			return false, fmt.Errorf("disk on fire")
+		}
+		return true, nil
+	}
+	ctrl, err := NewControl(addr, mover)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	waitFor(t, "control registration", func() bool { return d.ControlCount() == 1 })
+
+	moved, err := d.PushLayout(map[int64]string{1: "a", 2: "b", 3: "c"})
+	if err == nil {
+		t.Fatal("PushLayout should surface the mover error")
+	}
+	_ = moved
+	// The other files still moved.
+	if ctrl.Applied() != 2 {
+		t.Errorf("Applied = %d, want 2 despite one failure", ctrl.Applied())
+	}
+}
+
+func TestPushLayoutWithoutControls(t *testing.T) {
+	d, _, _ := startDaemon(t)
+	if _, err := d.PushLayout(map[int64]string{1: "x"}); err == nil {
+		t.Error("PushLayout with no control agents should error")
+	}
+}
+
+func TestControlRequiresMover(t *testing.T) {
+	if _, err := NewControl("127.0.0.1:1", nil); err == nil {
+		t.Error("nil mover should be rejected")
+	}
+}
+
+func TestClientRecentQuery(t *testing.T) {
+	_, db, addr := startDaemon(t)
+	for i := 0; i < 10; i++ {
+		dev := "pic"
+		if i%2 == 0 {
+			dev = "var"
+		}
+		db.AppendAccess(replaydb.AccessRecord{Time: float64(i), Device: dev, FileID: int64(i), Throughput: float64(i * 100)})
+	}
+	cl, err := NewClient(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	reports, err := cl.Recent("pic", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("got %d reports, want 3", len(reports))
+	}
+	if reports[0].Time != 5 || reports[2].Time != 9 {
+		t.Errorf("wrong window: %v .. %v", reports[0].Time, reports[2].Time)
+	}
+
+	all, err := cl.Recent("", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 10 {
+		t.Errorf("all-device query returned %d, want 10", len(all))
+	}
+	// Sequential queries on one connection keep working.
+	again, err := cl.Recent("var", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 2 {
+		t.Errorf("second query returned %d, want 2", len(again))
+	}
+}
+
+func TestDaemonRejectsUnknownType(t *testing.T) {
+	_, _, addr := startDaemon(t)
+	cl, err := NewClient(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	// Hand-craft a bogus request through the client's encoder by asking
+	// for a type the daemon does not know: easiest is to dial raw.
+	cl.mu.Lock()
+	cl.enc.Encode(Envelope{Type: "bogus"})
+	cl.bw.Flush()
+	var reply Envelope
+	if err := cl.dec.Decode(&reply); err != nil {
+		cl.mu.Unlock()
+		t.Fatal(err)
+	}
+	cl.mu.Unlock()
+	if reply.Type != TypeError {
+		t.Errorf("reply = %+v, want error", reply)
+	}
+}
+
+func TestActionCheckerChoosesBest(t *testing.T) {
+	ac := NewActionChecker(rand.New(rand.NewSource(1)), []string{"a", "b", "c"})
+	cands := []Candidate{{"a", 1}, {"b", 5}, {"c", 3}}
+	dev, random, ok := ac.Choose(cands, 0, nil)
+	if !ok || random || dev != "b" {
+		t.Errorf("Choose = %q random=%v ok=%v, want b/false/true", dev, random, ok)
+	}
+}
+
+func TestActionCheckerFiltersInvalid(t *testing.T) {
+	ac := NewActionChecker(rand.New(rand.NewSource(2)), []string{"a", "b"})
+	valid := func(dev string, size int64) error {
+		if dev == "b" {
+			return fmt.Errorf("b is read-only")
+		}
+		return nil
+	}
+	cands := []Candidate{{"a", 1}, {"b", 99}}
+	dev, random, ok := ac.Choose(cands, 0, valid)
+	if !ok || random || dev != "a" {
+		t.Errorf("Choose = %q random=%v, want a/false", dev, random)
+	}
+	got := ac.Filter(cands, 0, valid)
+	if len(got) != 1 || got[0].Device != "a" {
+		t.Errorf("Filter = %v", got)
+	}
+}
+
+func TestActionCheckerRandomFallback(t *testing.T) {
+	ac := NewActionChecker(rand.New(rand.NewSource(3)), []string{"x", "y", "z"})
+	invalid := func(string, int64) error { return fmt.Errorf("nope") }
+	seen := map[string]bool{}
+	for i := 0; i < 60; i++ {
+		dev, random, ok := ac.Choose([]Candidate{{"x", 1}}, 0, invalid)
+		if !ok || !random {
+			t.Fatalf("fallback not taken: %q %v %v", dev, random, ok)
+		}
+		seen[dev] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("random fallback not exploring: saw %v", seen)
+	}
+}
+
+func TestActionCheckerNowhereToGo(t *testing.T) {
+	ac := NewActionChecker(rand.New(rand.NewSource(4)), nil)
+	if _, _, ok := ac.Choose(nil, 0, nil); ok {
+		t.Error("no candidates and no devices should report !ok")
+	}
+}
+
+func TestClusterValidator(t *testing.T) {
+	c := storagesim.NewBluesky(5)
+	v := ClusterValidator(c)
+	if err := v("file0", 1000); err != nil {
+		t.Errorf("healthy device rejected: %v", err)
+	}
+	if err := v("nodev", 0); err == nil {
+		t.Error("unknown device accepted")
+	}
+	c.SetAvailable("pic", false)
+	if err := v("pic", 0); err == nil {
+		t.Error("unavailable device accepted")
+	}
+	c.SetReadOnly("var", true)
+	if err := v("var", 0); err == nil {
+		t.Error("read-only device accepted")
+	}
+	if err := v("tmp", int64(5e18)); err == nil {
+		t.Error("oversized placement accepted")
+	}
+}
+
+// End-to-end: workload accesses flow through monitoring agents into the
+// ReplayDB while a control agent applies a layout mid-stream.
+func TestAgentsEndToEnd(t *testing.T) {
+	d, db, addr := startDaemon(t)
+	cluster := storagesim.NewBluesky(6)
+	files := trace.BelleFileSet(6)
+	for i, f := range files {
+		dev := cluster.DeviceNames()[i%6]
+		if err := cluster.PlaceFile(f.ID, f.Path, f.Size, dev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	set, err := NewMonitorSet(addr, cluster.DeviceNames(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+	ctrl, err := NewControl(addr, func(id int64, dev string) (bool, error) {
+		mv, err := cluster.Move(id, dev)
+		if err != nil {
+			return false, err
+		}
+		return mv.From != mv.To, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	waitFor(t, "control registration", func() bool { return d.ControlCount() == 1 })
+
+	for i := 0; i < 100; i++ {
+		f := files[i%len(files)]
+		res, err := cluster.Access(f.ID, f.Size/2, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := set.Observe(res, 1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := set.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "all telemetry stored", func() bool { return db.Len() == 100 })
+
+	moved, err := d.PushLayout(map[int64]string{files[0].ID: "file0", files[1].ID: "file0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved == 0 {
+		t.Error("push moved nothing")
+	}
+	layout := cluster.Layout()
+	if layout[files[0].ID] != "file0" || layout[files[1].ID] != "file0" {
+		t.Errorf("layout not applied: %v", layout)
+	}
+}
+
+func TestRemoteStoreServesTelemetry(t *testing.T) {
+	_, db, addr := startDaemon(t)
+	for i := 0; i < 20; i++ {
+		dev := "pic"
+		if i%2 == 0 {
+			dev = "var"
+		}
+		db.AppendAccess(replaydb.AccessRecord{Time: float64(i), Device: dev, FileID: int64(i%4 + 1), Throughput: float64(i)})
+	}
+	store, err := DialRemoteStore(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	byDev := store.RecentByDevice("pic", 5)
+	if len(byDev) != 5 {
+		t.Fatalf("RecentByDevice = %d records, want 5", len(byDev))
+	}
+	for _, r := range byDev {
+		if r.Device != "pic" {
+			t.Fatalf("wrong device %q", r.Device)
+		}
+	}
+	byFile := store.RecentByFile(2, 100)
+	if len(byFile) != 5 {
+		t.Fatalf("RecentByFile = %d records, want 5", len(byFile))
+	}
+	for i := 1; i < len(byFile); i++ {
+		if byFile[i].Time < byFile[i-1].Time {
+			t.Fatal("records out of order")
+		}
+	}
+	if err := store.Err(); err != nil {
+		t.Errorf("unexpected transport error: %v", err)
+	}
+}
+
+func TestRemoteStoreSurfacesTransportErrors(t *testing.T) {
+	d, _, addr := startDaemon(t)
+	store, err := DialRemoteStore(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	d.Close() // kill the daemon under the store
+	if got := store.RecentByDevice("pic", 5); got != nil {
+		t.Errorf("dead daemon returned records: %v", got)
+	}
+	if err := store.Err(); err == nil {
+		t.Error("transport error not retained")
+	}
+	if err := store.Err(); err != nil {
+		t.Error("Err should clear after reading")
+	}
+}

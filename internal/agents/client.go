@@ -1,0 +1,75 @@
+package agents
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Client is a query connection to the Interface Daemon; the DRL engine
+// uses one to request training data ("the DRL engine requests training
+// data from the ReplayDB via the Interface Daemon", §V-E).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	bw   *bufio.Writer
+	enc  *json.Encoder
+	dec  *json.Decoder
+	next uint64
+}
+
+// NewClient dials the daemon at addr.
+func NewClient(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("agents: client dial: %w", err)
+	}
+	bw := bufio.NewWriter(conn)
+	return &Client{
+		conn: conn,
+		bw:   bw,
+		enc:  json.NewEncoder(bw),
+		dec:  json.NewDecoder(bufio.NewReader(conn)),
+	}, nil
+}
+
+// Recent fetches the n most recent accesses for a device (empty device =
+// all devices), oldest first.
+func (c *Client) Recent(device string, n int) ([]Report, error) {
+	return c.query(Envelope{Type: TypeRecentQuery, Device: device, N: n})
+}
+
+// RecentByFile fetches the n most recent accesses of one file, oldest
+// first.
+func (c *Client) RecentByFile(fileID int64, n int) ([]Report, error) {
+	return c.query(Envelope{Type: TypeRecentQuery, FileID: fileID, N: n})
+}
+
+func (c *Client) query(req Envelope) ([]Report, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.next++
+	req.ID = c.next
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("agents: client query: %w", err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, fmt.Errorf("agents: client query: %w", err)
+	}
+	var reply Envelope
+	if err := c.dec.Decode(&reply); err != nil {
+		return nil, fmt.Errorf("agents: client reply: %w", err)
+	}
+	if reply.Type == TypeError {
+		return nil, fmt.Errorf("agents: daemon error: %s", reply.Error)
+	}
+	if reply.Type != TypeRecentReply || reply.ID != req.ID {
+		return nil, fmt.Errorf("agents: unexpected reply %q (id %d, want %d)", reply.Type, reply.ID, req.ID)
+	}
+	return reply.Reports, nil
+}
+
+// Close disconnects the client.
+func (c *Client) Close() error { return c.conn.Close() }

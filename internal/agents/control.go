@@ -1,0 +1,123 @@
+package agents
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Mover executes one file movement on the target system. It reports
+// whether the file actually moved (re-homing a file onto its current
+// device is a successful no-op).
+type Mover func(fileID int64, device string) (moved bool, err error)
+
+// Control is a control agent: it registers with the Interface Daemon,
+// receives layout updates, executes them via its Mover, and acknowledges
+// with the number of files moved. Agents "do not interfere with the
+// system's activities except for instructing the target system to move
+// data in the background" (§V-A).
+type Control struct {
+	mover Mover
+
+	conn net.Conn
+	bw   *bufio.Writer
+	enc  *json.Encoder
+
+	mu      sync.Mutex
+	applied int // total files moved over the agent's lifetime
+	done    chan struct{}
+}
+
+// NewControl dials the daemon, registers, and starts applying layout
+// pushes in the background.
+func NewControl(addr string, mover Mover) (*Control, error) {
+	if mover == nil {
+		return nil, fmt.Errorf("agents: control agent needs a mover")
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("agents: control dial: %w", err)
+	}
+	bw := bufio.NewWriter(conn)
+	c := &Control{
+		mover: mover,
+		conn:  conn,
+		bw:    bw,
+		enc:   json.NewEncoder(bw),
+		done:  make(chan struct{}),
+	}
+	if err := c.send(Envelope{Type: TypeRegisterControl}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	go c.loop()
+	return c, nil
+}
+
+func (c *Control) send(env Envelope) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(env); err != nil {
+		return fmt.Errorf("agents: control send: %w", err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return fmt.Errorf("agents: control send: %w", err)
+	}
+	return nil
+}
+
+// loop reads layout pushes until the connection closes.
+func (c *Control) loop() {
+	defer close(c.done)
+	dec := json.NewDecoder(bufio.NewReader(c.conn))
+	for {
+		var env Envelope
+		if err := dec.Decode(&env); err != nil {
+			return
+		}
+		if env.Type != TypeLayout {
+			continue
+		}
+		moved := 0
+		var firstErr error
+		for _, entry := range env.Layout {
+			didMove, err := c.mover(entry.FileID, entry.Device)
+			if err != nil {
+				// Keep applying the rest; report the first failure.
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			if didMove {
+				moved++
+			}
+		}
+		c.mu.Lock()
+		c.applied += moved
+		c.mu.Unlock()
+		ack := Envelope{Type: TypeLayoutAck, Moved: moved}
+		if firstErr != nil {
+			ack.Error = firstErr.Error()
+		}
+		if err := c.send(ack); err != nil {
+			return
+		}
+	}
+}
+
+// Applied returns the total number of file movements executed.
+func (c *Control) Applied() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.applied
+}
+
+// Close disconnects the agent and waits for its loop to stop.
+func (c *Control) Close() error {
+	err := c.conn.Close()
+	<-c.done
+	return err
+}

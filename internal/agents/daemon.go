@@ -1,0 +1,220 @@
+package agents
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"geomancy/internal/replaydb"
+)
+
+// Daemon is the Interface Daemon: it accepts monitoring-agent telemetry,
+// stores it in the ReplayDB, serves recent-access queries, and pushes
+// layout updates to registered control agents.
+type Daemon struct {
+	db *replaydb.DB
+
+	mu       sync.Mutex
+	ln       net.Listener
+	controls map[uint64]*controlConn
+	conns    map[net.Conn]struct{}
+	nextID   uint64
+	closed   bool
+	wg       sync.WaitGroup
+
+	// AckTimeout bounds how long PushLayout waits for each control agent.
+	AckTimeout time.Duration
+}
+
+type controlConn struct {
+	enc  *json.Encoder
+	conn net.Conn
+	acks chan Envelope
+}
+
+// NewDaemon returns a daemon backed by db.
+func NewDaemon(db *replaydb.DB) *Daemon {
+	return &Daemon{
+		db:         db,
+		controls:   make(map[uint64]*controlConn),
+		conns:      make(map[net.Conn]struct{}),
+		AckTimeout: 5 * time.Second,
+	}
+}
+
+// Start listens on addr (e.g. "127.0.0.1:0") and serves connections until
+// Close. It returns the bound address.
+func (d *Daemon) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("agents: daemon listen: %w", err)
+	}
+	d.mu.Lock()
+	d.ln = ln
+	d.mu.Unlock()
+	d.wg.Add(1)
+	go d.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (d *Daemon) acceptLoop(ln net.Listener) {
+	defer d.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		d.wg.Add(1)
+		go d.serve(conn)
+	}
+}
+
+// serve handles one connection: a stream of JSON envelopes.
+func (d *Daemon) serve(conn net.Conn) {
+	defer d.wg.Done()
+	defer conn.Close()
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.conns[conn] = struct{}{}
+	d.mu.Unlock()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	var registered *controlConn
+	var regID uint64
+	defer func() {
+		d.mu.Lock()
+		delete(d.conns, conn)
+		if registered != nil {
+			delete(d.controls, regID)
+		}
+		d.mu.Unlock()
+	}()
+	for {
+		var env Envelope
+		if err := dec.Decode(&env); err != nil {
+			return // EOF or broken peer
+		}
+		switch env.Type {
+		case TypeMetrics:
+			for _, rep := range env.Reports {
+				if _, err := d.db.AppendAccess(rep.ToRecord()); err != nil {
+					enc.Encode(Envelope{Type: TypeError, Error: err.Error()})
+					return
+				}
+			}
+			if err := enc.Encode(Envelope{Type: TypeMetricsAck, ID: env.ID, N: len(env.Reports)}); err != nil {
+				return
+			}
+		case TypeRegisterControl:
+			cc := &controlConn{enc: enc, conn: conn, acks: make(chan Envelope, 16)}
+			d.mu.Lock()
+			d.nextID++
+			regID = d.nextID
+			d.controls[regID] = cc
+			d.mu.Unlock()
+			registered = cc
+		case TypeLayoutAck:
+			if registered != nil {
+				select {
+				case registered.acks <- env:
+				default: // ack buffer full; drop rather than block the wire
+				}
+			}
+		case TypeRecentQuery:
+			var recs []replaydb.AccessRecord
+			switch {
+			case env.FileID != 0:
+				recs = d.db.RecentByFile(env.FileID, env.N)
+			case env.Device == "":
+				recs = d.db.Recent(env.N)
+			default:
+				recs = d.db.RecentByDevice(env.Device, env.N)
+			}
+			reply := Envelope{Type: TypeRecentReply, ID: env.ID}
+			for _, rec := range recs {
+				reply.Reports = append(reply.Reports, ReportFromRecord(rec))
+			}
+			if err := enc.Encode(reply); err != nil {
+				return
+			}
+		default:
+			enc.Encode(Envelope{Type: TypeError, Error: fmt.Sprintf("unknown message type %q", env.Type)})
+		}
+	}
+}
+
+// ControlCount returns the number of registered control agents.
+func (d *Daemon) ControlCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.controls)
+}
+
+// PushLayout broadcasts a layout to every registered control agent and
+// waits (up to AckTimeout each) for their acknowledgements. It returns the
+// total number of files the agents report moving.
+func (d *Daemon) PushLayout(layout map[int64]string) (int, error) {
+	entries := make([]LayoutEntry, 0, len(layout))
+	for id, dev := range layout {
+		entries = append(entries, LayoutEntry{FileID: id, Device: dev})
+	}
+	env := Envelope{Type: TypeLayout, Layout: entries}
+
+	d.mu.Lock()
+	targets := make([]*controlConn, 0, len(d.controls))
+	for _, cc := range d.controls {
+		targets = append(targets, cc)
+	}
+	d.mu.Unlock()
+	if len(targets) == 0 {
+		return 0, fmt.Errorf("agents: no control agents registered")
+	}
+
+	var moved int
+	for _, cc := range targets {
+		if err := cc.enc.Encode(env); err != nil {
+			return moved, fmt.Errorf("agents: pushing layout: %w", err)
+		}
+		select {
+		case ack := <-cc.acks:
+			if ack.Error != "" {
+				return moved, fmt.Errorf("agents: control agent: %s", ack.Error)
+			}
+			moved += ack.Moved
+		case <-time.After(d.AckTimeout):
+			return moved, fmt.Errorf("agents: timed out waiting for layout ack")
+		}
+	}
+	return moved, nil
+}
+
+// Close stops the listener and waits for connection handlers to drain.
+func (d *Daemon) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	ln := d.ln
+	conns := make([]net.Conn, 0, len(d.conns))
+	for c := range d.conns {
+		conns = append(conns, c)
+	}
+	d.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	d.wg.Wait()
+	return err
+}

@@ -1,0 +1,172 @@
+package agents
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"geomancy/internal/storagesim"
+)
+
+// Monitor is a monitoring agent. One monitor watches one storage device —
+// "each monitoring agent only measures the performance of one storage
+// device to allow for parallel data collection" (§V-A) — and ships access
+// telemetry to the Interface Daemon in batches, because "Geomancy captures
+// groups of accesses as one access to lower the overhead of transferring
+// the performance data".
+type Monitor struct {
+	// Device is the mount this agent watches; accesses on other devices
+	// are ignored.
+	Device string
+	// BatchSize is the number of reports shipped per message.
+	BatchSize int
+
+	mu    sync.Mutex
+	conn  net.Conn
+	bw    *bufio.Writer
+	enc   *json.Encoder
+	dec   *json.Decoder
+	next  uint64
+	batch []Report
+}
+
+// NewMonitor dials the Interface Daemon at addr and returns an agent for
+// the named device. batchSize ≤ 0 defaults to 32.
+func NewMonitor(addr, device string, batchSize int) (*Monitor, error) {
+	if batchSize <= 0 {
+		batchSize = 32
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("agents: monitor dial: %w", err)
+	}
+	bw := bufio.NewWriter(conn)
+	return &Monitor{
+		Device:    device,
+		BatchSize: batchSize,
+		conn:      conn,
+		bw:        bw,
+		enc:       json.NewEncoder(bw),
+		dec:       json.NewDecoder(bufio.NewReader(conn)),
+	}, nil
+}
+
+// Observe records one access. Accesses on other devices are ignored, so a
+// single workload callback can fan out to the per-device agents. The batch
+// is shipped when full.
+func (m *Monitor) Observe(res storagesim.AccessResult, workloadID, run int) error {
+	if res.Device != m.Device {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.batch = append(m.batch, ReportFromAccess(res, workloadID, run))
+	if len(m.batch) >= m.BatchSize {
+		return m.flushLocked()
+	}
+	return nil
+}
+
+// Pending returns the number of buffered, unshipped reports.
+func (m *Monitor) Pending() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.batch)
+}
+
+// Flush ships any buffered reports immediately.
+func (m *Monitor) Flush() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.flushLocked()
+}
+
+func (m *Monitor) flushLocked() error {
+	if len(m.batch) == 0 {
+		return nil
+	}
+	m.next++
+	env := Envelope{Type: TypeMetrics, ID: m.next, From: m.Device, Reports: m.batch}
+	if err := m.enc.Encode(env); err != nil {
+		return fmt.Errorf("agents: monitor %s flush: %w", m.Device, err)
+	}
+	if err := m.bw.Flush(); err != nil {
+		return fmt.Errorf("agents: monitor %s flush: %w", m.Device, err)
+	}
+	// Wait for the daemon's ack so that a completed Flush guarantees the
+	// telemetry is queryable (the engine trains right after flushing).
+	var ack Envelope
+	if err := m.dec.Decode(&ack); err != nil {
+		return fmt.Errorf("agents: monitor %s ack: %w", m.Device, err)
+	}
+	if ack.Type == TypeError {
+		return fmt.Errorf("agents: monitor %s: daemon error: %s", m.Device, ack.Error)
+	}
+	if ack.Type != TypeMetricsAck || ack.ID != m.next {
+		return fmt.Errorf("agents: monitor %s: unexpected ack %q (id %d, want %d)", m.Device, ack.Type, ack.ID, m.next)
+	}
+	m.batch = m.batch[:0]
+	return nil
+}
+
+// Close flushes and closes the connection.
+func (m *Monitor) Close() error {
+	if err := m.Flush(); err != nil {
+		m.conn.Close()
+		return err
+	}
+	return m.conn.Close()
+}
+
+// MonitorSet bundles one monitor per device behind a single Observer
+// callback, mirroring how agents sit on every mount of the target system.
+type MonitorSet struct {
+	monitors []*Monitor
+}
+
+// NewMonitorSet dials one monitoring agent per device name.
+func NewMonitorSet(addr string, devices []string, batchSize int) (*MonitorSet, error) {
+	set := &MonitorSet{}
+	for _, dev := range devices {
+		m, err := NewMonitor(addr, dev, batchSize)
+		if err != nil {
+			set.Close()
+			return nil, err
+		}
+		set.monitors = append(set.monitors, m)
+	}
+	return set, nil
+}
+
+// Observe fans the access out to the device's agent.
+func (s *MonitorSet) Observe(res storagesim.AccessResult, workloadID, run int) error {
+	for _, m := range s.monitors {
+		if err := m.Observe(res, workloadID, run); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush flushes every agent.
+func (s *MonitorSet) Flush() error {
+	for _, m := range s.monitors {
+		if err := m.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close closes every agent, returning the first error.
+func (s *MonitorSet) Close() error {
+	var first error
+	for _, m := range s.monitors {
+		if err := m.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,85 @@
+package agents
+
+import (
+	"sync"
+
+	"geomancy/internal/replaydb"
+)
+
+// RemoteStore is a core.TelemetryStore served over the Interface Daemon's
+// wire protocol: the DRL engine's training-data path of Fig. 2, where
+// "the DRL engine requests training data from the ReplayDB via the
+// Interface Daemon" (§V-E). It lets the engine run in a separate process
+// from the database.
+//
+// The TelemetryStore interface has no error returns (the local DB cannot
+// fail); network failures therefore surface as empty results, with the
+// last error retained for inspection via Err.
+type RemoteStore struct {
+	mu      sync.Mutex
+	client  *Client
+	lastErr error
+}
+
+// NewRemoteStore wraps a daemon client.
+func NewRemoteStore(client *Client) *RemoteStore {
+	return &RemoteStore{client: client}
+}
+
+// DialRemoteStore connects a fresh client to the daemon at addr.
+func DialRemoteStore(addr string) (*RemoteStore, error) {
+	cl, err := NewClient(addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewRemoteStore(cl), nil
+}
+
+// RecentByDevice implements core.TelemetryStore over the wire.
+func (r *RemoteStore) RecentByDevice(device string, n int) []replaydb.AccessRecord {
+	reports, err := r.client.Recent(device, n)
+	if err != nil {
+		r.setErr(err)
+		return nil
+	}
+	return toRecords(reports)
+}
+
+// RecentByFile implements core.TelemetryStore over the wire.
+func (r *RemoteStore) RecentByFile(fileID int64, n int) []replaydb.AccessRecord {
+	reports, err := r.client.RecentByFile(fileID, n)
+	if err != nil {
+		r.setErr(err)
+		return nil
+	}
+	return toRecords(reports)
+}
+
+func toRecords(reports []Report) []replaydb.AccessRecord {
+	if len(reports) == 0 {
+		return nil
+	}
+	out := make([]replaydb.AccessRecord, len(reports))
+	for i, rep := range reports {
+		out[i] = rep.ToRecord()
+	}
+	return out
+}
+
+func (r *RemoteStore) setErr(err error) {
+	r.mu.Lock()
+	r.lastErr = err
+	r.mu.Unlock()
+}
+
+// Err returns the most recent transport error, if any, and clears it.
+func (r *RemoteStore) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	err := r.lastErr
+	r.lastErr = nil
+	return err
+}
+
+// Close releases the underlying client connection.
+func (r *RemoteStore) Close() error { return r.client.Close() }

@@ -1,0 +1,602 @@
+// Package core implements Geomancy's DRL engine (§V): the component that
+// re-trains a neural network on the most recent telemetry in the ReplayDB,
+// predicts the throughput of every (file, storage device) pairing —
+// including the "don't move" row — and proposes the data layout with the
+// highest predicted throughput, exploring randomly 10% of the time.
+//
+// The engine treats layout optimization as unsupervised deep reinforcement
+// learning with measured throughput as the reward (§V-B): it acts (moves
+// data), observes the new performance, stores it, and re-trains on the
+// outcome of its own actions.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"geomancy/internal/agents"
+	"geomancy/internal/features"
+	"geomancy/internal/mat"
+	"geomancy/internal/nn"
+	"geomancy/internal/replaydb"
+)
+
+// Config tunes the engine. Zero values select the paper's settings.
+type Config struct {
+	// ModelNumber picks the Table I architecture; default 1, the model
+	// the paper deployed.
+	ModelNumber int
+	// FeatureCount is Z; default 6 (rb, wb, ots, cts, fid, fsid).
+	FeatureCount int
+	// Epsilon is the random-exploration rate; default 0.1 ("random
+	// decisions are used by Geomancy 10% of the runs", §V-H).
+	Epsilon float64
+	// CooldownRuns is how many workload runs pass between layout changes;
+	// default 5 ("Geomancy moves data every five runs", §VI).
+	CooldownRuns int
+	// WindowX is the number of most recent accesses fetched per device
+	// for training; default 2000 (6 devices × 2000 = the paper's 12,000
+	// training entries).
+	WindowX int
+	// Epochs is the training epoch count; default 200 (§V-G).
+	Epochs int
+	// LearningRate for plain SGD; default 0.05.
+	LearningRate float64
+	// BatchSize for mini-batch SGD; default 32.
+	BatchSize int
+	// SmoothWindow is the moving-average window applied to ReplayDB
+	// batches; default 8. 1 disables smoothing; negative selects the
+	// cumulative average (for the smoothing ablation).
+	SmoothWindow int
+	// SeqWindow is the BPTT window for recurrent models; default
+	// nn.DefaultWindow.
+	SeqWindow int
+	// Seed drives exploration and weight initialization.
+	Seed int64
+	// Optimizer overrides SGD when set ("sgd" default, "adam" for the
+	// ablation).
+	Optimizer string
+	// Target selects the modeled performance metric: "throughput" (the
+	// paper's choice) or "latency" (the §V-C future-work variant — some
+	// workloads are latency-sensitive). With the latency target the
+	// engine minimizes predicted access duration instead of maximizing
+	// predicted throughput.
+	Target string
+}
+
+func (c Config) withDefaults() Config {
+	if c.ModelNumber == 0 {
+		c.ModelNumber = 1
+	}
+	if c.FeatureCount == 0 {
+		c.FeatureCount = 6
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = 0.1
+	}
+	if c.CooldownRuns == 0 {
+		c.CooldownRuns = 5
+	}
+	if c.WindowX == 0 {
+		c.WindowX = 2000
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 200
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.05
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 32
+	}
+	if c.SmoothWindow == 0 {
+		c.SmoothWindow = 8
+	}
+	if c.SeqWindow == 0 {
+		c.SeqWindow = nn.DefaultWindow
+	}
+	if c.Optimizer == "" {
+		c.Optimizer = "sgd"
+	}
+	if c.Target == "" {
+		c.Target = TargetThroughput
+	}
+	return c
+}
+
+// Modeling targets.
+const (
+	TargetThroughput = "throughput"
+	TargetLatency    = "latency"
+)
+
+// FileMeta is the engine's view of one workload file.
+type FileMeta struct {
+	ID     int64
+	Path   string
+	Size   int64
+	Device string
+}
+
+// Decision records why one file landed where it did.
+type Decision struct {
+	FileID int64
+	// Chosen is the selected device.
+	Chosen string
+	// Current is the device the file was on.
+	Current string
+	// Random marks an exploration move.
+	Random bool
+	// Predictions maps each candidate device to its predicted throughput
+	// (bytes/second, denormalized and MAE-adjusted).
+	Predictions map[string]float64
+}
+
+// TrainReport summarizes one training cycle.
+type TrainReport struct {
+	Samples    int
+	FinalLoss  float64
+	Validation nn.Metrics
+	Test       nn.Metrics
+	Duration   time.Duration
+}
+
+// TelemetryStore is the view of the ReplayDB the engine trains from. The
+// local *replaydb.DB satisfies it directly; agents.RemoteStore provides
+// the same view over the Interface Daemon's wire protocol, preserving the
+// paper's decoupling ("the DRL engine requests training data from the
+// ReplayDB via the Interface Daemon", §V-E).
+type TelemetryStore interface {
+	// RecentByDevice returns up to n most recent accesses on a device,
+	// oldest first.
+	RecentByDevice(device string, n int) []replaydb.AccessRecord
+	// RecentByFile returns up to n most recent accesses of a file,
+	// oldest first.
+	RecentByFile(fileID int64, n int) []replaydb.AccessRecord
+}
+
+// Engine is the DRL engine.
+type Engine struct {
+	cfg Config
+	db  TelemetryStore
+	rng *rand.Rand
+
+	net      *nn.Network
+	devices  []string
+	devIndex map[string]int
+
+	featScaler   features.MinMaxScaler
+	targetScaler features.ScalarScaler
+	valMetrics   nn.Metrics
+	trained      bool
+
+	rewards []float64
+}
+
+// NewEngine builds an engine over the ReplayDB for the given candidate
+// devices (the paper's refreshed configuration file of storage points a
+// file may occupy, §V-F).
+func NewEngine(db TelemetryStore, devices []string, cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if len(devices) == 0 {
+		return nil, fmt.Errorf("core: engine needs at least one candidate device")
+	}
+	if cfg.Target != TargetThroughput && cfg.Target != TargetLatency {
+		return nil, fmt.Errorf("core: unknown modeling target %q", cfg.Target)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	net, err := nn.BuildModel(cfg.ModelNumber, cfg.FeatureCount, rng)
+	if err != nil {
+		return nil, fmt.Errorf("core: building model: %w", err)
+	}
+	net.Window = cfg.SeqWindow
+	e := &Engine{
+		cfg:      cfg,
+		db:       db,
+		rng:      rng,
+		net:      net,
+		devIndex: make(map[string]int),
+	}
+	e.SetDevices(devices)
+	return e, nil
+}
+
+// SetDevices refreshes the candidate location list.
+func (e *Engine) SetDevices(devices []string) {
+	e.devices = append([]string(nil), devices...)
+	e.devIndex = make(map[string]int, len(devices))
+	for i, d := range devices {
+		e.devIndex[d] = i
+	}
+}
+
+// Devices returns the candidate location list.
+func (e *Engine) Devices() []string { return append([]string(nil), e.devices...) }
+
+// Network exposes the model (for persistence and inspection).
+func (e *Engine) Network() *nn.Network { return e.net }
+
+// Config returns the engine's effective configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// ShouldAct reports whether the cooldown permits a layout change after the
+// given workload run index (runs are 0-based; the first decision happens
+// after the first CooldownRuns runs).
+func (e *Engine) ShouldAct(run int) bool {
+	return (run+1)%e.cfg.CooldownRuns == 0
+}
+
+// FeatureVector builds the paper's six-feature vector of one stored
+// access: rb, wb, ots (fractional seconds), cts, fid, fsid. The fsid is
+// the device's index in devIndex; unknown devices park one past the range.
+//
+// The volume features enter in log scale (log1p bytes): file sizes are
+// log-uniform over three decades, so a linear min-max normalization would
+// compress the throughput-deciding distinctions among small transfers
+// into a sliver near zero that gradient descent cannot resolve.
+func FeatureVector(rec *replaydb.AccessRecord, devIndex map[string]int) []float64 {
+	devIdx, ok := devIndex[rec.Device]
+	if !ok {
+		devIdx = len(devIndex)
+	}
+	return []float64{
+		logBytes(float64(rec.BytesRead)),
+		logBytes(float64(rec.BytesWritten)),
+		float64(rec.OpenTS) + float64(rec.OpenTMS)/1000,
+		float64(rec.CloseTS) + float64(rec.CloseTMS)/1000,
+		float64(rec.FileID),
+		float64(devIdx),
+	}
+}
+
+// logBytes is the volume-feature transform.
+func logBytes(v float64) float64 {
+	if v < 0 {
+		v = 0
+	}
+	return math.Log1p(v)
+}
+
+// EncodeTarget maps a raw performance value into model space. Targets are
+// modeled in log scale: device throughputs span three-plus decades, and a
+// squared-error fit in linear space ignores exactly the small values whose
+// relative error Tables II/III report. In log space, MSE is relative
+// error.
+func EncodeTarget(v float64) float64 {
+	if v < 0 {
+		v = 0
+	}
+	return math.Log1p(v)
+}
+
+// DecodeTarget inverts EncodeTarget.
+func DecodeTarget(v float64) float64 {
+	return math.Expm1(v)
+}
+
+// featureRow builds the engine's feature vector for a stored access.
+func (e *Engine) featureRow(rec *replaydb.AccessRecord) []float64 {
+	return FeatureVector(rec, e.devIndex)
+}
+
+// SmoothByFile applies moving-average smoothing (window > 1; cumulative
+// for window < 0) within each (device, file) subsequence of recs — the
+// exported form of the engine's per-data-ID smoothing for the experiment
+// harness. Both the targets and the volume features (rows columns 0 and
+// 1: rb and wb) are smoothed together, so the feature→target relationship
+// survives: smoothing only one side would decouple them.
+func SmoothByFile(recs []replaydb.AccessRecord, rows [][]float64, targets []float64, window int) {
+	smoothGrouped(recs, rows, targets, window)
+}
+
+// smoothKey groups telemetry for smoothing.
+type smoothKey struct {
+	device string
+	fileID int64
+}
+
+// smoothGrouped applies the configured smoothing to targets and the rb/wb
+// feature columns within each (device, file) subsequence of recs.
+// window > 1 selects the moving average, window < 0 the cumulative
+// average, anything else is a no-op.
+func smoothGrouped(recs []replaydb.AccessRecord, rows [][]float64, targets []float64, window int) {
+	if window == 1 || window == 0 {
+		return
+	}
+	smooth := func(sub []float64) []float64 {
+		if window > 1 {
+			return features.MovingAverage(sub, window)
+		}
+		return features.CumulativeAverage(sub)
+	}
+	groups := make(map[smoothKey][]int)
+	for i := range recs {
+		k := smoothKey{recs[i].Device, recs[i].FileID}
+		groups[k] = append(groups[k], i)
+	}
+	for _, idxs := range groups {
+		sub := make([]float64, len(idxs))
+		for j, i := range idxs {
+			sub[j] = targets[i]
+		}
+		sub = smooth(sub)
+		for j, i := range idxs {
+			targets[i] = sub[j]
+		}
+		if rows == nil {
+			continue
+		}
+		for col := 0; col <= 1; col++ { // rb, wb
+			for j, i := range idxs {
+				sub[j] = rows[i][col]
+			}
+			sc := smooth(sub[:len(idxs)])
+			for j, i := range idxs {
+				rows[i][col] = sc[j]
+			}
+		}
+	}
+}
+
+// targetValue extracts the modeled metric from a record: throughput, or
+// the open-to-close duration for the latency target.
+func (e *Engine) targetValue(rec *replaydb.AccessRecord) float64 {
+	if e.cfg.Target == TargetLatency {
+		open := float64(rec.OpenTS) + float64(rec.OpenTMS)/1000
+		cls := float64(rec.CloseTS) + float64(rec.CloseTMS)/1000
+		d := cls - open
+		if d < 0 {
+			return 0
+		}
+		return d
+	}
+	return rec.Throughput
+}
+
+// betterScore converts a predicted metric into a maximize-me score.
+func (e *Engine) betterScore(pred float64) float64 {
+	if e.cfg.Target == TargetLatency {
+		return -pred
+	}
+	return pred
+}
+
+// gatherTraining pulls the most recent WindowX accesses per device,
+// merges them in time order, and assembles smoothed, normalized training
+// data ("All requests for data contain the X most recent accesses for
+// each of the storage devices from the ReplayDB, thereby creating a
+// batch", §V-E).
+func (e *Engine) gatherTraining() (*nn.Dataset, error) {
+	var recs []replaydb.AccessRecord
+	for _, dev := range e.devices {
+		recs = append(recs, e.db.RecentByDevice(dev, e.cfg.WindowX)...)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("core: no telemetry in ReplayDB")
+	}
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Time < recs[j].Time })
+
+	rows := make([][]float64, len(recs))
+	targets := make([]float64, len(recs))
+	for i := range recs {
+		rows[i] = e.featureRow(&recs[i])
+		targets[i] = EncodeTarget(e.targetValue(&recs[i]))
+	}
+	// Smoothing: moving average (default), cumulative average
+	// (SmoothWindow < 0, ablation), or none (SmoothWindow == 1).
+	// Smoothing is applied within each (device, file) subsequence — "the
+	// data is batched by data ID" (§V-E). Averaging across different
+	// files or devices would blur exactly the per-file, per-location
+	// throughput differences the model exists to learn (a 583 KB ROOT
+	// file and a 1.1 GB one see ~30× different throughput on the same
+	// mount through latency amortization).
+	smoothGrouped(recs, rows, targets, e.cfg.SmoothWindow)
+
+	x := mat.FromRows(rows)
+	e.featScaler.Fit(x)
+	xn := e.featScaler.Transform(x)
+	e.targetScaler.Fit(targets)
+	yn := e.targetScaler.TransformAll(targets)
+	return nn.NewDataset(xn, yn), nil
+}
+
+// Train re-trains the network on the freshest ReplayDB window using the
+// paper's 60/20/20 split, and refreshes the MAE adjustment from the
+// validation partition.
+func (e *Engine) Train() (TrainReport, error) {
+	ds, err := e.gatherTraining()
+	if err != nil {
+		return TrainReport{}, err
+	}
+	train, val, test := ds.Split()
+	if train.Len() == 0 {
+		return TrainReport{}, fmt.Errorf("core: training partition empty (%d samples)", ds.Len())
+	}
+
+	var opt nn.Optimizer
+	switch e.cfg.Optimizer {
+	case "sgd":
+		opt = &nn.SGD{LR: e.cfg.LearningRate}
+	case "adam":
+		opt = nn.NewAdam(e.cfg.LearningRate / 10)
+	default:
+		return TrainReport{}, fmt.Errorf("core: unknown optimizer %q", e.cfg.Optimizer)
+	}
+
+	start := time.Now()
+	loss, err := e.net.Fit(train, nn.FitConfig{
+		Epochs:    e.cfg.Epochs,
+		BatchSize: e.cfg.BatchSize,
+		Optimizer: opt,
+		Rng:       e.rng,
+	})
+	if err != nil {
+		return TrainReport{}, err
+	}
+	rep := TrainReport{
+		Samples:   ds.Len(),
+		FinalLoss: loss,
+		Duration:  time.Since(start),
+	}
+	rep.Validation = e.evaluateDenorm(val)
+	rep.Test = e.evaluateDenorm(test)
+	e.valMetrics = rep.Validation
+	e.trained = true
+	return rep, nil
+}
+
+// evaluateDenorm computes prediction metrics on the original throughput
+// scale. Relative errors on normalized targets explode near the range
+// minimum; real throughputs are safely bounded away from zero, matching
+// how the paper reports its error percentages.
+func (e *Engine) evaluateDenorm(ds *nn.Dataset) nn.Metrics {
+	preds, idx := e.net.Predict(ds)
+	if len(preds) == 0 {
+		return nn.Metrics{Diverged: true}
+	}
+	targets := make([]float64, len(idx))
+	for i, r := range idx {
+		targets[i] = DecodeTarget(e.targetScaler.Inverse(ds.Y[r]))
+		preds[i] = DecodeTarget(e.targetScaler.Inverse(clamp01(preds[i])))
+	}
+	return nn.EvaluatePredictions(preds, targets)
+}
+
+// Trained reports whether the engine has completed at least one training
+// cycle.
+func (e *Engine) Trained() bool { return e.trained }
+
+// predictCandidate returns the adjusted predicted throughput (bytes/s) of
+// accessing file f when placed on device. For recurrent models the
+// candidate row is appended to the file's recent history window.
+func (e *Engine) predictCandidate(f FileMeta, device string) float64 {
+	// Candidate feature row: the file's typical access at this location,
+	// stamped at the most recent known time.
+	recent := e.db.RecentByFile(f.ID, e.net.Window)
+	var rb, wb, ts float64
+	if len(recent) > 0 {
+		last := recent[len(recent)-1]
+		ts = float64(last.CloseTS) + float64(last.CloseTMS)/1000
+		var rbSum, wbSum float64
+		for i := range recent {
+			rbSum += float64(recent[i].BytesRead)
+			wbSum += float64(recent[i].BytesWritten)
+		}
+		rb = rbSum / float64(len(recent))
+		wb = wbSum / float64(len(recent))
+	} else {
+		rb = float64(f.Size) / 2
+		ts = 0
+	}
+	devIdx, ok := e.devIndex[device]
+	if !ok {
+		devIdx = len(e.devices)
+	}
+	row := []float64{logBytes(rb), logBytes(wb), ts, ts, float64(f.ID), float64(devIdx)}
+	norm := make([]float64, len(row))
+	for c, v := range row {
+		norm[c] = e.featScaler.TransformValue(c, v)
+	}
+
+	var pred float64
+	if e.net.IsRecurrent() {
+		window := make([][]float64, 0, e.net.Window)
+		// History rows (normalized), oldest first, padded by repetition.
+		hist := make([][]float64, 0, len(recent))
+		for i := range recent {
+			raw := e.featureRow(&recent[i])
+			n := make([]float64, len(raw))
+			for c, v := range raw {
+				n[c] = e.featScaler.TransformValue(c, v)
+			}
+			hist = append(hist, n)
+		}
+		need := e.net.Window - 1
+		for len(hist) < need {
+			hist = append([][]float64{norm}, hist...)
+		}
+		window = append(window, hist[len(hist)-need:]...)
+		window = append(window, norm)
+		pred = e.net.PredictOne(window)
+	} else {
+		pred = e.net.PredictOne([][]float64{norm})
+	}
+
+	raw := DecodeTarget(e.targetScaler.Inverse(clamp01(pred)))
+	return nn.AdjustPrediction(raw, e.valMetrics)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// ProposeLayout predicts the throughput of every file at every candidate
+// location (including not moving it) and returns the layout assigning each
+// file to its best predicted location. With probability Epsilon a file is
+// assigned a random device instead — the exploration that keeps the
+// availability picture fresh (§V-H). The checker validates destinations;
+// invalid proposals fall back per the Action Checker rules.
+func (e *Engine) ProposeLayout(files []FileMeta, checker *agents.ActionChecker, valid agents.Validator) (map[int64]string, []Decision, error) {
+	if !e.trained {
+		return nil, nil, fmt.Errorf("core: engine not trained")
+	}
+	if checker == nil {
+		checker = agents.NewActionChecker(e.rng, e.devices)
+	}
+	layout := make(map[int64]string, len(files))
+	decisions := make([]Decision, 0, len(files))
+	for _, f := range files {
+		d := Decision{FileID: f.ID, Current: f.Device, Predictions: make(map[string]float64, len(e.devices))}
+		cands := make([]agents.Candidate, 0, len(e.devices))
+		for _, dev := range e.devices {
+			p := e.predictCandidate(f, dev)
+			d.Predictions[dev] = p
+			// Candidate scores are maximize-me: latency negates.
+			cands = append(cands, agents.Candidate{Device: dev, Predicted: e.betterScore(p)})
+		}
+		if e.rng.Float64() < e.cfg.Epsilon {
+			// Exploration: random movement, still subject to validation.
+			d.Random = true
+			shuffled := make([]agents.Candidate, len(cands))
+			copy(shuffled, cands)
+			e.rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+			passing := checker.Filter(shuffled, f.Size, valid)
+			if len(passing) > 0 {
+				d.Chosen = passing[0].Device
+			} else {
+				d.Chosen = f.Device
+			}
+		} else {
+			dev, random, ok := checker.Choose(cands, f.Size, valid)
+			if !ok {
+				dev = f.Device // nowhere to go: stay put
+			}
+			d.Chosen = dev
+			d.Random = random
+		}
+		layout[f.ID] = d.Chosen
+		decisions = append(decisions, d)
+	}
+	return layout, decisions, nil
+}
+
+// RecordReward stores the throughput delta observed after a layout change:
+// "any increase in the throughput of the workload [is] a positive reward"
+// (§V). The history feeds diagnostics and tests.
+func (e *Engine) RecordReward(before, after float64) float64 {
+	r := after - before
+	e.rewards = append(e.rewards, r)
+	return r
+}
+
+// Rewards returns the reward history.
+func (e *Engine) Rewards() []float64 { return append([]float64(nil), e.rewards...) }

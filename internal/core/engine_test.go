@@ -1,0 +1,588 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"geomancy/internal/agents"
+	"geomancy/internal/replaydb"
+	"geomancy/internal/storagesim"
+	"geomancy/internal/trace"
+	"geomancy/internal/workload"
+)
+
+var testDevices = []string{"file0", "pic", "people", "tmp", "var", "USBtmp"}
+
+// seedDB fills a memory database with synthetic telemetry: device i has a
+// characteristic throughput, so the model has structure to learn.
+func seedDB(t *testing.T, n int) *replaydb.DB {
+	t.Helper()
+	db, err := replaydb.Open(replaydb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	rng := rand.New(rand.NewSource(9))
+	speeds := []float64{8e9, 2e9, 1.7e9, 1.6e9, 1.3e9, 0.6e9}
+	for i := 0; i < n; i++ {
+		dev := rng.Intn(len(testDevices))
+		tp := speeds[dev] * (0.7 + 0.6*rng.Float64())
+		rec := replaydb.AccessRecord{
+			Time:       float64(i),
+			FileID:     int64(rng.Intn(24) + 1),
+			Device:     testDevices[dev],
+			BytesRead:  int64(1e8 + rng.Float64()*9e8),
+			OpenTS:     int64(i),
+			CloseTS:    int64(i),
+			CloseTMS:   500,
+			Throughput: tp,
+		}
+		if _, err := db.AppendAccess(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func quickCfg() Config {
+	return Config{Epochs: 8, WindowX: 400, Seed: 1, LearningRate: 0.05}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.ModelNumber != 1 || cfg.FeatureCount != 6 || cfg.Epsilon != 0.1 ||
+		cfg.CooldownRuns != 5 || cfg.WindowX != 2000 || cfg.Epochs != 200 ||
+		cfg.Optimizer != "sgd" || cfg.SmoothWindow != 8 {
+		t.Errorf("defaults wrong: %+v", cfg)
+	}
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	db := seedDB(t, 10)
+	if _, err := NewEngine(db, nil, Config{}); err == nil {
+		t.Error("no devices should error")
+	}
+	if _, err := NewEngine(db, testDevices, Config{ModelNumber: 99}); err == nil {
+		t.Error("bad model number should error")
+	}
+}
+
+func TestTrainProducesMetrics(t *testing.T) {
+	db := seedDB(t, 1200)
+	e, err := NewEngine(db, testDevices, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Trained() {
+		t.Error("engine should start untrained")
+	}
+	rep, err := e.Train()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Trained() {
+		t.Error("engine should be trained")
+	}
+	if rep.Samples != 1200 {
+		t.Errorf("samples = %d, want 1200", rep.Samples)
+	}
+	if rep.Duration <= 0 {
+		t.Error("duration not measured")
+	}
+	if rep.Validation.Diverged {
+		t.Errorf("model diverged on easy synthetic data: %+v", rep.Validation)
+	}
+	if rep.Validation.MARE <= 0 || rep.Validation.MARE > 100 {
+		t.Errorf("validation MARE = %v, want sane percentage", rep.Validation.MARE)
+	}
+}
+
+func TestTrainEmptyDB(t *testing.T) {
+	db, _ := replaydb.Open(replaydb.Options{})
+	defer db.Close()
+	e, err := NewEngine(db, testDevices, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Train(); err == nil {
+		t.Error("training on an empty ReplayDB should error")
+	}
+}
+
+func TestProposeRequiresTraining(t *testing.T) {
+	db := seedDB(t, 100)
+	e, _ := NewEngine(db, testDevices, quickCfg())
+	if _, _, err := e.ProposeLayout([]FileMeta{{ID: 1}}, nil, nil); err == nil {
+		t.Error("propose before training should error")
+	}
+}
+
+func TestProposeLayoutCoversFilesAndCandidates(t *testing.T) {
+	db := seedDB(t, 1200)
+	cfg := quickCfg()
+	cfg.Epsilon = 0 // deterministic greedy for this test
+	e, err := NewEngine(db, testDevices, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Train(); err != nil {
+		t.Fatal(err)
+	}
+	files := []FileMeta{
+		{ID: 1, Path: "/a", Size: 1e8, Device: "pic"},
+		{ID: 2, Path: "/b", Size: 2e8, Device: "USBtmp"},
+	}
+	layout, decisions, err := e.ProposeLayout(files, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(layout) != 2 || len(decisions) != 2 {
+		t.Fatalf("layout %v decisions %d", layout, len(decisions))
+	}
+	for _, d := range decisions {
+		if len(d.Predictions) != len(testDevices) {
+			t.Errorf("file %d has %d candidate predictions, want %d (must include 'don't move')",
+				d.FileID, len(d.Predictions), len(testDevices))
+		}
+		if _, ok := d.Predictions[d.Current]; !ok {
+			t.Errorf("file %d missing prediction for its current location", d.FileID)
+		}
+		if d.Random {
+			t.Error("epsilon=0 must not explore")
+		}
+		// Chosen is the argmax of the predictions.
+		best, bestV := "", -1.0
+		for dev, v := range d.Predictions {
+			if v > bestV {
+				best, bestV = dev, v
+			}
+		}
+		if d.Chosen != best {
+			t.Errorf("file %d chose %s (%.3g) over argmax %s (%.3g)",
+				d.FileID, d.Chosen, d.Predictions[d.Chosen], best, bestV)
+		}
+	}
+}
+
+func TestProposeLayoutExploration(t *testing.T) {
+	db := seedDB(t, 800)
+	cfg := quickCfg()
+	cfg.Epsilon = 1 // always explore
+	e, err := NewEngine(db, testDevices, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Train(); err != nil {
+		t.Fatal(err)
+	}
+	files := make([]FileMeta, 20)
+	for i := range files {
+		files[i] = FileMeta{ID: int64(i + 1), Size: 1e6, Device: "pic"}
+	}
+	_, decisions, err := e.ProposeLayout(files, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chosen := map[string]bool{}
+	for _, d := range decisions {
+		if !d.Random {
+			t.Fatal("epsilon=1 must always explore")
+		}
+		chosen[d.Chosen] = true
+	}
+	if len(chosen) < 3 {
+		t.Errorf("exploration not spreading: %v", chosen)
+	}
+}
+
+func TestProposeLayoutRespectsValidator(t *testing.T) {
+	db := seedDB(t, 800)
+	cfg := quickCfg()
+	cfg.Epsilon = 0
+	e, err := NewEngine(db, testDevices, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Train(); err != nil {
+		t.Fatal(err)
+	}
+	// Only USBtmp is valid.
+	valid := func(dev string, size int64) error {
+		if dev != "USBtmp" {
+			return agentsErr("invalid")
+		}
+		return nil
+	}
+	files := []FileMeta{{ID: 1, Size: 1e6, Device: "pic"}}
+	layout, _, err := e.ProposeLayout(files, nil, valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if layout[1] != "USBtmp" {
+		t.Errorf("layout = %v, want USBtmp (only valid device)", layout)
+	}
+}
+
+type agentsErr string
+
+func (e agentsErr) Error() string { return string(e) }
+
+func TestShouldAct(t *testing.T) {
+	db := seedDB(t, 10)
+	e, _ := NewEngine(db, testDevices, Config{CooldownRuns: 5, Epochs: 1})
+	acts := 0
+	for run := 0; run < 20; run++ {
+		if e.ShouldAct(run) {
+			acts++
+			if (run+1)%5 != 0 {
+				t.Errorf("acted on run %d", run)
+			}
+		}
+	}
+	if acts != 4 {
+		t.Errorf("acted %d times in 20 runs, want 4", acts)
+	}
+}
+
+func TestRecurrentEnginePropose(t *testing.T) {
+	db := seedDB(t, 600)
+	cfg := quickCfg()
+	cfg.ModelNumber = 18 // SimpleRNN head — the paper's runner-up
+	cfg.SeqWindow = 4
+	cfg.Epsilon = 0
+	e, err := NewEngine(db, testDevices, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Train(); err != nil {
+		t.Fatal(err)
+	}
+	// Files with deep history and with none at all must both predict.
+	files := []FileMeta{
+		{ID: 1, Size: 1e8, Device: "pic"},   // has history in seedDB
+		{ID: 999, Size: 1e8, Device: "var"}, // never accessed
+	}
+	layout, decisions, err := e.ProposeLayout(files, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(layout) != 2 {
+		t.Fatalf("layout = %v", layout)
+	}
+	for _, d := range decisions {
+		for dev, p := range d.Predictions {
+			if p < 0 {
+				t.Errorf("file %d on %s predicted negative throughput %v", d.FileID, dev, p)
+			}
+		}
+	}
+}
+
+func TestRewardBookkeeping(t *testing.T) {
+	db := seedDB(t, 10)
+	e, _ := NewEngine(db, testDevices, quickCfg())
+	if r := e.RecordReward(100, 130); r != 30 {
+		t.Errorf("reward = %v, want 30", r)
+	}
+	if r := e.RecordReward(100, 90); r != -10 {
+		t.Errorf("reward = %v, want -10", r)
+	}
+	if got := e.Rewards(); len(got) != 2 || got[0] != 30 || got[1] != -10 {
+		t.Errorf("history = %v", got)
+	}
+}
+
+func TestSetDevicesRefreshesCandidates(t *testing.T) {
+	db := seedDB(t, 10)
+	e, _ := NewEngine(db, testDevices, quickCfg())
+	e.SetDevices([]string{"file0", "pic"})
+	if got := e.Devices(); len(got) != 2 {
+		t.Errorf("Devices = %v", got)
+	}
+}
+
+// Full closed loop: Geomancy should discover that file0 is fast and shift
+// load toward it relative to the even spread.
+func TestLoopEndToEnd(t *testing.T) {
+	cluster := storagesim.NewBluesky(11)
+	files := trace.BelleFileSet(11)
+	runner := workload.NewRunner(cluster, files, 1, 11)
+	if err := runner.SpreadEvenly(cluster.DeviceNames()); err != nil {
+		t.Fatal(err)
+	}
+	db, _ := replaydb.Open(replaydb.Options{})
+	defer db.Close()
+
+	cfg := Config{Epochs: 6, WindowX: 500, CooldownRuns: 2, Seed: 11, LearningRate: 0.05}
+	loop, err := NewLoop(db, cluster, runner, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var observed int
+	loop.Observer = func(res storagesim.AccessResult, wl, run int) { observed++ }
+
+	for i := 0; i < 6; i++ {
+		stats, err := loop.RunOnce()
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if stats.Accesses == 0 {
+			t.Fatalf("run %d made no accesses", i)
+		}
+	}
+	if loop.AccessCount() == 0 || int(loop.AccessCount()) != observed {
+		t.Errorf("access count %d, observer saw %d", loop.AccessCount(), observed)
+	}
+	if db.Len() != int(loop.AccessCount()) {
+		t.Errorf("db has %d records, loop counted %d", db.Len(), loop.AccessCount())
+	}
+	// Cooldown 2 over 6 runs → 3 decision points.
+	if got := len(loop.TrainLog()); got != 3 {
+		t.Errorf("trained %d times, want 3", got)
+	}
+	if got := len(loop.Movements()); got != 3 {
+		t.Errorf("%d movement events, want 3", got)
+	}
+	for _, mv := range loop.Movements() {
+		if mv.AccessIndex <= 0 {
+			t.Error("movement event missing access index")
+		}
+	}
+	// Movement records persisted.
+	var moved int
+	for _, mv := range loop.Movements() {
+		moved += mv.Moved
+	}
+	if db.MovementCount() != moved {
+		t.Errorf("db recorded %d movements, loop performed %d", db.MovementCount(), moved)
+	}
+}
+
+func TestEngineAdamOption(t *testing.T) {
+	db := seedDB(t, 600)
+	cfg := quickCfg()
+	cfg.Optimizer = "adam"
+	e, err := NewEngine(db, testDevices, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Train(); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Optimizer = "bogus"
+	e2, _ := NewEngine(db, testDevices, cfg)
+	if _, err := e2.Train(); err == nil {
+		t.Error("bogus optimizer should error")
+	}
+}
+
+func TestEngineSmoothingModes(t *testing.T) {
+	for _, w := range []int{1, 8, -1} {
+		db := seedDB(t, 400)
+		cfg := quickCfg()
+		cfg.SmoothWindow = w
+		e, err := NewEngine(db, testDevices, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Train(); err != nil {
+			t.Fatalf("smoothing mode %d: %v", w, err)
+		}
+	}
+}
+
+func TestCheckerIntegration(t *testing.T) {
+	db := seedDB(t, 600)
+	cfg := quickCfg()
+	cfg.Epsilon = 0
+	e, _ := NewEngine(db, testDevices, cfg)
+	e.Train()
+	cluster := storagesim.NewBluesky(12)
+	// Knock out every device: the Action Checker's random fallback fires.
+	for _, d := range cluster.DeviceNames() {
+		cluster.SetAvailable(d, false)
+	}
+	checker := agents.NewActionChecker(rand.New(rand.NewSource(3)), cluster.DeviceNames())
+	files := []FileMeta{{ID: 1, Size: 1e6, Device: "pic"}}
+	_, decisions, err := e.ProposeLayout(files, checker, agents.ClusterValidator(cluster))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !decisions[0].Random {
+		t.Error("all-invalid candidates must trigger the random fallback")
+	}
+}
+
+func TestLatencyTarget(t *testing.T) {
+	db, err := replaydb.Open(replaydb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	// Device "fast" serves in 0.1s, "slow" in 2s, same bytes.
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 900; i++ {
+		dev, dur := "fast", 0.08+0.04*rng.Float64()
+		if i%2 == 0 {
+			dev, dur = "slow", 1.8+0.4*rng.Float64()
+		}
+		start := float64(i)
+		db.AppendAccess(replaydb.AccessRecord{
+			Time:       start,
+			FileID:     int64(i%8 + 1),
+			Device:     dev,
+			BytesRead:  1e8,
+			OpenTS:     int64(start),
+			CloseTS:    int64(start + dur),
+			CloseTMS:   int64((start + dur - float64(int64(start+dur))) * 1000),
+			Throughput: 1e8 / dur,
+		})
+	}
+	cfg := Config{Epochs: 25, WindowX: 500, Seed: 31, Target: TargetLatency, Epsilon: 1e-9, LearningRate: 0.05}
+	e, err := NewEngine(db, []string{"fast", "slow"}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Train(); err != nil {
+		t.Fatal(err)
+	}
+	layout, decisions, err := e.ProposeLayout([]FileMeta{{ID: 1, Size: 1e8, Device: "slow"}}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if layout[1] != "fast" {
+		t.Errorf("latency target chose %q, want fast (predictions %v)", layout[1], decisions[0].Predictions)
+	}
+	// The chosen device has the LOWER predicted latency.
+	p := decisions[0].Predictions
+	if p["fast"] >= p["slow"] {
+		t.Errorf("predicted latency fast=%v slow=%v, want fast < slow", p["fast"], p["slow"])
+	}
+}
+
+func TestUnknownTargetRejected(t *testing.T) {
+	db := seedDB(t, 10)
+	if _, err := NewEngine(db, testDevices, Config{Target: "iops"}); err == nil {
+		t.Error("unknown target should error")
+	}
+}
+
+// The engine must train identically through the Interface Daemon's wire
+// protocol (Fig. 2's decoupling) as it does against the local database.
+func TestEngineOverRemoteStore(t *testing.T) {
+	db := seedDB(t, 900)
+	daemon := agents.NewDaemon(dbUnderlying(db))
+	addr, err := daemon.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer daemon.Close()
+	store, err := agents.DialRemoteStore(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	cfg := quickCfg()
+	cfg.Epsilon = 0
+	remote, err := NewEngine(store, testDevices, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repR, err := remote.Train()
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := NewEngine(db, testDevices, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repL, err := local.Train()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repR.Samples != repL.Samples {
+		t.Errorf("remote trained on %d samples, local on %d", repR.Samples, repL.Samples)
+	}
+	if repR.Validation.MARE != repL.Validation.MARE {
+		t.Errorf("remote val MARE %v != local %v (training paths diverged)",
+			repR.Validation.MARE, repL.Validation.MARE)
+	}
+	// Proposals agree too.
+	files := []FileMeta{{ID: 1, Size: 1e8, Device: "pic"}}
+	lr, _, err := remote.ProposeLayout(files, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ll, _, err := local.ProposeLayout(files, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr[1] != ll[1] {
+		t.Errorf("remote proposal %v != local %v", lr, ll)
+	}
+	if err := store.Err(); err != nil {
+		t.Errorf("transport errors during training: %v", err)
+	}
+}
+
+// dbUnderlying returns the concrete DB for daemon construction.
+func dbUnderlying(db *replaydb.DB) *replaydb.DB { return db }
+
+// Telemetry write failures surface as loop errors rather than being
+// silently dropped.
+func TestLoopSurfacesDBErrors(t *testing.T) {
+	cluster := storagesim.NewBluesky(41)
+	files := trace.BelleFileSet(41)
+	runner := workload.NewRunner(cluster, files, 1, 41)
+	if err := runner.SpreadEvenly(cluster.DeviceNames()); err != nil {
+		t.Fatal(err)
+	}
+	db, _ := replaydb.Open(replaydb.Options{})
+	loop, err := NewLoop(db, cluster, runner, Config{Epochs: 2, WindowX: 100, CooldownRuns: 2, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Close() // appends now fail
+	if _, err := loop.RunOnce(); err == nil {
+		t.Error("RunOnce should fail when telemetry cannot be recorded")
+	}
+}
+
+// A device disappearing between decisions must not abort the decision
+// cycle: invalid destinations are filtered (Action Checker), moves to it
+// are skipped, and the loop keeps running as long as the workload's own
+// files remain reachable.
+func TestLoopSurvivesDeviceLossForPlacement(t *testing.T) {
+	cluster := storagesim.NewBluesky(42)
+	files := trace.BelleFileSet(42)
+	runner := workload.NewRunner(cluster, files, 1, 42)
+	// Keep every file off USBtmp so losing it cannot break accesses.
+	devs := []string{"file0", "pic", "people", "tmp", "var"}
+	for i, f := range files {
+		if err := cluster.PlaceFile(f.ID, f.Path, f.Size, devs[i%len(devs)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db, _ := replaydb.Open(replaydb.Options{})
+	defer db.Close()
+	loop, err := NewLoop(db, cluster, runner, Config{Epochs: 4, WindowX: 300, CooldownRuns: 2, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loop.RunOnce(); err != nil {
+		t.Fatal(err)
+	}
+	cluster.SetAvailable("USBtmp", false)
+	for i := 0; i < 3; i++ {
+		if _, err := loop.RunOnce(); err != nil {
+			t.Fatalf("run after device loss: %v", err)
+		}
+	}
+	for id, dev := range cluster.Layout() {
+		if dev == "USBtmp" {
+			t.Errorf("file %d placed on the unavailable device", id)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// GapPredictor implements the paper's proposed second model (§X): it
+// predicts, per file, the gaps between accesses — "periods of time, where
+// the individual file is not accessed by any workloads, that is long
+// enough for Geomancy to move the file to the new location". The paper
+// leaves this as future work and sketches it as "a second neural network
+// or algorithm" (§V-F); this implementation is the algorithmic variant, an
+// exponentially weighted estimate of each file's inter-access gap mean and
+// deviation.
+//
+// GapPredictor is safe for concurrent use.
+type GapPredictor struct {
+	// Alpha is the EWMA weight for new gap observations (default 0.25).
+	Alpha float64
+
+	mu    sync.Mutex
+	stats map[int64]*gapStats
+}
+
+type gapStats struct {
+	lastAccess float64
+	mean       float64 // EWMA of gap lengths
+	dev        float64 // EWMA of absolute deviation
+	n          int64
+	// Release gaps: scientific workloads read a file 10–20 times in a
+	// burst and then leave it idle for a long stretch. The idle windows
+	// that matter for movement are those release gaps, not the intra-
+	// burst cadence, so gaps well above the running mean are tracked
+	// separately.
+	releaseMean float64
+	releaseDev  float64
+	releases    int64
+}
+
+// releaseFactor is how far above the running mean a gap must be to count
+// as a release (end-of-burst idle period).
+const releaseFactor = 5
+
+// NewGapPredictor returns an empty predictor.
+func NewGapPredictor() *GapPredictor {
+	return &GapPredictor{Alpha: 0.25, stats: make(map[int64]*gapStats)}
+}
+
+// Observe records an access of the file at time t (virtual seconds).
+func (g *GapPredictor) Observe(fileID int64, t float64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s, ok := g.stats[fileID]
+	if !ok {
+		g.stats[fileID] = &gapStats{lastAccess: t}
+		return
+	}
+	gap := t - s.lastAccess
+	if gap < 0 {
+		gap = 0
+	}
+	s.lastAccess = t
+	s.n++
+	if s.n == 1 {
+		s.mean = gap
+		s.dev = gap / 2
+		return
+	}
+	a := g.alpha()
+	if s.mean > 0 && gap > releaseFactor*s.mean {
+		// End-of-burst idle period: feed the release-gap model and keep
+		// the cadence model untouched.
+		s.releases++
+		if s.releases == 1 {
+			s.releaseMean = gap
+			s.releaseDev = gap / 2
+		} else {
+			diff := math.Abs(gap - s.releaseMean)
+			s.releaseMean = (1-a)*s.releaseMean + a*gap
+			s.releaseDev = (1-a)*s.releaseDev + a*diff
+		}
+		return
+	}
+	diff := math.Abs(gap - s.mean)
+	s.mean = (1-a)*s.mean + a*gap
+	s.dev = (1-a)*s.dev + a*diff
+}
+
+func (g *GapPredictor) alpha() float64 {
+	if g.Alpha > 0 && g.Alpha <= 1 {
+		return g.Alpha
+	}
+	return 0.25
+}
+
+// PredictGap returns the estimated mean and deviation of the file's
+// usable idle window: the release-gap model once end-of-burst idle
+// periods have been observed, otherwise the all-gap cadence. ok is false
+// until at least two accesses were observed.
+func (g *GapPredictor) PredictGap(fileID int64) (mean, dev float64, ok bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s, found := g.stats[fileID]
+	if !found || s.n < 1 {
+		return 0, 0, false
+	}
+	if s.releases > 0 {
+		return s.releaseMean, s.releaseDev, true
+	}
+	return s.mean, s.dev, true
+}
+
+// Cadence returns the intra-burst gap statistics (the all-gap EWMA before
+// release filtering); diagnostics use it.
+func (g *GapPredictor) Cadence(fileID int64) (mean, dev float64, ok bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s, found := g.stats[fileID]
+	if !found || s.n < 1 {
+		return 0, 0, false
+	}
+	return s.mean, s.dev, true
+}
+
+// LastAccess returns the most recent observed access time of the file.
+func (g *GapPredictor) LastAccess(fileID int64) (float64, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s, ok := g.stats[fileID]
+	if !ok {
+		return 0, false
+	}
+	return s.lastAccess, true
+}
+
+// Files returns the file IDs with gap statistics, sorted.
+func (g *GapPredictor) Files() []int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]int64, 0, len(g.stats))
+	for id := range g.stats {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MoveEstimator predicts the transfer duration (seconds) of moving a file
+// to a destination device.
+type MoveEstimator func(fileID int64, dst string) float64
+
+// Deferral explains why a proposed move was postponed.
+type Deferral struct {
+	FileID int64
+	Dst    string
+	// Gap is the predicted inter-access gap; Need the estimated move time.
+	Gap, Need float64
+	// Hot marks files "that are always accessed and never released" —
+	// gap statistics say they are never idle long enough.
+	Hot bool
+}
+
+// MoveScheduler gates proposed movements on predicted access gaps: a file
+// is only moved when its predicted idle window comfortably covers the
+// transfer, so parallel accesses never race an in-flight move (§X). Files
+// without gap history are allowed through (Geomancy must be able to act on
+// new files).
+type MoveScheduler struct {
+	// Gaps supplies the per-file gap model.
+	Gaps *GapPredictor
+	// Headroom scales the required window: move only if
+	// predictedGap - dev ≥ Headroom × estimated transfer (default 1.5).
+	Headroom float64
+}
+
+// NewMoveScheduler returns a scheduler over the given predictor.
+func NewMoveScheduler(g *GapPredictor) *MoveScheduler {
+	return &MoveScheduler{Gaps: g, Headroom: 1.5}
+}
+
+func (s *MoveScheduler) headroom() float64 {
+	if s.Headroom > 0 {
+		return s.Headroom
+	}
+	return 1.5
+}
+
+// Filter splits a proposed layout into the moves safe to execute now and
+// the deferrals. Entries whose destination equals the file's current
+// device (no move) pass through untouched.
+func (s *MoveScheduler) Filter(layout map[int64]string, current map[int64]string, estimate MoveEstimator) (map[int64]string, []Deferral) {
+	approved := make(map[int64]string, len(layout))
+	var deferred []Deferral
+	for id, dst := range layout {
+		if current[id] == dst {
+			approved[id] = dst // not a movement
+			continue
+		}
+		mean, dev, ok := s.Gaps.PredictGap(id)
+		if !ok {
+			approved[id] = dst // no history: allow, and learn from it
+			continue
+		}
+		need := estimate(id, dst) * s.headroom()
+		window := mean - dev
+		if window >= need {
+			approved[id] = dst
+			continue
+		}
+		deferred = append(deferred, Deferral{
+			FileID: id,
+			Dst:    dst,
+			Gap:    mean,
+			Need:   need,
+			// Hot files are "always accessed and never released": their
+			// idle windows are an order of magnitude short of any move.
+			Hot: window < need/10,
+		})
+	}
+	sort.Slice(deferred, func(i, j int) bool { return deferred[i].FileID < deferred[j].FileID })
+	return approved, deferred
+}
+
+// ClusterMoveEstimator builds a MoveEstimator from static device profiles:
+// transfer time ≈ size / min(source read BW, destination write BW).
+func ClusterMoveEstimator(sizes map[int64]int64, current map[int64]string, readBW, writeBW map[string]float64) MoveEstimator {
+	return func(fileID int64, dst string) float64 {
+		size := float64(sizes[fileID])
+		src := current[fileID]
+		r, okR := readBW[src]
+		w, okW := writeBW[dst]
+		if !okR || !okW || r <= 0 || w <= 0 {
+			return math.Inf(1) // unknown path: never "safe"
+		}
+		bw := math.Min(r, w)
+		return size / bw
+	}
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+
+	"geomancy/internal/agents"
+	"geomancy/internal/replaydb"
+	"geomancy/internal/storagesim"
+	"geomancy/internal/workload"
+)
+
+// MovementEvent records one layout application for Fig. 5's movement bars:
+// how many files moved, aligned to the global access index.
+type MovementEvent struct {
+	AccessIndex int64
+	Moved       int
+	Run         int
+	// Random counts exploration decisions in the applied layout.
+	Random int
+}
+
+// Loop wires the full Geomancy closed loop in-process: workload runs feed
+// telemetry into the ReplayDB; every CooldownRuns runs the engine
+// re-trains, proposes a layout, the Action Checker validates it, and the
+// moves are applied with their overhead charged to the virtual clock.
+//
+// The distributed deployment (monitoring/control agents over TCP) lives in
+// package agents and cmd/geomancy; Loop is the direct-coupled equivalent
+// the experiments use, with identical decision logic.
+type Loop struct {
+	Engine  *Engine
+	Runner  *workload.Runner
+	DB      *replaydb.DB
+	Cluster *storagesim.Cluster
+	Checker *agents.ActionChecker
+
+	accessCount int64
+	movements   []MovementEvent
+	trainLog    []TrainReport
+	deferrals   []Deferral
+	// Observer, when set, additionally receives every access.
+	Observer workload.Observer
+	// Scheduler, when set, gates movements on predicted access gaps (the
+	// paper's §X extension). Use EnableGapScheduling to install one wired
+	// to the loop's telemetry.
+	Scheduler *MoveScheduler
+}
+
+// NewLoop assembles a loop over an existing cluster/runner/db.
+func NewLoop(db *replaydb.DB, cluster *storagesim.Cluster, runner *workload.Runner, cfg Config) (*Loop, error) {
+	engine, err := NewEngine(db, cluster.DeviceNames(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Loop{
+		Engine:  engine,
+		Runner:  runner,
+		DB:      db,
+		Cluster: cluster,
+		Checker: agents.NewActionChecker(engine.rng, cluster.DeviceNames()),
+	}, nil
+}
+
+// EnableGapScheduling installs a gap-aware movement scheduler fed by the
+// loop's own telemetry and returns its predictor for inspection.
+func (l *Loop) EnableGapScheduling() *GapPredictor {
+	g := NewGapPredictor()
+	l.Scheduler = NewMoveScheduler(g)
+	return g
+}
+
+// Deferrals returns every move the scheduler postponed.
+func (l *Loop) Deferrals() []Deferral { return append([]Deferral(nil), l.deferrals...) }
+
+// AccessCount returns the total accesses observed by the loop.
+func (l *Loop) AccessCount() int64 { return l.accessCount }
+
+// Movements returns the layout-application history.
+func (l *Loop) Movements() []MovementEvent {
+	return append([]MovementEvent(nil), l.movements...)
+}
+
+// TrainLog returns every training report the loop produced.
+func (l *Loop) TrainLog() []TrainReport {
+	return append([]TrainReport(nil), l.trainLog...)
+}
+
+// record stores telemetry from one access.
+func (l *Loop) record(res storagesim.AccessResult, wl, run int) error {
+	l.accessCount++
+	if l.Scheduler != nil && l.Scheduler.Gaps != nil {
+		l.Scheduler.Gaps.Observe(res.FileID, res.Start)
+	}
+	_, err := l.DB.AppendAccess(replaydb.AccessRecord{
+		Time:         res.Start,
+		Workload:     int32(wl),
+		Run:          int32(run),
+		FileID:       res.FileID,
+		Path:         res.Path,
+		Device:       res.Device,
+		BytesRead:    res.BytesRead,
+		BytesWritten: res.BytesWritten,
+		OpenTS:       res.OpenTS,
+		OpenTMS:      res.OpenTMS,
+		CloseTS:      res.CloseTS,
+		CloseTMS:     res.CloseTMS,
+		Throughput:   res.Throughput,
+	})
+	return err
+}
+
+// fileMetas snapshots the runner's working set.
+func (l *Loop) fileMetas() []FileMeta {
+	metas := make([]FileMeta, 0, len(l.Runner.Files))
+	layout := l.Cluster.Layout()
+	for _, f := range l.Runner.Files {
+		metas = append(metas, FileMeta{ID: f.ID, Path: f.Path, Size: f.Size, Device: layout[f.ID]})
+	}
+	return metas
+}
+
+// RunOnce executes one workload run and, when the cooldown allows, one
+// full decide-and-move cycle. It returns the run statistics.
+func (l *Loop) RunOnce() (workload.RunStats, error) {
+	var obsErr error
+	stats, err := l.Runner.RunOnce(func(res storagesim.AccessResult, wl, run int) {
+		if e := l.record(res, wl, run); e != nil && obsErr == nil {
+			obsErr = e
+		}
+		if l.Observer != nil {
+			l.Observer(res, wl, run)
+		}
+	})
+	if err != nil {
+		return stats, err
+	}
+	if obsErr != nil {
+		return stats, fmt.Errorf("core: recording telemetry: %w", obsErr)
+	}
+	if !l.Engine.ShouldAct(stats.Run) {
+		return stats, nil
+	}
+
+	rep, err := l.Engine.Train()
+	if err != nil {
+		return stats, fmt.Errorf("core: training: %w", err)
+	}
+	l.trainLog = append(l.trainLog, rep)
+
+	layout, decisions, err := l.Engine.ProposeLayout(l.fileMetas(), l.Checker, agents.ClusterValidator(l.Cluster))
+	if err != nil {
+		return stats, fmt.Errorf("core: proposing layout: %w", err)
+	}
+	if l.Scheduler != nil {
+		current := l.Cluster.Layout()
+		sizes := make(map[int64]int64, len(l.Runner.Files))
+		for _, f := range l.Runner.Files {
+			sizes[f.ID] = f.Size
+		}
+		readBW := make(map[string]float64)
+		writeBW := make(map[string]float64)
+		for _, name := range l.Cluster.DeviceNames() {
+			p := l.Cluster.Device(name).Profile
+			readBW[name] = p.ReadBW
+			writeBW[name] = p.WriteBW
+		}
+		est := ClusterMoveEstimator(sizes, current, readBW, writeBW)
+		var deferred []Deferral
+		layout, deferred = l.Scheduler.Filter(layout, current, est)
+		l.deferrals = append(l.deferrals, deferred...)
+	}
+	moves, err := l.Runner.ApplyLayout(layout)
+	if err != nil {
+		return stats, fmt.Errorf("core: applying layout: %w", err)
+	}
+	randomCount := 0
+	for _, d := range decisions {
+		if d.Random && d.Chosen != d.Current {
+			randomCount++
+		}
+	}
+	for _, mv := range moves {
+		if _, err := l.DB.AppendMovement(replaydb.MovementRecord{
+			Time:        mv.Start,
+			FileID:      mv.FileID,
+			From:        mv.From,
+			To:          mv.To,
+			Bytes:       mv.Bytes,
+			Duration:    mv.Duration,
+			AccessIndex: l.accessCount,
+		}); err != nil {
+			return stats, fmt.Errorf("core: recording movement: %w", err)
+		}
+	}
+	l.movements = append(l.movements, MovementEvent{
+		AccessIndex: l.accessCount,
+		Moved:       len(moves),
+		Run:         stats.Run,
+		Random:      randomCount,
+	})
+	return stats, nil
+}

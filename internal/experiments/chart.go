@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// RenderChart draws one or more throughput series as an ASCII chart —
+// the terminal rendition of Fig. 5/Fig. 6's throughput-over-accesses
+// plots, with one glyph per series and Geomancy's movement bars marked
+// beneath the x axis.
+func RenderChart(w io.Writer, series []Series, height int) error {
+	if height <= 0 {
+		height = 12
+	}
+	if len(series) == 0 {
+		return nil
+	}
+	// Column count: the longest series' point count, capped for terminals.
+	const maxCols = 100
+	cols := 0
+	var maxTp float64
+	var maxAccess int64
+	for _, s := range series {
+		if len(s.Points) > cols {
+			cols = len(s.Points)
+		}
+		for _, p := range s.Points {
+			if p.Throughput > maxTp {
+				maxTp = p.Throughput
+			}
+			if p.AccessIndex > maxAccess {
+				maxAccess = p.AccessIndex
+			}
+		}
+	}
+	if cols == 0 || maxTp <= 0 {
+		return nil
+	}
+	if cols > maxCols {
+		cols = maxCols
+	}
+
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for pi, p := range s.Points {
+			c := pi
+			if len(s.Points) > maxCols {
+				c = pi * maxCols / len(s.Points)
+			}
+			if c >= cols {
+				c = cols - 1
+			}
+			row := int(math.Round((1 - p.Throughput/maxTp) * float64(height-1)))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][c] = g
+		}
+	}
+
+	var b strings.Builder
+	for r := 0; r < height; r++ {
+		yVal := maxTp * float64(height-1-r) / float64(height-1)
+		fmt.Fprintf(&b, "%7.2f |%s\n", yVal/1e9, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "  GB/s  +%s\n", strings.Repeat("-", cols))
+	fmt.Fprintf(&b, "         0%saccesses≈%d\n", strings.Repeat(" ", max(0, cols-20)), maxAccess)
+
+	// Movement bars: Geomancy's if present (the gray lines of Fig. 5),
+	// otherwise the first series that moved anything.
+	ordered := make([]Series, 0, len(series))
+	for _, s := range series {
+		if strings.HasPrefix(s.Name, "Geomancy") {
+			ordered = append(ordered, s)
+		}
+	}
+	for _, s := range series {
+		if !strings.HasPrefix(s.Name, "Geomancy") {
+			ordered = append(ordered, s)
+		}
+	}
+	for _, s := range ordered {
+		if len(s.Movements) == 0 || s.Accesses == 0 {
+			continue
+		}
+		bars := []byte(strings.Repeat(" ", cols))
+		for _, m := range s.Movements {
+			c := int(m.AccessIndex * int64(cols-1) / s.Accesses)
+			if c < 0 {
+				c = 0
+			}
+			if c >= cols {
+				c = cols - 1
+			}
+			bars[c] = '|'
+		}
+		fmt.Fprintf(&b, "  moves  %s  (%s)\n", string(bars), s.Name)
+		break
+	}
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c = %s (mean %s)\n", glyphs[si%len(glyphs)], s.Name, GBps(s.Mean))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

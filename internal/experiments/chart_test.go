@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func chartSeries() []Series {
+	return []Series{
+		{
+			Name:     "Geomancy dynamic",
+			Mean:     2e9,
+			Accesses: 1000,
+			Points: []Point{
+				{AccessIndex: 250, Throughput: 1e9},
+				{AccessIndex: 500, Throughput: 2e9},
+				{AccessIndex: 750, Throughput: 3e9},
+				{AccessIndex: 1000, Throughput: 2.5e9},
+			},
+			Movements: []MovementBar{{AccessIndex: 500, Moved: 3}},
+		},
+		{
+			Name:     "LFU",
+			Mean:     1.5e9,
+			Accesses: 1000,
+			Points: []Point{
+				{AccessIndex: 250, Throughput: 1.5e9},
+				{AccessIndex: 500, Throughput: 1.4e9},
+				{AccessIndex: 750, Throughput: 1.6e9},
+				{AccessIndex: 1000, Throughput: 1.5e9},
+			},
+		},
+	}
+}
+
+func TestRenderChart(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderChart(&buf, chartSeries(), 8); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"GB/s", "* = Geomancy dynamic", "o = LFU", "moves"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Peak value labeled on the y axis (3 GB/s).
+	if !strings.Contains(out, "3.00 |") {
+		t.Errorf("y-axis top label missing:\n%s", out)
+	}
+	// Both glyphs plotted.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("series glyphs missing")
+	}
+}
+
+func TestRenderChartEdgeCases(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderChart(&buf, nil, 5); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Error("empty input should render nothing")
+	}
+	if err := RenderChart(&buf, []Series{{Name: "x"}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Error("pointless series should render nothing")
+	}
+}
+
+func TestRenderChartManyPoints(t *testing.T) {
+	s := Series{Name: "dense", Accesses: 100000}
+	for i := 0; i < 500; i++ {
+		s.Points = append(s.Points, Point{AccessIndex: int64(i * 200), Throughput: 1e9 + float64(i%7)*1e8})
+	}
+	var buf bytes.Buffer
+	if err := RenderChart(&buf, []Series{s}, 10); err != nil {
+		t.Fatal(err)
+	}
+	// Columns capped: no line longer than ~120 chars.
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if len(line) > 130 {
+			t.Fatalf("line too long (%d chars)", len(line))
+		}
+	}
+}

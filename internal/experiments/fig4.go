@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+
+	"geomancy/internal/features"
+	"geomancy/internal/trace"
+)
+
+// Fig4Result is the Fig. 4 reproduction: the Pearson correlation of every
+// EOS log field against measured throughput, with the paper's six chosen
+// features flagged.
+type Fig4Result struct {
+	Correlations []features.Correlation
+	// Chosen marks the fields the paper selected (rb, wb, ots/otms,
+	// cts/ctms folded as ots/cts, fid, fsid).
+	Chosen map[string]bool
+	// Records is the trace size analyzed.
+	Records int
+}
+
+// chosenFields are the Fig. 4 orange bars (§V-D), expanded to the raw
+// second/millisecond columns of the log.
+var chosenFields = map[string]bool{
+	"rb": true, "wb": true,
+	"ots": true, "otms": true,
+	"cts": true, "ctms": true,
+	"fid": true, "fsid": true,
+}
+
+// Fig4 generates a synthetic EOS trace and computes the field↔throughput
+// correlation report.
+func Fig4(opts Options) (*Fig4Result, error) {
+	opts = opts.withDefaults()
+	gen := trace.NewGenerator(trace.GeneratorConfig{Seed: opts.Seed, Records: opts.TraceRecords})
+	recs := gen.Generate(opts.TraceRecords)
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("experiments: empty trace")
+	}
+
+	cols := make([][]float64, len(trace.FieldNames))
+	for i := range cols {
+		cols[i] = make([]float64, len(recs))
+	}
+	target := make([]float64, len(recs))
+	for j := range recs {
+		fields := recs[j].Fields()
+		for i, v := range fields {
+			cols[i][j] = v
+		}
+		target[j] = recs[j].Throughput()
+	}
+	report := features.CorrelationReport(trace.FieldNames, cols, target)
+	return &Fig4Result{Correlations: report, Chosen: chosenFields, Records: len(recs)}, nil
+}
+
+// Table renders the result in Fig. 4's spirit: one bar per field.
+func (r *Fig4Result) Table() *Table {
+	t := &Table{
+		Title:  "Fig. 4 — correlation between EOS access features and throughput",
+		Header: []string{"feature", "pearson r", "chosen", "bar"},
+		Caption: fmt.Sprintf("%d synthetic EOS records; chosen = the paper's live-system features",
+			r.Records),
+	}
+	for _, c := range r.Correlations {
+		chosen := ""
+		if r.Chosen[c.Name] {
+			chosen = "*"
+		}
+		t.Rows = append(t.Rows, []string{c.Name, fmt.Sprintf("%+.3f", c.R), chosen, bar(c.R)})
+	}
+	return t
+}
+
+// bar renders a signed correlation as a ±20-char ASCII bar.
+func bar(r float64) string {
+	const width = 20
+	n := int(r * width)
+	switch {
+	case n > 0:
+		if n > width {
+			n = width
+		}
+		return "|" + repeat('+', n)
+	case n < 0:
+		if n < -width {
+			n = -width
+		}
+		return repeat('-', -n) + "|"
+	default:
+		return "|"
+	}
+}
+
+func repeat(c byte, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = c
+	}
+	return string(b)
+}

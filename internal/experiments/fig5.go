@@ -1,0 +1,307 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"geomancy/internal/agents"
+	"geomancy/internal/core"
+	"geomancy/internal/policy"
+	"geomancy/internal/storagesim"
+)
+
+// runPolicy executes the paper's experiment-1 protocol for one base-case
+// policy: bootstrap the testbed, then run the workload with the policy
+// re-deciding the layout every CooldownRuns runs (static policies fire
+// once and return nil afterwards).
+func runPolicy(p policy.Policy, opts Options) (Series, *testbed, error) {
+	tb, err := newTestbed(opts.Seed)
+	if err != nil {
+		return Series{}, nil, err
+	}
+	if err := tb.bootstrap(opts.BootstrapRuns, opts.Seed+1); err != nil {
+		return Series{}, nil, err
+	}
+
+	sb := newSeriesBuilder(opts.SeriesWindow)
+	var bars []MovementBar
+	applyPolicy := func() error {
+		layout := p.Layout(tb.policyState())
+		if layout == nil {
+			return nil
+		}
+		moves, err := tb.runner.ApplyLayout(layout)
+		if err != nil {
+			return err
+		}
+		if len(moves) > 0 {
+			bars = append(bars, MovementBar{AccessIndex: sb.count, Moved: len(moves)})
+		}
+		return nil
+	}
+	// Initial placement decision (static policies act here).
+	if err := applyPolicy(); err != nil {
+		return Series{}, nil, err
+	}
+	for r := 0; r < opts.Runs; r++ {
+		var obsErr error
+		if _, err := tb.runner.RunOnce(func(res storagesim.AccessResult, wl, run int) {
+			if err := tb.observe(res, wl, run); err != nil && obsErr == nil {
+				obsErr = err
+			}
+			sb.add(res.Throughput)
+		}); err != nil {
+			return Series{}, nil, err
+		}
+		if obsErr != nil {
+			return Series{}, nil, obsErr
+		}
+		if (r+1)%opts.CooldownRuns == 0 {
+			if err := applyPolicy(); err != nil {
+				return Series{}, nil, err
+			}
+		}
+	}
+	s := sb.finish(p.Name())
+	s.Movements = bars
+	return s, tb, nil
+}
+
+// engineConfig derives the Geomancy engine settings from the options.
+func engineConfig(opts Options) core.Config {
+	return core.Config{
+		Epochs:       opts.Epochs,
+		WindowX:      opts.WindowX,
+		CooldownRuns: opts.CooldownRuns,
+		Seed:         opts.Seed + 77,
+	}
+}
+
+// runGeomancyDynamic executes the full closed loop and returns its series
+// plus the loop and testbed for utilization accounting.
+func runGeomancyDynamic(opts Options) (Series, *core.Loop, *testbed, error) {
+	tb, err := newTestbed(opts.Seed)
+	if err != nil {
+		return Series{}, nil, nil, err
+	}
+	if err := tb.bootstrap(opts.BootstrapRuns, opts.Seed+1); err != nil {
+		return Series{}, nil, nil, err
+	}
+	loop, err := core.NewLoop(tb.db, tb.cluster, tb.runner, engineConfig(opts))
+	if err != nil {
+		return Series{}, nil, nil, err
+	}
+	// Initial placement from the bootstrap telemetry: like every other
+	// policy, Geomancy acts at measurement start (the paper's engine has
+	// its 10,000-access warm-up behind it), then keeps adapting on the
+	// cooldown schedule.
+	if _, err := loop.Engine.Train(); err != nil {
+		return Series{}, nil, nil, err
+	}
+	initial, _, err := loop.Engine.ProposeLayout(loopFileMetas(tb), loop.Checker, agents.ClusterValidator(tb.cluster))
+	if err != nil {
+		return Series{}, nil, nil, err
+	}
+	if _, err := tb.runner.ApplyLayout(initial); err != nil {
+		return Series{}, nil, nil, err
+	}
+	sb := newSeriesBuilder(opts.SeriesWindow)
+	loop.Observer = func(res storagesim.AccessResult, wl, run int) {
+		sb.add(res.Throughput)
+	}
+	for r := 0; r < opts.Runs; r++ {
+		if _, err := loop.RunOnce(); err != nil {
+			return Series{}, nil, nil, err
+		}
+	}
+	s := sb.finish("Geomancy dynamic")
+	for _, mv := range loop.Movements() {
+		if mv.Moved > 0 {
+			s.Movements = append(s.Movements, MovementBar{AccessIndex: mv.AccessIndex, Moved: mv.Moved})
+		}
+	}
+	return s, loop, tb, nil
+}
+
+// loopFileMetas snapshots the working set for an engine proposal.
+func loopFileMetas(tb *testbed) []core.FileMeta {
+	layout := tb.cluster.Layout()
+	metas := make([]core.FileMeta, 0, len(tb.files))
+	for _, f := range tb.files {
+		metas = append(metas, core.FileMeta{ID: f.ID, Path: f.Path, Size: f.Size, Device: layout[f.ID]})
+	}
+	return metas
+}
+
+// geomancyStaticLayout trains an engine on a bootstrap ReplayDB (the
+// paper trains it on ~10,000 metrics from the dynamic-random experiment)
+// and returns its single greedy layout proposal.
+func geomancyStaticLayout(opts Options) (map[int64]string, error) {
+	tb, err := newTestbed(opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	defer tb.db.Close()
+	if err := tb.bootstrap(opts.BootstrapRuns+opts.CooldownRuns, opts.Seed+1); err != nil {
+		return nil, err
+	}
+	cfg := engineConfig(opts)
+	// One-shot static placement is pure exploitation: effectively no
+	// exploration (exactly 0 would select the 0.1 default).
+	cfg.Epsilon = 1e-9
+	engine, err := core.NewEngine(tb.db, tb.cluster.DeviceNames(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := engine.Train(); err != nil {
+		return nil, err
+	}
+	layout := tb.cluster.Layout()
+	metas := make([]core.FileMeta, 0, len(tb.files))
+	for _, f := range tb.files {
+		metas = append(metas, core.FileMeta{ID: f.ID, Path: f.Path, Size: f.Size, Device: layout[f.ID]})
+	}
+	checker := agents.NewActionChecker(rand.New(rand.NewSource(opts.Seed+5)), tb.cluster.DeviceNames())
+	proposed, _, err := engine.ProposeLayout(metas, checker, agents.ClusterValidator(tb.cluster))
+	return proposed, err
+}
+
+// ComparisonResult bundles the Fig. 5 series and the headline summary.
+type ComparisonResult struct {
+	Series []Series
+	// GeomancyGain maps each base case to Geomancy's mean-throughput
+	// gain over it, in percent (the paper's 11–30% numbers).
+	GeomancyGain map[string]float64
+}
+
+// gains computes Geomancy's percentage gain over every other series.
+func gains(series []Series) map[string]float64 {
+	var geo *Series
+	for i := range series {
+		if series[i].Name == "Geomancy dynamic" {
+			geo = &series[i]
+		}
+	}
+	out := make(map[string]float64)
+	if geo == nil {
+		return out
+	}
+	for i := range series {
+		if series[i].Name == geo.Name || series[i].Mean == 0 {
+			continue
+		}
+		out[series[i].Name] = (geo.Mean/series[i].Mean - 1) * 100
+	}
+	return out
+}
+
+// Fig5a reproduces the dynamic-policy comparison: Geomancy dynamic vs
+// LRU, MRU, LFU and random dynamic.
+func Fig5a(opts Options) (*ComparisonResult, error) {
+	opts = opts.withDefaults()
+	res := &ComparisonResult{}
+
+	basePolicies := []policy.Policy{
+		policy.LRU{},
+		policy.MRU{},
+		policy.LFU{},
+		&policy.RandomDynamic{Rng: rand.New(rand.NewSource(opts.Seed + 2))},
+	}
+	for _, p := range basePolicies {
+		s, tb, err := runPolicy(p, opts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: policy %s: %w", p.Name(), err)
+		}
+		tb.db.Close()
+		res.Series = append(res.Series, s)
+	}
+	geo, _, tb, err := runGeomancyDynamic(opts)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: Geomancy dynamic: %w", err)
+	}
+	tb.db.Close()
+	res.Series = append(res.Series, geo)
+	res.GeomancyGain = gains(res.Series)
+	return res, nil
+}
+
+// Fig5b reproduces the static-policy comparison: Geomancy dynamic vs
+// random static and Geomancy static.
+func Fig5b(opts Options) (*ComparisonResult, error) {
+	opts = opts.withDefaults()
+	res := &ComparisonResult{}
+
+	rs := &policy.RandomStatic{Rng: rand.New(rand.NewSource(opts.Seed + 3))}
+	s, tb, err := runPolicy(rs, opts)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: random static: %w", err)
+	}
+	tb.db.Close()
+	res.Series = append(res.Series, s)
+
+	staticLayout, err := geomancyStaticLayout(opts)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: Geomancy static layout: %w", err)
+	}
+	gs := &policy.Static{Desc: "Geomancy static", Target: staticLayout}
+	s, tb, err = runPolicy(gs, opts)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: Geomancy static: %w", err)
+	}
+	tb.db.Close()
+	res.Series = append(res.Series, s)
+
+	geo, _, tb, err := runGeomancyDynamic(opts)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: Geomancy dynamic: %w", err)
+	}
+	tb.db.Close()
+	res.Series = append(res.Series, geo)
+	res.GeomancyGain = gains(res.Series)
+	return res, nil
+}
+
+// SummaryTable renders the mean-throughput comparison.
+func (r *ComparisonResult) SummaryTable(title string) *Table {
+	t := &Table{
+		Title:  title,
+		Header: []string{"placement", "mean throughput", "σ", "accesses", "Geomancy gain"},
+	}
+	for _, s := range r.Series {
+		gain := ""
+		if g, ok := r.GeomancyGain[s.Name]; ok {
+			gain = fmt.Sprintf("%+.1f%%", g)
+		}
+		t.Rows = append(t.Rows, []string{
+			s.Name, GBps(s.Mean), GBps(s.Std), fmt.Sprintf("%d", s.Accesses), gain,
+		})
+	}
+	return t
+}
+
+// WeightedPolicies is an extension experiment for §VI's remark that the
+// base cases could "spread files based upon the capacities of the storage
+// devices": LFU with even groups vs capacity-weighted LFU vs Geomancy.
+func WeightedPolicies(opts Options) (*ComparisonResult, error) {
+	opts = opts.withDefaults()
+	res := &ComparisonResult{}
+	for _, p := range []policy.Policy{
+		policy.LFU{},
+		policy.Weighted{Base: policy.LFU{}},
+	} {
+		s, tb, err := runPolicy(p, opts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: policy %s: %w", p.Name(), err)
+		}
+		tb.db.Close()
+		res.Series = append(res.Series, s)
+	}
+	geo, _, tb, err := runGeomancyDynamic(opts)
+	if err != nil {
+		return nil, err
+	}
+	tb.db.Close()
+	res.Series = append(res.Series, geo)
+	res.GeomancyGain = gains(res.Series)
+	return res, nil
+}

@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The integration tests run every experiment at Quick scale and check the
+// qualitative shape the paper reports. Full-scale shape verification lives
+// in EXPERIMENTS.md via cmd/experiment.
+
+func TestTable2QuickShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model search is slow")
+	}
+	res, err := Table2(Quick(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Device != "people" {
+		t.Errorf("device = %q", res.Device)
+	}
+	if len(res.Models) != 23 {
+		t.Fatalf("%d models, want 23", len(res.Models))
+	}
+	var diverged, converged int
+	for _, m := range res.Models {
+		if m.TrainTime <= 0 {
+			t.Errorf("model %d has no train time", m.Model)
+		}
+		if m.Metrics.Diverged {
+			diverged++
+		} else {
+			converged++
+			if m.Metrics.MARE < 0 || m.Metrics.MARE > 500 {
+				t.Errorf("model %d MARE = %v", m.Model, m.Metrics.MARE)
+			}
+		}
+	}
+	// Most models converge; a few may diverge (the paper had 2 of 23).
+	if converged < 15 {
+		t.Errorf("only %d models converged", converged)
+	}
+	var buf bytes.Buffer
+	if err := res.Table().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table II") {
+		t.Error("table title missing")
+	}
+}
+
+func TestTable3QuickShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model search is slow")
+	}
+	res, err := Table3(Quick(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerMount) != 6 {
+		t.Fatalf("%d mounts, want 6", len(res.PerMount))
+	}
+	names := map[string]bool{}
+	for _, m := range res.PerMount {
+		names[m.Device] = true
+		if m.Samples < 20 {
+			t.Errorf("mount %s has only %d samples", m.Device, m.Samples)
+		}
+	}
+	for _, want := range []string{"file0", "pic", "people", "tmp", "var", "USBtmp"} {
+		if !names[want] {
+			t.Errorf("mount %s missing from Table III", want)
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.Table().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig5aShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("policy comparison is slow")
+	}
+	res, err := Fig5a(Quick(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 5 {
+		t.Fatalf("%d series, want 5 (LRU, MRU, LFU, random dynamic, Geomancy)", len(res.Series))
+	}
+	byName := map[string]Series{}
+	for _, s := range res.Series {
+		byName[s.Name] = s
+		if s.Accesses == 0 || s.Mean <= 0 {
+			t.Errorf("series %s empty: %+v", s.Name, s)
+		}
+		if len(s.Points) == 0 {
+			t.Errorf("series %s has no points", s.Name)
+		}
+	}
+	geo, ok := byName["Geomancy dynamic"]
+	if !ok {
+		t.Fatal("Geomancy series missing")
+	}
+	if len(geo.Movements) == 0 {
+		t.Error("Geomancy made no movements")
+	}
+	// Movement bars stay within the paper's 1–14 files per decision
+	// under reasonable exploration. Allow up to the full working set.
+	for _, m := range geo.Movements {
+		if m.Moved < 1 || m.Moved > 24 {
+			t.Errorf("movement of %d files out of range", m.Moved)
+		}
+	}
+	if len(res.GeomancyGain) != 4 {
+		t.Errorf("gains = %v, want 4 entries", res.GeomancyGain)
+	}
+	var buf bytes.Buffer
+	if err := res.SummaryTable("Fig 5a").Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig5bShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("policy comparison is slow")
+	}
+	res, err := Fig5b(Quick(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 3 {
+		t.Fatalf("%d series, want 3", len(res.Series))
+	}
+	names := map[string]bool{}
+	for _, s := range res.Series {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"random static", "Geomancy static", "Geomancy dynamic"} {
+		if !names[want] {
+			t.Errorf("series %q missing", want)
+		}
+	}
+	// Static placements must not move after their initial layout: at most
+	// one movement bar, at access index 0.
+	for _, s := range res.Series {
+		if s.Name == "Geomancy dynamic" {
+			continue
+		}
+		for _, m := range s.Movements {
+			if m.AccessIndex > 0 {
+				t.Errorf("%s moved files mid-run at access %d", s.Name, m.AccessIndex)
+			}
+		}
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("single-mount sweep is slow")
+	}
+	res, err := Table4(Quick(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 7 {
+		t.Fatalf("%d rows, want 7 (6 mounts + Geomancy)", len(res.Rows))
+	}
+	best := res.Best()
+	if best.Name != "file0" {
+		t.Errorf("fastest single mount = %s, want file0 (Table IV ordering)", best.Name)
+	}
+	// USBtmp is the slowest single mount.
+	var usb, geo Table4Row
+	for _, r := range res.Rows {
+		switch r.Name {
+		case "USBtmp":
+			usb = r
+		case "Geomancy":
+			geo = r
+		}
+	}
+	if usb.Mean >= best.Mean {
+		t.Error("USBtmp should be slower than file0")
+	}
+	if geo.Mean <= usb.Mean {
+		t.Error("Geomancy should beat the slowest single mount")
+	}
+	if geo.Usage != 100 {
+		t.Errorf("Geomancy usage = %v, want 100", geo.Usage)
+	}
+	// Usage shares of the devices sum to ~100%.
+	var sum float64
+	for _, r := range res.Rows {
+		if r.Name != "Geomancy" {
+			sum += r.Usage
+		}
+	}
+	if sum < 99 || sum > 101 {
+		t.Errorf("device usage sums to %v, want ~100", sum)
+	}
+	var buf bytes.Buffer
+	if err := res.Table().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dual workload is slow")
+	}
+	res, err := Fig6(Quick(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tuned.Accesses == 0 || res.Untuned.Accesses == 0 {
+		t.Fatal("both workloads must record accesses")
+	}
+	if res.InterferenceStart <= 0 || res.InterferenceStart >= res.Tuned.Accesses {
+		t.Errorf("interference start %d outside tuned run (0, %d)", res.InterferenceStart, res.Tuned.Accesses)
+	}
+	if res.PreMean <= 0 || res.DipMean <= 0 || res.RecoveredMean <= 0 {
+		t.Errorf("summary means not populated: %+v", res)
+	}
+	if !strings.Contains(res.Summary(), "interference at access") {
+		t.Errorf("summary = %q", res.Summary())
+	}
+}
+
+func TestOverheadShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overhead study is slow")
+	}
+	res, err := Overhead(Quick(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Six.Features != 6 || res.Thirteen.Features != 13 {
+		t.Errorf("feature counts = %d, %d", res.Six.Features, res.Thirteen.Features)
+	}
+	if res.Six.TrainTime <= 0 || res.Thirteen.TrainTime <= 0 {
+		t.Error("train times not measured")
+	}
+	if res.Six.PredictTime <= 0 {
+		t.Error("single-prediction latency not measured")
+	}
+	// More features ⇒ wider model 1 ⇒ more work per epoch.
+	if res.Thirteen.TrainTime < res.Six.TrainTime/2 {
+		t.Errorf("13-feature training (%v) suspiciously faster than 6-feature (%v)",
+			res.Thirteen.TrainTime, res.Six.TrainTime)
+	}
+	var buf bytes.Buffer
+	if err := res.Table().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGainsComputation(t *testing.T) {
+	series := []Series{
+		{Name: "LFU", Mean: 4e9},
+		{Name: "Geomancy dynamic", Mean: 5e9},
+	}
+	g := gains(series)
+	if got := g["LFU"]; got < 24.9 || got > 25.1 {
+		t.Errorf("gain = %v, want 25", got)
+	}
+	if len(gains([]Series{{Name: "LFU", Mean: 1}})) != 0 {
+		t.Error("no Geomancy series should yield no gains")
+	}
+}

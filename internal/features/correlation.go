@@ -1,0 +1,122 @@
+// Package features implements the Geomancy feature pipeline (§V-D, §V-E):
+// Pearson-correlation feature discovery against throughput, min-max
+// normalization of numeric data into [0,1], the paper's file-path →
+// numeric-ID encoding, moving-average smoothing of ReplayDB batches, and
+// helpers for assembling model inputs.
+package features
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Pearson returns the Pearson correlation coefficient between x and y.
+// It returns 0 when either series is constant (no linear relationship can
+// be measured) and panics on length mismatch.
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("features: Pearson length mismatch %d vs %d", len(x), len(y)))
+	}
+	n := float64(len(x))
+	if n == 0 {
+		return 0
+	}
+	var mx, my float64
+	for i := range x {
+		mx += x[i]
+		my += y[i]
+	}
+	mx /= n
+	my /= n
+	var cov, vx, vy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// Correlation pairs a feature name with its Pearson correlation against
+// the modeling target.
+type Correlation struct {
+	Name string
+	R    float64
+}
+
+// CorrelationReport computes, for each named feature column, the Pearson
+// correlation against target — the Fig. 4 analysis. Columns are given as
+// columns[i][j] = value of feature i at access j.
+func CorrelationReport(names []string, columns [][]float64, target []float64) []Correlation {
+	if len(names) != len(columns) {
+		panic(fmt.Sprintf("features: %d names for %d columns", len(names), len(columns)))
+	}
+	out := make([]Correlation, len(names))
+	for i, col := range columns {
+		out[i] = Correlation{Name: names[i], R: Pearson(col, target)}
+	}
+	return out
+}
+
+// SortByAbs orders a correlation report by decreasing |R|, the paper's
+// criterion for candidate features ("Choosing the features with largest
+// absolute correlation values usually improves model accuracy").
+func SortByAbs(report []Correlation) {
+	sort.SliceStable(report, func(i, j int) bool {
+		return math.Abs(report[i].R) > math.Abs(report[j].R)
+	})
+}
+
+// SelectTopK automates §V-D's feature discovery: it ranks features by
+// |Pearson r| against the target and returns the names and column indexes
+// of the top k. Constant (r = 0) columns are skipped — "training the
+// neural network with these features may prevent the neural network from
+// converging quickly".
+func SelectTopK(names []string, columns [][]float64, target []float64, k int) (selected []string, indexes []int) {
+	report := CorrelationReport(names, columns, target)
+	type ranked struct {
+		Correlation
+		idx int
+	}
+	rs := make([]ranked, len(report))
+	for i, c := range report {
+		rs[i] = ranked{c, i}
+	}
+	sort.SliceStable(rs, func(i, j int) bool {
+		return math.Abs(rs[i].R) > math.Abs(rs[j].R)
+	})
+	for _, r := range rs {
+		if len(selected) >= k {
+			break
+		}
+		if r.R == 0 {
+			continue
+		}
+		selected = append(selected, r.Name)
+		indexes = append(indexes, r.idx)
+	}
+	return selected, indexes
+}
+
+// ExtractColumns builds feature rows from the selected column indexes:
+// out[i][j] = columns[indexes[j]][i].
+func ExtractColumns(columns [][]float64, indexes []int) [][]float64 {
+	if len(columns) == 0 || len(indexes) == 0 {
+		return nil
+	}
+	n := len(columns[0])
+	out := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, len(indexes))
+		for j, idx := range indexes {
+			row[j] = columns[idx][i]
+		}
+		out[i] = row
+	}
+	return out
+}

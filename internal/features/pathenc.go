@@ -1,0 +1,95 @@
+package features
+
+import (
+	"strings"
+	"sync"
+)
+
+// PathEncoder converts file paths to numeric IDs the way the paper does
+// (§V-E): every path component receives a per-level index, and the indexes
+// are combined positionally so that files in nearby directories receive
+// nearby IDs ("we want files located in similar locations to have close
+// IDs to maintain a sense of locality"). The example in the paper encodes
+// foo/bar/bat.root as 123 with foo→1, bar→2, bat.root→3.
+//
+// PathEncoder is safe for concurrent use.
+type PathEncoder struct {
+	mu sync.Mutex
+	// levels[d] maps the component string at depth d to its 1-based index
+	// in order of first appearance.
+	levels []map[string]int
+}
+
+// NewPathEncoder returns an empty encoder.
+func NewPathEncoder() *PathEncoder {
+	return &PathEncoder{}
+}
+
+// levelBase is the positional radix: each path level contributes its
+// index in a separate digit group of this size, preserving locality for
+// up to 999 distinct names per level.
+const levelBase = 1000
+
+// Encode returns the numeric ID for path, assigning fresh per-level
+// indexes to components seen for the first time. Leading and trailing
+// slashes are ignored; the empty path encodes to 0.
+func (e *PathEncoder) Encode(path string) int64 {
+	comps := splitPath(path)
+	if len(comps) == 0 {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var id int64
+	for d, c := range comps {
+		for d >= len(e.levels) {
+			e.levels = append(e.levels, make(map[string]int))
+		}
+		idx, ok := e.levels[d][c]
+		if !ok {
+			idx = len(e.levels[d]) + 1
+			e.levels[d][c] = idx
+		}
+		id = id*levelBase + int64(idx)
+	}
+	return id
+}
+
+// Lookup returns the ID for path without assigning new indexes; ok is
+// false if any component is unknown.
+func (e *PathEncoder) Lookup(path string) (id int64, ok bool) {
+	comps := splitPath(path)
+	if len(comps) == 0 {
+		return 0, true
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for d, c := range comps {
+		if d >= len(e.levels) {
+			return 0, false
+		}
+		idx, found := e.levels[d][c]
+		if !found {
+			return 0, false
+		}
+		id = id*levelBase + int64(idx)
+	}
+	return id, true
+}
+
+// Depth returns the number of path levels the encoder has seen.
+func (e *PathEncoder) Depth() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.levels)
+}
+
+func splitPath(path string) []string {
+	var comps []string
+	for _, c := range strings.Split(path, "/") {
+		if c != "" {
+			comps = append(comps, c)
+		}
+	}
+	return comps
+}

@@ -1,0 +1,397 @@
+// Package mat implements the dense float64 matrix kernel used by the
+// Geomancy neural-network library. It is deliberately small: row-major
+// matrices, the handful of operations backpropagation needs, and nothing
+// else. All operations either allocate a fresh result or write into an
+// explicitly provided destination so that training loops can reuse buffers.
+package mat
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// Matrix is a dense, row-major matrix of float64 values.
+type Matrix struct {
+	Rows, Cols int
+	// Data holds the elements in row-major order: element (r,c) lives at
+	// Data[r*Cols+c]. len(Data) == Rows*Cols always.
+	Data []float64
+}
+
+// New returns a zero-valued rows×cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice builds a rows×cols matrix backed by a copy of data, which must
+// contain exactly rows*cols values in row-major order.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("mat: FromSlice got %d values for %dx%d", len(data), rows, cols))
+	}
+	m := New(rows, cols)
+	copy(m.Data, data)
+	return m
+}
+
+// FromRows builds a matrix from a slice of equal-length rows.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	cols := len(rows[0])
+	m := New(len(rows), cols)
+	for r, row := range rows {
+		if len(row) != cols {
+			panic(fmt.Sprintf("mat: FromRows row %d has %d cols, want %d", r, len(row), cols))
+		}
+		copy(m.Data[r*cols:(r+1)*cols], row)
+	}
+	return m
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// At returns the element at row r, column c.
+func (m *Matrix) At(r, c int) float64 {
+	m.boundsCheck(r, c)
+	return m.Data[r*m.Cols+c]
+}
+
+// Set stores v at row r, column c.
+func (m *Matrix) Set(r, c int, v float64) {
+	m.boundsCheck(r, c)
+	m.Data[r*m.Cols+c] = v
+}
+
+func (m *Matrix) boundsCheck(r, c int) {
+	if r < 0 || r >= m.Rows || c < 0 || c >= m.Cols {
+		panic(fmt.Sprintf("mat: index (%d,%d) out of range for %dx%d", r, c, m.Rows, m.Cols))
+	}
+}
+
+// Row returns row r as a slice aliasing the matrix storage.
+func (m *Matrix) Row(r int) []float64 {
+	if r < 0 || r >= m.Rows {
+		panic(fmt.Sprintf("mat: row %d out of range for %dx%d", r, m.Rows, m.Cols))
+	}
+	return m.Data[r*m.Cols : (r+1)*m.Cols]
+}
+
+// SetRow copies vals into row r; len(vals) must equal Cols.
+func (m *Matrix) SetRow(r int, vals []float64) {
+	if len(vals) != m.Cols {
+		panic(fmt.Sprintf("mat: SetRow got %d values, want %d", len(vals), m.Cols))
+	}
+	copy(m.Row(r), vals)
+}
+
+// Zero sets every element to 0 in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v in place.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// Randomize fills m with uniform values in [-scale, scale) drawn from rng.
+func (m *Matrix) Randomize(rng *rand.Rand, scale float64) {
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * scale
+	}
+}
+
+// XavierInit fills m with the Glorot/Xavier uniform initialization for a
+// layer with the given fan-in and fan-out. It is the standard choice for
+// the small dense and recurrent layers in the Geomancy model zoo.
+func (m *Matrix) XavierInit(rng *rand.Rand, fanIn, fanOut int) {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+}
+
+// sameShape panics unless a and b have identical dimensions.
+func sameShape(op string, a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+// Mul returns the matrix product a×b. It panics if a.Cols != b.Rows.
+func Mul(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Cols)
+	MulTo(out, a, b)
+	return out
+}
+
+// MulTo computes dst = a×b, reusing dst's storage. dst must be a.Rows×b.Cols
+// and must not alias a or b.
+func MulTo(dst, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: Mul inner dimension mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MulTo dst is %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	dst.Zero()
+	// i-k-j loop order keeps the inner loop streaming over contiguous rows
+	// of b and dst, which matters for the batched training path.
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MulTransA returns aᵀ×b without materializing the transpose.
+func MulTransA(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("mat: MulTransA dimension mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Cols, b.Cols)
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Data[k*a.Cols : (k+1)*a.Cols]
+		brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulTransB returns a×bᵀ without materializing the transpose.
+func MulTransB(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MulTransB dimension mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Data[j*b.Cols : (j+1)*b.Cols]
+			var sum float64
+			for k, av := range arow {
+				sum += av * brow[k]
+			}
+			orow[j] = sum
+		}
+	}
+	return out
+}
+
+// Transpose returns mᵀ as a new matrix.
+func (m *Matrix) Transpose() *Matrix {
+	out := New(m.Cols, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			out.Data[c*out.Cols+r] = m.Data[r*m.Cols+c]
+		}
+	}
+	return out
+}
+
+// Add returns a+b elementwise.
+func Add(a, b *Matrix) *Matrix {
+	sameShape("Add", a, b)
+	out := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+// AddInPlace sets a += b elementwise.
+func AddInPlace(a, b *Matrix) {
+	sameShape("AddInPlace", a, b)
+	for i := range a.Data {
+		a.Data[i] += b.Data[i]
+	}
+}
+
+// Sub returns a-b elementwise.
+func Sub(a, b *Matrix) *Matrix {
+	sameShape("Sub", a, b)
+	out := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return out
+}
+
+// Hadamard returns the elementwise product a∘b.
+func Hadamard(a, b *Matrix) *Matrix {
+	sameShape("Hadamard", a, b)
+	out := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] * b.Data[i]
+	}
+	return out
+}
+
+// HadamardInPlace sets a *= b elementwise.
+func HadamardInPlace(a, b *Matrix) {
+	sameShape("HadamardInPlace", a, b)
+	for i := range a.Data {
+		a.Data[i] *= b.Data[i]
+	}
+}
+
+// Scale returns m scaled by s as a new matrix.
+func (m *Matrix) Scale(s float64) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = v * s
+	}
+	return out
+}
+
+// ScaleInPlace multiplies every element of m by s.
+func (m *Matrix) ScaleInPlace(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// AddScaled sets a += s*b elementwise; the axpy of gradient descent.
+func AddScaled(a *Matrix, s float64, b *Matrix) {
+	sameShape("AddScaled", a, b)
+	for i := range a.Data {
+		a.Data[i] += s * b.Data[i]
+	}
+}
+
+// Apply returns a new matrix with f applied to every element of m.
+func (m *Matrix) Apply(f func(float64) float64) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = f(v)
+	}
+	return out
+}
+
+// ApplyInPlace applies f to every element of m in place.
+func (m *Matrix) ApplyInPlace(f func(float64) float64) {
+	for i, v := range m.Data {
+		m.Data[i] = f(v)
+	}
+}
+
+// AddRowVector adds the 1×Cols vector v to every row of m, in place.
+// This is the bias-broadcast used by every layer.
+func (m *Matrix) AddRowVector(v *Matrix) {
+	if v.Rows != 1 || v.Cols != m.Cols {
+		panic(fmt.Sprintf("mat: AddRowVector vector is %dx%d, want 1x%d", v.Rows, v.Cols, m.Cols))
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for c := range row {
+			row[c] += v.Data[c]
+		}
+	}
+}
+
+// SumRows returns a 1×Cols vector whose entries are the column sums of m;
+// the reduction used for bias gradients.
+func (m *Matrix) SumRows() *Matrix {
+	out := New(1, m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for c, v := range row {
+			out.Data[c] += v
+		}
+	}
+	return out
+}
+
+// Sum returns the sum of all elements.
+func (m *Matrix) Sum() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements (0 for an empty matrix).
+func (m *Matrix) Mean() float64 {
+	if len(m.Data) == 0 {
+		return 0
+	}
+	return m.Sum() / float64(len(m.Data))
+}
+
+// MaxAbs returns the largest absolute element value (0 for empty).
+func (m *Matrix) MaxAbs() float64 {
+	var max float64
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// Equal reports whether a and b have the same shape and all elements are
+// within tol of each other.
+func Equal(a, b *Matrix, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%dx%d[", m.Rows, m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		if r > 0 {
+			b.WriteString("; ")
+		}
+		for c := 0; c < m.Cols; c++ {
+			if c > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%.4g", m.At(r, c))
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}

@@ -1,0 +1,96 @@
+package nn
+
+import (
+	"math/rand"
+	"strconv"
+
+	"geomancy/internal/mat"
+)
+
+// layer is the behaviour shared by every layer kind: exposing parameters
+// and their gradient accumulators to the optimizer.
+type layer interface {
+	// name returns the Table I-style description, e.g. "96 (Dense) ReLU".
+	name() string
+	// outSize is the width of the layer output.
+	outSize() int
+	params() []*mat.Matrix
+	grads() []*mat.Matrix
+}
+
+// flatLayer consumes and produces B×F matrices (one row per sample).
+type flatLayer interface {
+	layer
+	forward(x *mat.Matrix) *mat.Matrix
+	// backward receives dLoss/dOutput and returns dLoss/dInput, adding
+	// parameter gradients into the layer's accumulators.
+	backward(dOut *mat.Matrix) *mat.Matrix
+}
+
+// seqLayer consumes a sequence of T timestep matrices (each B×F) and emits
+// the final hidden state as a B×H matrix. Recurrent layers appear only
+// first in Table I networks, so backwardSeq does not return input grads.
+type seqLayer interface {
+	layer
+	forwardSeq(steps []*mat.Matrix) *mat.Matrix
+	backwardSeq(dOut *mat.Matrix)
+}
+
+// Dense is a fully connected layer computing act(X·W + b).
+type Dense struct {
+	In, Out int
+	Act     Activation
+
+	W, B   *mat.Matrix // weights In×Out, bias 1×Out
+	dW, dB *mat.Matrix
+
+	lastIn, lastOut *mat.Matrix // forward-pass cache for backward
+}
+
+// NewDense returns a dense layer with Xavier-initialized weights.
+func NewDense(in, out int, act Activation, rng *rand.Rand) *Dense {
+	d := &Dense{
+		In: in, Out: out, Act: act,
+		W:  mat.New(in, out),
+		B:  mat.New(1, out),
+		dW: mat.New(in, out),
+		dB: mat.New(1, out),
+	}
+	d.W.XavierInit(rng, in, out)
+	return d
+}
+
+func (d *Dense) name() string {
+	return sprintfLayer(d.Out, "Dense", d.Act)
+}
+
+func (d *Dense) outSize() int          { return d.Out }
+func (d *Dense) params() []*mat.Matrix { return []*mat.Matrix{d.W, d.B} }
+func (d *Dense) grads() []*mat.Matrix  { return []*mat.Matrix{d.dW, d.dB} }
+
+func (d *Dense) forward(x *mat.Matrix) *mat.Matrix {
+	out := mat.Mul(x, d.W)
+	out.AddRowVector(d.B)
+	if d.Act != Linear {
+		out.ApplyInPlace(d.Act.Apply)
+	}
+	d.lastIn, d.lastOut = x, out
+	return out
+}
+
+func (d *Dense) backward(dOut *mat.Matrix) *mat.Matrix {
+	dZ := dOut
+	if d.Act != Linear {
+		dZ = mat.New(dOut.Rows, dOut.Cols)
+		for i := range dOut.Data {
+			dZ.Data[i] = dOut.Data[i] * d.Act.DerivFromOutput(d.lastOut.Data[i])
+		}
+	}
+	mat.AddInPlace(d.dW, mat.MulTransA(d.lastIn, dZ))
+	mat.AddInPlace(d.dB, dZ.SumRows())
+	return mat.MulTransB(dZ, d.W)
+}
+
+func sprintfLayer(units int, kind string, act Activation) string {
+	return strconv.Itoa(units) + " (" + kind + ") " + act.String()
+}

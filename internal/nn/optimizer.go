@@ -1,0 +1,86 @@
+package nn
+
+import (
+	"math"
+
+	"geomancy/internal/mat"
+)
+
+// Optimizer updates parameters from accumulated gradients. Step is called
+// once per mini-batch; implementations must not retain the slices.
+type Optimizer interface {
+	Step(params, grads []*mat.Matrix)
+}
+
+// SGD is plain stochastic gradient descent, the optimizer the paper settled
+// on after finding Adam gave a higher mean and standard deviation of the
+// absolute relative error (§V-G).
+type SGD struct {
+	// LR is the learning rate.
+	LR float64
+	// Clip, when positive, bounds each gradient element to [-Clip, Clip].
+	// The paper's diverging models (2 and 5 in Table II) are reproduced
+	// with Clip = 0 (no clipping).
+	Clip float64
+}
+
+// Step applies params -= LR * grads.
+func (s *SGD) Step(params, grads []*mat.Matrix) {
+	for i, p := range params {
+		g := grads[i]
+		if s.Clip > 0 {
+			for j, v := range g.Data {
+				if v > s.Clip {
+					g.Data[j] = s.Clip
+				} else if v < -s.Clip {
+					g.Data[j] = -s.Clip
+				}
+			}
+		}
+		mat.AddScaled(p, -s.LR, g)
+	}
+}
+
+// Adam implements the Adam optimizer (Kingma & Ba). The paper evaluated it
+// and rejected it in favour of SGD; it is retained for the optimizer
+// ablation benchmark.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+
+	t int
+	m [][]float64
+	v [][]float64
+}
+
+// NewAdam returns an Adam optimizer with the conventional defaults
+// (β1 = 0.9, β2 = 0.999, ε = 1e-8).
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step applies the Adam update. The first call sizes the moment buffers to
+// match the parameter list; the same network must be passed on every call.
+func (a *Adam) Step(params, grads []*mat.Matrix) {
+	if a.m == nil {
+		a.m = make([][]float64, len(params))
+		a.v = make([][]float64, len(params))
+		for i, p := range params {
+			a.m[i] = make([]float64, len(p.Data))
+			a.v[i] = make([]float64, len(p.Data))
+		}
+	}
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range params {
+		g := grads[i]
+		m, v := a.m[i], a.v[i]
+		for j, gv := range g.Data {
+			m[j] = a.Beta1*m[j] + (1-a.Beta1)*gv
+			v[j] = a.Beta2*v[j] + (1-a.Beta2)*gv*gv
+			mHat := m[j] / c1
+			vHat := v[j] / c2
+			p.Data[j] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// SearchConfig controls a model search over the Table I zoo.
+type SearchConfig struct {
+	// Models lists the zoo numbers to try; nil means all 23.
+	Models []int
+	// Z is the input feature count.
+	Z int
+	// Epochs, BatchSize, LR configure training (paper: 200 epochs, plain
+	// SGD).
+	Epochs    int
+	BatchSize int
+	LR        float64
+	// Window is the BPTT window for recurrent candidates.
+	Window int
+	// Seed makes the search reproducible.
+	Seed int64
+}
+
+// SearchResult scores one candidate architecture.
+type SearchResult struct {
+	Model       int
+	Desc        string
+	Validation  Metrics
+	Test        Metrics
+	TrainTime   time.Duration
+	PredictTime time.Duration
+	Net         *Network
+}
+
+// Score is the search's ranking key: validation MARE, with divergence
+// sorted to the bottom.
+func (r SearchResult) Score() float64 {
+	if r.Validation.Diverged {
+		return math.Inf(1)
+	}
+	return r.Validation.MARE
+}
+
+// Search runs the paper's hyperparameter procedure (§V-G) as a library
+// call: train every candidate on the 60% split, rank by validation MARE,
+// and report test metrics plus timings. It returns the candidates ranked
+// best first. The paper performed exactly this search to pick model 1.
+func Search(ds *Dataset, cfg SearchConfig) ([]SearchResult, error) {
+	if ds.Len() < 10 {
+		return nil, fmt.Errorf("nn: search needs at least 10 samples, have %d", ds.Len())
+	}
+	if cfg.Z <= 0 {
+		cfg.Z = ds.X.Cols
+	}
+	if cfg.Z != ds.X.Cols {
+		return nil, fmt.Errorf("nn: search Z=%d but dataset has %d features", cfg.Z, ds.X.Cols)
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 200
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.LR == 0 {
+		cfg.LR = 0.05
+	}
+	models := cfg.Models
+	if models == nil {
+		for n := 1; n <= ModelCount; n++ {
+			models = append(models, n)
+		}
+	}
+	train, val, test := ds.Split()
+
+	var out []SearchResult
+	for _, n := range models {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(n)*977))
+		net, err := BuildModel(n, cfg.Z, rng)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Window > 0 {
+			net.Window = cfg.Window
+		}
+		start := time.Now()
+		if _, err := net.Fit(train, FitConfig{
+			Epochs:    cfg.Epochs,
+			BatchSize: cfg.BatchSize,
+			Optimizer: &SGD{LR: cfg.LR},
+			Rng:       rng,
+		}); err != nil {
+			return nil, fmt.Errorf("nn: search model %d: %w", n, err)
+		}
+		trainTime := time.Since(start)
+
+		start = time.Now()
+		valM := net.Evaluate(val)
+		testM := net.Evaluate(test)
+		predictTime := time.Since(start)
+
+		out = append(out, SearchResult{
+			Model:       n,
+			Desc:        net.String(),
+			Validation:  valM,
+			Test:        testM,
+			TrainTime:   trainTime,
+			PredictTime: predictTime,
+			Net:         net,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score() < out[j].Score() })
+	return out, nil
+}

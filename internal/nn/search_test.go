@@ -1,0 +1,65 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSearchRanksModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	ds := synthDataset(rng, 400, 4)
+	res, err := Search(ds, SearchConfig{
+		Models: []int{1, 4, 11},
+		Epochs: 15,
+		Seed:   80,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("%d results", len(res))
+	}
+	// Ranked by validation score ascending.
+	for i := 1; i < len(res); i++ {
+		if res[i-1].Score() > res[i].Score() {
+			t.Errorf("results not ranked: %v then %v", res[i-1].Score(), res[i].Score())
+		}
+	}
+	for _, r := range res {
+		if r.Net == nil || r.Desc == "" || r.TrainTime <= 0 {
+			t.Errorf("result incomplete: %+v", r)
+		}
+	}
+}
+
+func TestSearchDefaultsToFullZoo(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	ds := synthDataset(rng, 120, 3)
+	res, err := Search(ds, SearchConfig{Epochs: 1, Window: 4, Seed: 81})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != ModelCount {
+		t.Errorf("%d results, want %d", len(res), ModelCount)
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	tiny := synthDataset(rng, 5, 3)
+	if _, err := Search(tiny, SearchConfig{}); err == nil {
+		t.Error("tiny dataset should error")
+	}
+	ds := synthDataset(rng, 100, 3)
+	if _, err := Search(ds, SearchConfig{Z: 7}); err == nil {
+		t.Error("mismatched Z should error")
+	}
+}
+
+func TestSearchDivergedSortsLast(t *testing.T) {
+	r := SearchResult{Validation: Metrics{Diverged: true}}
+	good := SearchResult{Validation: Metrics{MARE: 50}}
+	if r.Score() <= good.Score() {
+		t.Error("diverged result must score worse than any converged one")
+	}
+}

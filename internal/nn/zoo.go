@@ -1,0 +1,117 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// LayerSpec describes one layer of a Table I architecture.
+type LayerSpec struct {
+	// UnitsZ is the layer width as a multiple of Z (the feature count).
+	UnitsZ int
+	// Fixed overrides UnitsZ with an absolute width when non-zero (the
+	// single-neuron output layers).
+	Fixed int
+	// Kind is "Dense", "LSTM", "GRU" or "SimpleRNN".
+	Kind string
+	// Act is the layer activation.
+	Act Activation
+}
+
+// ModelCount is the number of architectures compared in Table I.
+const ModelCount = 23
+
+// zooSpecs transcribes Table I. Each model is a list of layers in
+// "units (kind) activation" form, with units expressed as multiples of Z.
+//
+// The published table has two typesetting artifacts: model 3's trailing
+// "4Z" (interpreted as the standard 16Z-8Z-4Z-1 pyramid with a ReLU
+// output) and models 8-11 whose repeated "Z (Dense) ReLU" rows ran
+// together (interpreted as descending-depth Z-wide stacks: five, four, two
+// and one hidden layers respectively, which matches the reported
+// training-time ordering 8 > 9 > 10 > 11).
+// Index 0 is unused; zooSpecs[n] is model n.
+var zooSpecs = [ModelCount + 1][]LayerSpec{
+	1:  {{UnitsZ: 16, Kind: "Dense", Act: ReLU}, {UnitsZ: 8, Kind: "Dense", Act: ReLU}, {UnitsZ: 4, Kind: "Dense", Act: ReLU}, {Fixed: 1, Kind: "Dense", Act: Linear}},
+	2:  {{UnitsZ: 16, Kind: "Dense", Act: ReLU}, {UnitsZ: 8, Kind: "Dense", Act: ReLU}, {Fixed: 1, Kind: "Dense", Act: ReLU}},
+	3:  {{UnitsZ: 16, Kind: "Dense", Act: ReLU}, {UnitsZ: 8, Kind: "Dense", Act: ReLU}, {UnitsZ: 4, Kind: "Dense", Act: ReLU}, {Fixed: 1, Kind: "Dense", Act: ReLU}},
+	4:  {{UnitsZ: 16, Kind: "Dense", Act: ReLU}, {UnitsZ: 8, Kind: "Dense", Act: ReLU}, {Fixed: 1, Kind: "Dense", Act: Linear}},
+	5:  {{UnitsZ: 16, Kind: "Dense", Act: Linear}, {UnitsZ: 8, Kind: "Dense", Act: Linear}, {UnitsZ: 4, Kind: "Dense", Act: Linear}, {UnitsZ: 1, Kind: "Dense", Act: Linear}, {Fixed: 1, Kind: "Dense", Act: ReLU}},
+	6:  {{UnitsZ: 16, Kind: "Dense", Act: ReLU}, {UnitsZ: 16, Kind: "Dense", Act: ReLU}, {UnitsZ: 16, Kind: "Dense", Act: ReLU}, {UnitsZ: 16, Kind: "Dense", Act: ReLU}, {Fixed: 1, Kind: "Dense", Act: ReLU}},
+	7:  {{UnitsZ: 16, Kind: "Dense", Act: ReLU}, {UnitsZ: 16, Kind: "Dense", Act: ReLU}, {UnitsZ: 16, Kind: "Dense", Act: ReLU}, {UnitsZ: 16, Kind: "Dense", Act: ReLU}, {UnitsZ: 16, Kind: "Dense", Act: ReLU}, {Fixed: 1, Kind: "Dense", Act: ReLU}},
+	8:  {{UnitsZ: 1, Kind: "Dense", Act: ReLU}, {UnitsZ: 1, Kind: "Dense", Act: ReLU}, {UnitsZ: 1, Kind: "Dense", Act: ReLU}, {UnitsZ: 1, Kind: "Dense", Act: ReLU}, {UnitsZ: 1, Kind: "Dense", Act: ReLU}, {Fixed: 1, Kind: "Dense", Act: ReLU}},
+	9:  {{UnitsZ: 1, Kind: "Dense", Act: ReLU}, {UnitsZ: 1, Kind: "Dense", Act: ReLU}, {UnitsZ: 1, Kind: "Dense", Act: ReLU}, {UnitsZ: 1, Kind: "Dense", Act: ReLU}, {Fixed: 1, Kind: "Dense", Act: ReLU}},
+	10: {{UnitsZ: 1, Kind: "Dense", Act: ReLU}, {UnitsZ: 1, Kind: "Dense", Act: ReLU}, {Fixed: 1, Kind: "Dense", Act: Linear}},
+	11: {{UnitsZ: 1, Kind: "Dense", Act: ReLU}, {Fixed: 1, Kind: "Dense", Act: Linear}},
+	12: {{UnitsZ: 1, Kind: "LSTM", Act: ReLU}, {Fixed: 1, Kind: "Dense", Act: Linear}},
+	13: {{UnitsZ: 1, Kind: "GRU", Act: ReLU}, {Fixed: 1, Kind: "Dense", Act: Linear}},
+	14: {{UnitsZ: 1, Kind: "SimpleRNN", Act: ReLU}, {Fixed: 1, Kind: "Dense", Act: Linear}},
+	15: {{UnitsZ: 1, Kind: "GRU", Act: ReLU}, {UnitsZ: 1, Kind: "Dense", Act: ReLU}, {Fixed: 1, Kind: "Dense", Act: Linear}},
+	16: {{UnitsZ: 1, Kind: "GRU", Act: ReLU}, {UnitsZ: 1, Kind: "Dense", Act: ReLU}, {UnitsZ: 1, Kind: "Dense", Act: ReLU}, {Fixed: 1, Kind: "Dense", Act: Linear}},
+	17: {{UnitsZ: 1, Kind: "GRU", Act: ReLU}, {UnitsZ: 4, Kind: "Dense", Act: ReLU}, {UnitsZ: 1, Kind: "Dense", Act: ReLU}, {Fixed: 1, Kind: "Dense", Act: Linear}},
+	18: {{UnitsZ: 1, Kind: "SimpleRNN", Act: ReLU}, {UnitsZ: 4, Kind: "Dense", Act: ReLU}, {UnitsZ: 1, Kind: "Dense", Act: ReLU}, {Fixed: 1, Kind: "Dense", Act: Linear}},
+	19: {{UnitsZ: 1, Kind: "SimpleRNN", Act: ReLU}, {UnitsZ: 1, Kind: "Dense", Act: ReLU}, {UnitsZ: 1, Kind: "Dense", Act: ReLU}, {UnitsZ: 1, Kind: "Dense", Act: ReLU}, {Fixed: 1, Kind: "Dense", Act: Linear}},
+	20: {{UnitsZ: 1, Kind: "SimpleRNN", Act: ReLU}, {UnitsZ: 1, Kind: "Dense", Act: ReLU}, {Fixed: 1, Kind: "Dense", Act: Linear}},
+	21: {{UnitsZ: 1, Kind: "LSTM", Act: ReLU}, {UnitsZ: 1, Kind: "Dense", Act: ReLU}, {Fixed: 1, Kind: "Dense", Act: Linear}},
+	22: {{UnitsZ: 1, Kind: "LSTM", Act: ReLU}, {UnitsZ: 1, Kind: "Dense", Act: ReLU}, {UnitsZ: 1, Kind: "Dense", Act: ReLU}, {Fixed: 1, Kind: "Dense", Act: Linear}},
+	23: {{UnitsZ: 1, Kind: "LSTM", Act: ReLU}, {UnitsZ: 4, Kind: "Dense", Act: ReLU}, {UnitsZ: 1, Kind: "Dense", Act: ReLU}, {Fixed: 1, Kind: "Dense", Act: Linear}},
+}
+
+// ModelSpec returns the layer list for model number n (1..23).
+func ModelSpec(n int) ([]LayerSpec, error) {
+	if n < 1 || n > ModelCount {
+		return nil, fmt.Errorf("nn: model number %d out of range 1..%d", n, ModelCount)
+	}
+	return zooSpecs[n], nil
+}
+
+// BuildModel constructs Table I architecture number n (1..23) for z input
+// features. Model 1 is the architecture the paper deployed; model 18 is
+// the recurrent runner-up.
+func BuildModel(n, z int, rng *rand.Rand) (*Network, error) {
+	if n < 1 || n > ModelCount {
+		return nil, fmt.Errorf("nn: model number %d out of range 1..%d", n, ModelCount)
+	}
+	if z < 1 {
+		return nil, fmt.Errorf("nn: feature count %d must be positive", z)
+	}
+	net := NewNetwork(z)
+	for i, spec := range zooSpecs[n] {
+		units := spec.Fixed
+		if units == 0 {
+			units = spec.UnitsZ * z
+		}
+		switch spec.Kind {
+		case "Dense":
+			net.AddDense(units, spec.Act, rng)
+		case "LSTM":
+			if i != 0 {
+				return nil, fmt.Errorf("nn: model %d has a non-leading LSTM layer", n)
+			}
+			net.AddLSTM(units, spec.Act, rng)
+		case "GRU":
+			if i != 0 {
+				return nil, fmt.Errorf("nn: model %d has a non-leading GRU layer", n)
+			}
+			net.AddGRU(units, spec.Act, rng)
+		case "SimpleRNN":
+			if i != 0 {
+				return nil, fmt.Errorf("nn: model %d has a non-leading SimpleRNN layer", n)
+			}
+			net.AddSimpleRNN(units, spec.Act, rng)
+		default:
+			return nil, fmt.Errorf("nn: model %d has unknown layer kind %q", n, spec.Kind)
+		}
+	}
+	net.Desc = net.String()
+	return net, nil
+}
+
+// MustBuildModel is BuildModel for static model numbers; it panics on error.
+func MustBuildModel(n, z int, rng *rand.Rand) *Network {
+	net, err := BuildModel(n, z, rng)
+	if err != nil {
+		panic(err)
+	}
+	return net
+}

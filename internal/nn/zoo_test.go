@@ -1,0 +1,209 @@
+package nn
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"geomancy/internal/mat"
+)
+
+func TestBuildAllZooModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	for n := 1; n <= ModelCount; n++ {
+		net, err := BuildModel(n, 6, rng)
+		if err != nil {
+			t.Fatalf("model %d: %v", n, err)
+		}
+		if net.OutSize() != 1 {
+			t.Errorf("model %d output width = %d, want 1", n, net.OutSize())
+		}
+		if net.InSize != 6 {
+			t.Errorf("model %d InSize = %d, want 6", n, net.InSize)
+		}
+	}
+}
+
+func TestZooModelShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	const z = 6
+	m1 := MustBuildModel(1, z, rng)
+	if got, want := m1.String(), "96 (Dense) ReLU, 48 (Dense) ReLU, 24 (Dense) ReLU, 1 (Dense) Linear"; got != want {
+		t.Errorf("model 1 = %q, want %q", got, want)
+	}
+	if m1.IsRecurrent() {
+		t.Error("model 1 should be dense")
+	}
+
+	m12 := MustBuildModel(12, z, rng)
+	if !m12.IsRecurrent() {
+		t.Error("model 12 should be recurrent")
+	}
+	if got, want := m12.String(), "6 (LSTM) ReLU, 1 (Dense) Linear"; got != want {
+		t.Errorf("model 12 = %q, want %q", got, want)
+	}
+
+	m18 := MustBuildModel(18, z, rng)
+	if got, want := m18.String(), "6 (SimpleRNN) ReLU, 24 (Dense) ReLU, 6 (Dense) ReLU, 1 (Dense) Linear"; got != want {
+		t.Errorf("model 18 = %q, want %q", got, want)
+	}
+}
+
+func TestZooRecurrentKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	recurrent := map[int]string{
+		12: "LSTM", 13: "GRU", 14: "SimpleRNN",
+		15: "GRU", 16: "GRU", 17: "GRU",
+		18: "SimpleRNN", 19: "SimpleRNN", 20: "SimpleRNN",
+		21: "LSTM", 22: "LSTM", 23: "LSTM",
+	}
+	for n := 1; n <= ModelCount; n++ {
+		net := MustBuildModel(n, 4, rng)
+		kind, wantRec := recurrent[n]
+		if net.IsRecurrent() != wantRec {
+			t.Errorf("model %d recurrent = %v, want %v", n, net.IsRecurrent(), wantRec)
+			continue
+		}
+		if wantRec && !strings.Contains(net.String(), kind) {
+			t.Errorf("model %d = %q, want kind %s", n, net.String(), kind)
+		}
+	}
+}
+
+func TestBuildModelErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	if _, err := BuildModel(0, 6, rng); err == nil {
+		t.Error("model 0 should error")
+	}
+	if _, err := BuildModel(24, 6, rng); err == nil {
+		t.Error("model 24 should error")
+	}
+	if _, err := BuildModel(1, 0, rng); err == nil {
+		t.Error("z=0 should error")
+	}
+	if _, err := ModelSpec(0); err == nil {
+		t.Error("ModelSpec(0) should error")
+	}
+	if spec, err := ModelSpec(1); err != nil || len(spec) != 4 {
+		t.Errorf("ModelSpec(1) = %d layers, err %v; want 4 layers", len(spec), err)
+	}
+}
+
+func TestMustBuildModelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustBuildModel(99, 6, rand.New(rand.NewSource(44)))
+}
+
+// All 23 models must train at least one step and produce finite output —
+// the smoke test the paper's model search depends on.
+func TestAllZooModelsTrainable(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	ds := synthDataset(rng, 120, 6)
+	for n := 1; n <= ModelCount; n++ {
+		net := MustBuildModel(n, 6, rng)
+		net.Window = 4
+		if _, err := net.Fit(ds, FitConfig{Epochs: 2, BatchSize: 16, Optimizer: &SGD{LR: 0.01}, Rng: rng}); err != nil {
+			t.Errorf("model %d failed to train: %v", n, err)
+		}
+		m := net.Evaluate(ds)
+		if m.N == 0 {
+			t.Errorf("model %d produced no predictions", n)
+		}
+	}
+}
+
+func TestZooParamCountsScaleWithZ(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	small := MustBuildModel(1, 6, rng).ParamCount()
+	large := MustBuildModel(1, 13, rng).ParamCount()
+	if large <= small {
+		t.Errorf("model 1 params at Z=13 (%d) should exceed Z=6 (%d)", large, small)
+	}
+}
+
+func TestEvaluatePredictionsKnownValues(t *testing.T) {
+	// preds 10% below targets → MARE 10%, signed +10% (under-predicting).
+	preds := []float64{0.9, 1.8, 2.7}
+	targets := []float64{1, 2, 3}
+	m := EvaluatePredictions(preds, targets)
+	if m.Diverged {
+		t.Fatal("unexpected divergence")
+	}
+	if m.MARE < 9.99 || m.MARE > 10.01 {
+		t.Errorf("MARE = %v, want 10", m.MARE)
+	}
+	if m.SignedRelErr <= 0 {
+		t.Errorf("SignedRelErr = %v, want positive (under-prediction)", m.SignedRelErr)
+	}
+	if m.MAREStd > 0.01 {
+		t.Errorf("MAREStd = %v, want ~0", m.MAREStd)
+	}
+}
+
+func TestEvaluatePredictionsDivergence(t *testing.T) {
+	if m := EvaluatePredictions([]float64{1, 1, 1}, []float64{0.2, 0.9, 0.5}); !m.Diverged {
+		t.Error("constant predictions vs varying targets should report Diverged")
+	}
+	nan := []float64{0.5, 0.5}
+	nan[0] = nan[0] / 0 * 0 // NaN
+	if m := EvaluatePredictions(nan, []float64{1, 2}); !m.Diverged {
+		t.Error("NaN prediction should report Diverged")
+	}
+	if m := EvaluatePredictions(nil, nil); !m.Diverged {
+		t.Error("empty input should report Diverged")
+	}
+	if m := EvaluatePredictions([]float64{1}, []float64{1, 2}); !m.Diverged {
+		t.Error("length mismatch should report Diverged")
+	}
+}
+
+func TestAdjustPrediction(t *testing.T) {
+	under := Metrics{MARE: 10, SignedRelErr: 2}
+	if got := AdjustPrediction(1.0, under); got != 1.1 {
+		t.Errorf("under-prediction adjust = %v, want 1.1", got)
+	}
+	over := Metrics{MARE: 10, SignedRelErr: -2}
+	if got := AdjustPrediction(1.0, over); got != 0.9 {
+		t.Errorf("over-prediction adjust = %v, want 0.9", got)
+	}
+}
+
+func TestMetricsString(t *testing.T) {
+	m := Metrics{MARE: 18.88, MAREStd: 16.92}
+	if got := m.String(); got != "18.88 ± 16.92" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Metrics{Diverged: true}).String(); got != "Diverged" {
+		t.Errorf("diverged String = %q", got)
+	}
+}
+
+func TestDatasetSplitProportions(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	ds := synthDataset(rng, 1000, 3)
+	train, val, test := ds.Split()
+	if train.Len() != 600 || val.Len() != 200 || test.Len() != 200 {
+		t.Errorf("split = %d/%d/%d, want 600/200/200", train.Len(), val.Len(), test.Len())
+	}
+	// Chronological, disjoint: train ends where val starts.
+	if &train.X.Data[0] != &ds.X.Data[0] {
+		t.Error("train should alias the head of the dataset")
+	}
+	if val.Y[0] != ds.Y[600] || test.Y[0] != ds.Y[800] {
+		t.Error("val/test do not start at the right offsets")
+	}
+}
+
+func TestDatasetSliceBounds(t *testing.T) {
+	ds := NewDataset(mat.New(10, 2), make([]float64, 10))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ds.Slice(5, 20)
+}

@@ -1,0 +1,245 @@
+// Package policy implements the data-placement baselines Geomancy is
+// evaluated against (§VI): LRU, MRU (Chou & DeWitt), LFU (Gupta et al.),
+// random static, random dynamic, a fixed static layout, and all-on-one-
+// mount placement. Dynamic policies re-rank devices from the latest
+// telemetry in the ReplayDB on every invocation, exactly as the paper's
+// base cases "access the updated performance values from the ReplayDB".
+package policy
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// DeviceInfo is a policy's view of one storage device.
+type DeviceInfo struct {
+	Name string
+	// Throughput is the current total average throughput observed at the
+	// device (bytes/second), from ReplayDB telemetry.
+	Throughput float64
+	// Free is the remaining capacity in bytes.
+	Free int64
+}
+
+// FileInfo is a policy's view of one workload file.
+type FileInfo struct {
+	ID     int64
+	Size   int64
+	Device string
+	// LastAccess is the most recent access time (virtual seconds).
+	LastAccess float64
+	// Accesses counts observed accesses of the file.
+	Accesses int64
+}
+
+// State is the system snapshot a policy decides from.
+type State struct {
+	Devices []DeviceInfo
+	Files   []FileInfo
+}
+
+// Policy computes a desired data layout from a system snapshot.
+type Policy interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// Layout returns the desired file→device assignment. A nil map means
+	// "no change". Static policies return a layout once and nil afterward.
+	Layout(s State) map[int64]string
+}
+
+// devicesByThroughput returns device names ordered fastest first.
+func devicesByThroughput(devs []DeviceInfo) []string {
+	sorted := make([]DeviceInfo, len(devs))
+	copy(sorted, devs)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i].Throughput > sorted[j].Throughput
+	})
+	names := make([]string, len(sorted))
+	for i, d := range sorted {
+		names[i] = d.Name
+	}
+	return names
+}
+
+// assignGrouped implements the paper's shared heuristic skeleton: order
+// the files by some key, divide them evenly into as many groups as there
+// are devices, and place group i on the i-th fastest device. Files that
+// do not divide evenly land on the slowest device, as §VI specifies.
+func assignGrouped(files []FileInfo, devices []string) map[int64]string {
+	if len(devices) == 0 || len(files) == 0 {
+		return nil
+	}
+	perGroup := len(files) / len(devices)
+	layout := make(map[int64]string, len(files))
+	if perGroup == 0 {
+		// Fewer files than devices: fastest devices get one file each,
+		// there is no remainder group.
+		for i, f := range files {
+			layout[f.ID] = devices[i]
+		}
+		return layout
+	}
+	for i, f := range files {
+		g := i / perGroup
+		if g >= len(devices) {
+			g = len(devices) - 1 // remainder → slowest device
+		}
+		layout[f.ID] = devices[g]
+	}
+	return layout
+}
+
+// LRU places the most recently used files on the fastest devices and the
+// least recently used on the slowest (§VI).
+type LRU struct{}
+
+// Name implements Policy.
+func (LRU) Name() string { return "LRU" }
+
+// Layout implements Policy.
+func (LRU) Layout(s State) map[int64]string {
+	files := make([]FileInfo, len(s.Files))
+	copy(files, s.Files)
+	sort.SliceStable(files, func(i, j int) bool {
+		return files[i].LastAccess > files[j].LastAccess // most recent first
+	})
+	return assignGrouped(files, devicesByThroughput(s.Devices))
+}
+
+// MRU places the most recently used files on the slowest devices, which
+// benefits looping sequential scans (Chou & DeWitt; §VI).
+type MRU struct{}
+
+// Name implements Policy.
+func (MRU) Name() string { return "MRU" }
+
+// Layout implements Policy.
+func (MRU) Layout(s State) map[int64]string {
+	files := make([]FileInfo, len(s.Files))
+	copy(files, s.Files)
+	sort.SliceStable(files, func(i, j int) bool {
+		return files[i].LastAccess < files[j].LastAccess // least recent first
+	})
+	return assignGrouped(files, devicesByThroughput(s.Devices))
+}
+
+// LFU places heavily accessed files on fast devices and rarely accessed
+// files on slow ones (Gupta et al.; §VI).
+type LFU struct{}
+
+// Name implements Policy.
+func (LFU) Name() string { return "LFU" }
+
+// Layout implements Policy.
+func (LFU) Layout(s State) map[int64]string {
+	files := make([]FileInfo, len(s.Files))
+	copy(files, s.Files)
+	sort.SliceStable(files, func(i, j int) bool {
+		return files[i].Accesses > files[j].Accesses // most accessed first
+	})
+	return assignGrouped(files, devicesByThroughput(s.Devices))
+}
+
+// RandomStatic shuffles every file to a uniformly random device once and
+// never moves them again (§VI "random static").
+type RandomStatic struct {
+	Rng  *rand.Rand
+	done bool
+}
+
+// Name implements Policy.
+func (p *RandomStatic) Name() string { return "random static" }
+
+// Layout implements Policy.
+func (p *RandomStatic) Layout(s State) map[int64]string {
+	if p.done || len(s.Devices) == 0 {
+		return nil
+	}
+	p.done = true
+	return randomLayout(p.Rng, s)
+}
+
+// RandomDynamic reshuffles file locations on every invocation (§VI
+// "random dynamic").
+type RandomDynamic struct {
+	Rng *rand.Rand
+}
+
+// Name implements Policy.
+func (p *RandomDynamic) Name() string { return "random dynamic" }
+
+// Layout implements Policy.
+func (p *RandomDynamic) Layout(s State) map[int64]string {
+	if len(s.Devices) == 0 {
+		return nil
+	}
+	return randomLayout(p.Rng, s)
+}
+
+func randomLayout(rng *rand.Rand, s State) map[int64]string {
+	layout := make(map[int64]string, len(s.Files))
+	for _, f := range s.Files {
+		layout[f.ID] = s.Devices[rng.Intn(len(s.Devices))].Name
+	}
+	return layout
+}
+
+// Static applies one fixed layout once — the paper's "Geomancy static"
+// and manual-tuning base cases both use it, differing only in where the
+// layout came from.
+type Static struct {
+	// Desc names the layout's origin, e.g. "Geomancy static".
+	Desc   string
+	Target map[int64]string
+	done   bool
+}
+
+// Name implements Policy.
+func (p *Static) Name() string {
+	if p.Desc != "" {
+		return p.Desc
+	}
+	return "static"
+}
+
+// Layout implements Policy.
+func (p *Static) Layout(State) map[int64]string {
+	if p.done {
+		return nil
+	}
+	p.done = true
+	return p.Target
+}
+
+// SingleMount places every file on one device — experiment 2's
+// all-data-on-one-storage-point base case.
+type SingleMount struct {
+	Device string
+	done   bool
+}
+
+// Name implements Policy.
+func (p *SingleMount) Name() string { return fmt.Sprintf("all-on-%s", p.Device) }
+
+// Layout implements Policy.
+func (p *SingleMount) Layout(s State) map[int64]string {
+	if p.done {
+		return nil
+	}
+	p.done = true
+	layout := make(map[int64]string, len(s.Files))
+	for _, f := range s.Files {
+		layout[f.ID] = p.Device
+	}
+	return layout
+}
+
+// NoOp never moves anything; the "leave the spread layout alone" control.
+type NoOp struct{}
+
+// Name implements Policy.
+func (NoOp) Name() string { return "no-op" }
+
+// Layout implements Policy.
+func (NoOp) Layout(State) map[int64]string { return nil }

@@ -1,0 +1,154 @@
+package replaydb
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// Compact rewrites the WAL keeping only the most recent keepAccesses
+// access records (movement records are always kept: they are the layout
+// history). Memory state is trimmed to match. Compact is a no-op for
+// memory-only databases beyond trimming, and for keepAccesses ≥ Len().
+//
+// The rewrite is atomic: a temporary WAL is written, synced, and renamed
+// over the original, so a crash mid-compact preserves the old contents.
+func (db *DB) Compact(keepAccesses int) error {
+	if keepAccesses < 0 {
+		return fmt.Errorf("replaydb: negative keep count %d", keepAccesses)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return errClosed
+	}
+
+	// Trim memory state.
+	if keepAccesses < len(db.accesses) {
+		drop := len(db.accesses) - keepAccesses
+		db.accesses = append([]AccessRecord(nil), db.accesses[drop:]...)
+		db.byDevice = make(map[string][]int)
+		db.byFile = make(map[int64][]int)
+		for pos := range db.accesses {
+			rec := &db.accesses[pos]
+			db.byDevice[rec.Device] = append(db.byDevice[rec.Device], pos)
+			db.byFile[rec.FileID] = append(db.byFile[rec.FileID], pos)
+		}
+	}
+	if db.w == nil {
+		return nil
+	}
+
+	// Rewrite the WAL.
+	if err := db.w.Flush(); err != nil {
+		return fmt.Errorf("replaydb: compacting: %w", err)
+	}
+	tmpPath := db.opts.Path + ".compact"
+	tmp, err := os.Create(tmpPath)
+	if err != nil {
+		return fmt.Errorf("replaydb: compacting: %w", err)
+	}
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmpPath)
+	}
+	write := func(data []byte) error {
+		_, err := tmp.Write(data)
+		return err
+	}
+	if err := write(magic); err != nil {
+		cleanup()
+		return fmt.Errorf("replaydb: compacting: %w", err)
+	}
+	frame := func(typ recordType, payload []byte) []byte {
+		return appendFrame(nil, typ, payload)
+	}
+	for i := range db.accesses {
+		if err := write(frame(frameAccess, encodeAccess(&db.accesses[i]))); err != nil {
+			cleanup()
+			return fmt.Errorf("replaydb: compacting: %w", err)
+		}
+	}
+	for i := range db.movements {
+		if err := write(frame(frameMovement, encodeMovement(&db.movements[i]))); err != nil {
+			cleanup()
+			return fmt.Errorf("replaydb: compacting: %w", err)
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("replaydb: compacting: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		cleanup()
+		return fmt.Errorf("replaydb: compacting: %w", err)
+	}
+	if err := os.Rename(tmpPath, db.opts.Path); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("replaydb: compacting: %w", err)
+	}
+	// Reopen the handle on the new file.
+	old := db.file
+	f, err := os.OpenFile(db.opts.Path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("replaydb: reopening after compact: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return fmt.Errorf("replaydb: reopening after compact: %w", err)
+	}
+	db.file = f
+	db.w.Reset(f)
+	old.Close()
+	return nil
+}
+
+// ExportCSV writes every access record as CSV for external analysis.
+func (db *DB) ExportCSV(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	cw := csv.NewWriter(w)
+	header := []string{"seq", "time", "workload", "run", "file_id", "path", "device",
+		"rb", "wb", "ots", "otms", "cts", "ctms", "throughput"}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("replaydb: exporting CSV: %w", err)
+	}
+	for i := range db.accesses {
+		r := &db.accesses[i]
+		row := []string{
+			strconv.FormatUint(r.Seq, 10),
+			strconv.FormatFloat(r.Time, 'g', -1, 64),
+			strconv.FormatInt(int64(r.Workload), 10),
+			strconv.FormatInt(int64(r.Run), 10),
+			strconv.FormatInt(r.FileID, 10),
+			r.Path,
+			r.Device,
+			strconv.FormatInt(r.BytesRead, 10),
+			strconv.FormatInt(r.BytesWritten, 10),
+			strconv.FormatInt(r.OpenTS, 10),
+			strconv.FormatInt(r.OpenTMS, 10),
+			strconv.FormatInt(r.CloseTS, 10),
+			strconv.FormatInt(r.CloseTMS, 10),
+			strconv.FormatFloat(r.Throughput, 'g', -1, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("replaydb: exporting CSV: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// appendFrame appends one encoded WAL frame to dst.
+func appendFrame(dst []byte, typ recordType, payload []byte) []byte {
+	var hdr [5]byte
+	hdr[0] = byte(typ)
+	putLen(hdr[1:], uint32(len(payload)))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, payload...)
+	var crc [4]byte
+	putLen(crc[:], checksum(payload))
+	return append(dst, crc[:]...)
+}

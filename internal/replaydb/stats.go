@@ -1,0 +1,95 @@
+package replaydb
+
+import (
+	"math"
+	"sort"
+)
+
+// DeviceSummary aggregates one device's telemetry.
+type DeviceSummary struct {
+	Device   string
+	Accesses int
+	// MeanThroughput and StdThroughput are in bytes/second.
+	MeanThroughput, StdThroughput float64
+	// Bytes is the total volume observed (reads + writes).
+	Bytes int64
+	// FirstTime and LastTime bound the device's observation window.
+	FirstTime, LastTime float64
+}
+
+// Summary computes per-device aggregates over all stored accesses,
+// ordered by device name — the data behind Table IV's throughput column
+// and cmd/replaydb's stats view.
+func (db *DB) Summary() []DeviceSummary {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]DeviceSummary, 0, len(db.byDevice))
+	for dev, positions := range db.byDevice {
+		s := DeviceSummary{Device: dev, Accesses: len(positions)}
+		if len(positions) == 0 {
+			out = append(out, s)
+			continue
+		}
+		var sum, sq float64
+		s.FirstTime = math.Inf(1)
+		s.LastTime = math.Inf(-1)
+		for _, p := range positions {
+			rec := &db.accesses[p]
+			sum += rec.Throughput
+			s.Bytes += rec.BytesRead + rec.BytesWritten
+			if rec.Time < s.FirstTime {
+				s.FirstTime = rec.Time
+			}
+			if rec.Time > s.LastTime {
+				s.LastTime = rec.Time
+			}
+		}
+		mean := sum / float64(len(positions))
+		for _, p := range positions {
+			d := db.accesses[p].Throughput - mean
+			sq += d * d
+		}
+		s.MeanThroughput = mean
+		s.StdThroughput = math.Sqrt(sq / float64(len(positions)))
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Device < out[j].Device })
+	return out
+}
+
+// Filter selects access records matching every non-zero criterion.
+type Filter struct {
+	// Device restricts to one mount when non-empty.
+	Device string
+	// FileID restricts to one file when non-zero.
+	FileID int64
+	// Workload restricts to one workload id when non-zero.
+	Workload int32
+	// From/To bound Time as [From, To); both zero means unbounded.
+	From, To float64
+}
+
+// Query returns all access records matching f, in append order.
+func (db *DB) Query(f Filter) []AccessRecord {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	bounded := f.From != 0 || f.To != 0
+	var out []AccessRecord
+	for i := range db.accesses {
+		rec := &db.accesses[i]
+		if f.Device != "" && rec.Device != f.Device {
+			continue
+		}
+		if f.FileID != 0 && rec.FileID != f.FileID {
+			continue
+		}
+		if f.Workload != 0 && rec.Workload != f.Workload {
+			continue
+		}
+		if bounded && (rec.Time < f.From || rec.Time >= f.To) {
+			continue
+		}
+		out = append(out, *rec)
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package replaydb
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummary(t *testing.T) {
+	db := memDB(t)
+	// Two devices with known throughputs.
+	for i, tp := range []float64{100, 200, 300} {
+		db.AppendAccess(AccessRecord{Time: float64(i), Device: "a", FileID: 1, BytesRead: 10, Throughput: tp})
+	}
+	db.AppendAccess(AccessRecord{Time: 9, Device: "b", FileID: 2, BytesWritten: 5, Throughput: 50})
+
+	sums := db.Summary()
+	if len(sums) != 2 || sums[0].Device != "a" || sums[1].Device != "b" {
+		t.Fatalf("summaries = %+v", sums)
+	}
+	a := sums[0]
+	if a.Accesses != 3 || a.MeanThroughput != 200 {
+		t.Errorf("a = %+v", a)
+	}
+	wantStd := math.Sqrt((100.0*100 + 0 + 100*100) / 3)
+	if math.Abs(a.StdThroughput-wantStd) > 1e-9 {
+		t.Errorf("std = %v, want %v", a.StdThroughput, wantStd)
+	}
+	if a.Bytes != 30 || a.FirstTime != 0 || a.LastTime != 2 {
+		t.Errorf("a aggregates = %+v", a)
+	}
+	if sums[1].Bytes != 5 {
+		t.Errorf("b bytes = %d", sums[1].Bytes)
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	db := memDB(t)
+	if got := db.Summary(); len(got) != 0 {
+		t.Errorf("empty db summary = %+v", got)
+	}
+}
+
+func TestQueryFilters(t *testing.T) {
+	db := memDB(t)
+	for i := 0; i < 30; i++ {
+		db.AppendAccess(AccessRecord{
+			Time:     float64(i),
+			Device:   []string{"a", "b"}[i%2],
+			FileID:   int64(i%3 + 1),
+			Workload: int32(i%2 + 1),
+		})
+	}
+	if got := db.Query(Filter{Device: "a"}); len(got) != 15 {
+		t.Errorf("device filter = %d records, want 15", len(got))
+	}
+	if got := db.Query(Filter{FileID: 2}); len(got) != 10 {
+		t.Errorf("file filter = %d records, want 10", len(got))
+	}
+	if got := db.Query(Filter{Workload: 1}); len(got) != 15 {
+		t.Errorf("workload filter = %d records, want 15", len(got))
+	}
+	if got := db.Query(Filter{From: 10, To: 20}); len(got) != 10 {
+		t.Errorf("time filter = %d records, want 10", len(got))
+	}
+	got := db.Query(Filter{Device: "a", Workload: 1, From: 0, To: 10})
+	for _, r := range got {
+		if r.Device != "a" || r.Workload != 1 || r.Time >= 10 {
+			t.Fatalf("combined filter leaked %+v", r)
+		}
+	}
+	if got := db.Query(Filter{Device: "zzz"}); got != nil {
+		t.Error("no-match query should return nil")
+	}
+	if got := db.Query(Filter{}); len(got) != 30 {
+		t.Errorf("empty filter = %d records, want all 30", len(got))
+	}
+}

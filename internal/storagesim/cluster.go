@@ -1,0 +1,427 @@
+package storagesim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// FileState tracks one placed file.
+type FileState struct {
+	ID     int64
+	Path   string
+	Size   int64
+	Device string
+}
+
+// AccessResult is the telemetry of one simulated access — exactly what a
+// monitoring agent observes on the real system.
+type AccessResult struct {
+	FileID       int64
+	Path         string
+	Device       string
+	BytesRead    int64
+	BytesWritten int64
+	// Start and End are virtual-clock seconds.
+	Start, End float64
+	// OpenTS/OpenTMS and CloseTS/CloseTMS split the timestamps the way
+	// the paper's throughput formula consumes them.
+	OpenTS, OpenTMS   int64
+	CloseTS, CloseTMS int64
+	// Throughput is (rb+wb)/duration in bytes/second.
+	Throughput float64
+}
+
+// MoveResult describes a completed file movement.
+type MoveResult struct {
+	FileID   int64
+	From, To string
+	Bytes    int64
+	// Duration is the full transfer time in seconds.
+	Duration float64
+	// Start is the virtual time the move began.
+	Start float64
+}
+
+// Config tunes cluster-wide behaviour.
+type Config struct {
+	// Seed drives all stochastic processes.
+	Seed int64
+	// MoveBlocking is the fraction of a move's duration that stalls the
+	// workload clock. Geomancy transfers data "in the background" (§V-A)
+	// rate-limited to avoid bottlenecking the network, but the overhead is
+	// still partly visible; 0.25 models that residual interference.
+	MoveBlocking float64
+	// EpochOffset shifts device contention phases, letting tests start at
+	// different points of the diurnal wave.
+	EpochOffset float64
+}
+
+// Cluster is the simulated storage system: a set of devices, the files
+// placed on them, and a virtual clock. Cluster methods are safe for
+// concurrent use; the virtual clock serializes accesses the way a single
+// compute node's I/O path does.
+type Cluster struct {
+	mu      sync.Mutex
+	now     float64
+	rng     *rand.Rand
+	cfg     Config
+	devices map[string]*Device
+	order   []string // device names in profile order
+	files   map[int64]*FileState
+
+	totalAccesses int64
+}
+
+// NewCluster builds a cluster from profiles.
+func NewCluster(profiles []DeviceProfile, cfg Config) (*Cluster, error) {
+	if cfg.MoveBlocking == 0 {
+		cfg.MoveBlocking = 0.25
+	}
+	if cfg.MoveBlocking < 0 || cfg.MoveBlocking > 1 {
+		return nil, fmt.Errorf("storagesim: MoveBlocking %v outside [0,1]", cfg.MoveBlocking)
+	}
+	c := &Cluster{
+		now:     cfg.EpochOffset,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		cfg:     cfg,
+		devices: make(map[string]*Device),
+		files:   make(map[int64]*FileState),
+	}
+	for i, p := range profiles {
+		if p.Name == "" {
+			return nil, fmt.Errorf("storagesim: device %d has no name", i)
+		}
+		if _, dup := c.devices[p.Name]; dup {
+			return nil, fmt.Errorf("storagesim: duplicate device %q", p.Name)
+		}
+		if p.ReadBW <= 0 || p.WriteBW <= 0 {
+			return nil, fmt.Errorf("storagesim: device %q has non-positive bandwidth", p.Name)
+		}
+		c.devices[p.Name] = newDevice(p, cfg.Seed+int64(i)*7919)
+		c.order = append(c.order, p.Name)
+	}
+	if len(c.devices) == 0 {
+		return nil, fmt.Errorf("storagesim: cluster needs at least one device")
+	}
+	return c, nil
+}
+
+// NewBluesky returns the paper's six-mount system.
+func NewBluesky(seed int64) *Cluster {
+	c, err := NewCluster(BlueskyProfiles(), Config{Seed: seed})
+	if err != nil {
+		panic(err) // static profiles cannot fail validation
+	}
+	return c
+}
+
+// Now returns the virtual clock in seconds.
+func (c *Cluster) Now() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// AdvanceTo moves the virtual clock forward to t (no-op if t is earlier).
+func (c *Cluster) AdvanceTo(t float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// DeviceNames returns the device names in profile order.
+func (c *Cluster) DeviceNames() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.order))
+	copy(out, c.order)
+	return out
+}
+
+// Device returns the named device, or nil.
+func (c *Cluster) Device(name string) *Device {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.devices[name]
+}
+
+// SetAvailable flips a device's availability (mount loss / recovery).
+func (c *Cluster) SetAvailable(name string, avail bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.devices[name]
+	if !ok {
+		return fmt.Errorf("storagesim: unknown device %q", name)
+	}
+	d.Available = avail
+	return nil
+}
+
+// SetReadOnly flips a device's write permission.
+func (c *Cluster) SetReadOnly(name string, ro bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.devices[name]
+	if !ok {
+		return fmt.Errorf("storagesim: unknown device %q", name)
+	}
+	d.ReadOnly = ro
+	return nil
+}
+
+// SetExternalScale multiplies a device's external contention; scenario
+// hooks use it to create sudden environment changes (Fig. 6).
+func (c *Cluster) SetExternalScale(name string, scale float64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.devices[name]
+	if !ok {
+		return fmt.Errorf("storagesim: unknown device %q", name)
+	}
+	d.externalScale = scale
+	return nil
+}
+
+// PlaceFile creates (or re-homes without transfer cost) a file on device.
+// It fails if the device is unknown, unavailable, read-only, or full.
+func (c *Cluster) PlaceFile(id int64, path string, size int64, device string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.devices[device]
+	if !ok {
+		return fmt.Errorf("storagesim: unknown device %q", device)
+	}
+	if !d.Available {
+		return fmt.Errorf("storagesim: device %q unavailable", device)
+	}
+	if d.ReadOnly {
+		return fmt.Errorf("storagesim: device %q is read-only", device)
+	}
+	if size < 0 {
+		return fmt.Errorf("storagesim: negative file size %d", size)
+	}
+	if f, exists := c.files[id]; exists {
+		if old := c.devices[f.Device]; old != nil {
+			old.used -= f.Size
+		}
+	}
+	if d.Free() < size {
+		return fmt.Errorf("storagesim: device %q full (%d free, need %d)", device, d.Free(), size)
+	}
+	c.files[id] = &FileState{ID: id, Path: path, Size: size, Device: device}
+	d.used += size
+	return nil
+}
+
+// File returns the state of a file, or an error if unknown.
+func (c *Cluster) File(id int64) (FileState, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.files[id]
+	if !ok {
+		return FileState{}, fmt.Errorf("storagesim: unknown file %d", id)
+	}
+	return *f, nil
+}
+
+// Files returns a snapshot of all file states sorted by ID.
+func (c *Cluster) Files() []FileState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]FileState, 0, len(c.files))
+	for _, f := range c.files {
+		out = append(out, *f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Layout returns the current file→device assignment.
+func (c *Cluster) Layout() map[int64]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[int64]string, len(c.files))
+	for id, f := range c.files {
+		out[id] = f.Device
+	}
+	return out
+}
+
+// noise draws the bounded multiplicative noise factor for a device.
+func (c *Cluster) noise(d *Device) float64 {
+	n := 1 + d.Profile.Noise*c.rng.NormFloat64()
+	if n < 0.15 {
+		n = 0.15
+	}
+	if n > 3 {
+		n = 3
+	}
+	return n
+}
+
+// Access simulates reading/writing the file at its current location,
+// advancing the virtual clock by the access duration and returning the
+// telemetry a monitoring agent would capture.
+func (c *Cluster) Access(fileID, readBytes, writeBytes int64) (AccessResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if readBytes < 0 || writeBytes < 0 {
+		return AccessResult{}, fmt.Errorf("storagesim: negative access size")
+	}
+	f, ok := c.files[fileID]
+	if !ok {
+		return AccessResult{}, fmt.Errorf("storagesim: unknown file %d", fileID)
+	}
+	d := c.devices[f.Device]
+	if !d.Available {
+		return AccessResult{}, fmt.Errorf("storagesim: device %q unavailable", f.Device)
+	}
+
+	start := c.now
+	dur := d.Profile.LatencyFloor
+	if readBytes > 0 {
+		dur += float64(readBytes) / d.effectiveBW(start, d.Profile.ReadBW)
+	}
+	if writeBytes > 0 {
+		dur += float64(writeBytes) / d.effectiveBW(start, d.Profile.WriteBW)
+	}
+	dur *= c.noise(d)
+	if dur <= 0 {
+		dur = 1e-6
+	}
+	end := start + dur
+	c.now = end
+	d.addLoad(end, dur)
+	d.accessCount++
+	d.bytesServed += readBytes + writeBytes
+	d.busySeconds += dur
+	c.totalAccesses++
+
+	res := AccessResult{
+		FileID:       fileID,
+		Path:         f.Path,
+		Device:       f.Device,
+		BytesRead:    readBytes,
+		BytesWritten: writeBytes,
+		Start:        start,
+		End:          end,
+		Throughput:   float64(readBytes+writeBytes) / dur,
+	}
+	res.OpenTS, res.OpenTMS = splitTS(start)
+	res.CloseTS, res.CloseTMS = splitTS(end)
+	return res, nil
+}
+
+// Move transfers a file to device dst, charging the transfer cost: the
+// full duration loads both devices, and MoveBlocking of it stalls the
+// workload clock. Moving a file onto its current device is a no-op.
+func (c *Cluster) Move(fileID int64, dst string) (MoveResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.files[fileID]
+	if !ok {
+		return MoveResult{}, fmt.Errorf("storagesim: unknown file %d", fileID)
+	}
+	if f.Device == dst {
+		return MoveResult{FileID: fileID, From: dst, To: dst, Start: c.now}, nil
+	}
+	to, ok := c.devices[dst]
+	if !ok {
+		return MoveResult{}, fmt.Errorf("storagesim: unknown device %q", dst)
+	}
+	if !to.Available {
+		return MoveResult{}, fmt.Errorf("storagesim: device %q unavailable", dst)
+	}
+	if to.ReadOnly {
+		return MoveResult{}, fmt.Errorf("storagesim: device %q is read-only", dst)
+	}
+	if to.Free() < f.Size {
+		return MoveResult{}, fmt.Errorf("storagesim: device %q full (%d free, need %d)", dst, to.Free(), f.Size)
+	}
+	from := c.devices[f.Device]
+
+	start := c.now
+	readBW := from.effectiveBW(start, from.Profile.ReadBW)
+	writeBW := to.effectiveBW(start, to.Profile.WriteBW)
+	bw := math.Min(readBW, writeBW)
+	dur := from.Profile.LatencyFloor + to.Profile.LatencyFloor + float64(f.Size)/bw
+	dur *= c.noise(to)
+
+	from.used -= f.Size
+	to.used += f.Size
+	prev := f.Device
+	f.Device = dst
+
+	from.addLoad(start, dur)
+	to.addLoad(start, dur)
+	c.now += dur * c.cfg.MoveBlocking
+
+	return MoveResult{FileID: fileID, From: prev, To: dst, Bytes: f.Size, Duration: dur, Start: start}, nil
+}
+
+// Stats summarizes one device's accounting.
+type Stats struct {
+	Name        string
+	Accesses    int64
+	BytesServed int64
+	BusySeconds float64
+	Used        int64
+	Capacity    int64
+}
+
+// DeviceStats returns per-device accounting in profile order.
+func (c *Cluster) DeviceStats() []Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Stats, 0, len(c.order))
+	for _, name := range c.order {
+		d := c.devices[name]
+		out = append(out, Stats{
+			Name:        name,
+			Accesses:    d.accessCount,
+			BytesServed: d.bytesServed,
+			BusySeconds: d.busySeconds,
+			Used:        d.used,
+			Capacity:    d.Profile.Capacity,
+		})
+	}
+	return out
+}
+
+// TotalAccesses returns the number of accesses served by the cluster.
+func (c *Cluster) TotalAccesses() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.totalAccesses
+}
+
+// CurrentBandwidth reports the effective single-stream read bandwidth of a
+// device right now; instrumentation for examples and debugging.
+func (c *Cluster) CurrentBandwidth(name string) (float64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.devices[name]
+	if !ok {
+		return 0, fmt.Errorf("storagesim: unknown device %q", name)
+	}
+	return d.effectiveBW(c.now, d.Profile.ReadBW), nil
+}
+
+// splitTS splits seconds into whole seconds and a millisecond part,
+// matching the paper's (ts, tms) telemetry convention.
+func splitTS(t float64) (sec, ms int64) {
+	sec = int64(t)
+	ms = int64((t - float64(sec)) * 1000)
+	if ms > 999 {
+		ms = 999
+	}
+	if ms < 0 {
+		ms = 0
+	}
+	return sec, ms
+}

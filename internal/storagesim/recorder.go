@@ -1,0 +1,102 @@
+package storagesim
+
+import (
+	"sync"
+
+	"geomancy/internal/trace"
+)
+
+// TraceRecorder converts simulator telemetry into EOS-style access-log
+// records, bridging live runs to the offline trace tooling (tracegen's
+// CSV format, the Fig. 4 correlation analysis, external analyzers). One
+// recorder serves a whole cluster; feed it from a workload observer.
+type TraceRecorder struct {
+	mu   sync.Mutex
+	recs []trace.EOSRecord
+	// deviceIndex assigns stable fsid values.
+	deviceIndex map[string]int64
+}
+
+// NewTraceRecorder returns a recorder with fsids assigned in device order.
+func NewTraceRecorder(devices []string) *TraceRecorder {
+	idx := make(map[string]int64, len(devices))
+	for i, d := range devices {
+		idx[d] = int64(i + 1)
+	}
+	return &TraceRecorder{deviceIndex: idx}
+}
+
+// Observe converts one access result; plug it into a workload observer.
+func (r *TraceRecorder) Observe(res AccessResult, workloadID, run int) {
+	dur := res.End - res.Start
+	rec := trace.EOSRecord{
+		RUID: int64(workloadID),
+		TD:   int64(run),
+		FID:  res.FileID,
+		FSID: r.fsid(res.Device),
+
+		OTS:  res.OpenTS,
+		OTMS: res.OpenTMS,
+		CTS:  res.CloseTS,
+		CTMS: res.CloseTMS,
+
+		RB: res.BytesRead,
+		WB: res.BytesWritten,
+
+		NRC: boolToCount(res.BytesRead > 0),
+		NWC: boolToCount(res.BytesWritten > 0),
+
+		RT: dur * readShare(res) * 1000,
+		WT: dur * (1 - readShare(res)) * 1000,
+
+		OSize: res.BytesRead + res.BytesWritten,
+		CSize: res.BytesRead + res.BytesWritten,
+
+		Path: res.Path,
+	}
+	r.mu.Lock()
+	r.recs = append(r.recs, rec)
+	r.mu.Unlock()
+}
+
+func (r *TraceRecorder) fsid(device string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id, ok := r.deviceIndex[device]; ok {
+		return id
+	}
+	id := int64(len(r.deviceIndex) + 1)
+	r.deviceIndex[device] = id
+	return id
+}
+
+// Records returns a copy of everything observed so far.
+func (r *TraceRecorder) Records() []trace.EOSRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]trace.EOSRecord, len(r.recs))
+	copy(out, r.recs)
+	return out
+}
+
+// Len returns the number of recorded accesses.
+func (r *TraceRecorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.recs)
+}
+
+func readShare(res AccessResult) float64 {
+	total := res.BytesRead + res.BytesWritten
+	if total == 0 {
+		return 0
+	}
+	return float64(res.BytesRead) / float64(total)
+}
+
+func boolToCount(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

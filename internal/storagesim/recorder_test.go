@@ -1,0 +1,67 @@
+package storagesim
+
+import (
+	"testing"
+)
+
+func TestTraceRecorder(t *testing.T) {
+	c := NewBluesky(31)
+	c.PlaceFile(1, "/belle2/a.root", 100e6, "file0")
+	rec := NewTraceRecorder(c.DeviceNames())
+
+	res, err := c.Access(1, 60e6, 10e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Observe(res, 2, 7)
+	if rec.Len() != 1 {
+		t.Fatalf("Len = %d", rec.Len())
+	}
+	out := rec.Records()[0]
+	if out.FID != 1 || out.RB != 60e6 || out.WB != 10e6 {
+		t.Errorf("record = %+v", out)
+	}
+	if out.FSID != 1 {
+		t.Errorf("fsid = %d, want 1 (file0 is first device)", out.FSID)
+	}
+	if out.RUID != 2 || out.TD != 7 {
+		t.Errorf("workload/run tags = %d/%d", out.RUID, out.TD)
+	}
+	if err := out.Validate(); err != nil {
+		t.Errorf("recorded trace invalid: %v", err)
+	}
+	// Throughput from the trace form matches the sim within ms rounding.
+	if tp := out.Throughput(); tp <= 0 {
+		t.Errorf("trace throughput = %v", tp)
+	}
+	if out.NRC != 1 || out.NWC != 1 {
+		t.Errorf("call counts = %d/%d", out.NRC, out.NWC)
+	}
+}
+
+func TestTraceRecorderUnknownDevice(t *testing.T) {
+	rec := NewTraceRecorder([]string{"a"})
+	res := AccessResult{FileID: 1, Device: "mystery", BytesRead: 10, OpenTS: 1, CloseTS: 2}
+	rec.Observe(res, 1, 0)
+	if got := rec.Records()[0].FSID; got != 2 {
+		t.Errorf("new device fsid = %d, want 2", got)
+	}
+	// Stable on repeat.
+	rec.Observe(res, 1, 0)
+	if got := rec.Records()[1].FSID; got != 2 {
+		t.Errorf("repeat fsid = %d, want 2", got)
+	}
+}
+
+func TestTraceRecorderReadShare(t *testing.T) {
+	rec := NewTraceRecorder(nil)
+	res := AccessResult{FileID: 1, Device: "d", BytesRead: 0, BytesWritten: 0, OpenTS: 0, CloseTS: 1}
+	rec.Observe(res, 1, 0)
+	out := rec.Records()[0]
+	if out.RT != 0 {
+		t.Errorf("zero-byte access RT = %v", out.RT)
+	}
+	if out.NRC != 0 || out.NWC != 0 {
+		t.Errorf("zero-byte call counts = %d/%d", out.NRC, out.NWC)
+	}
+}

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// BelleFileCount is the number of ROOT files in the BELLE II Monte-Carlo
+// workload (§IV).
+const BelleFileCount = 24
+
+// BelleMinFileSize and BelleMaxFileSize bound the ROOT file sizes:
+// "24 ROOT files of size from 583 KB to 1.1 GB" (§IV).
+const (
+	BelleMinFileSize = 583 * 1024
+	BelleMaxFileSize = 1100 * 1024 * 1024
+)
+
+// BelleFile describes one ROOT file of the workload.
+type BelleFile struct {
+	// ID is the stable file identifier (1-based, mirroring EOS fid).
+	ID int64
+	// Path is the logical file path.
+	Path string
+	// Size is the file size in bytes.
+	Size int64
+}
+
+// BelleFileSet generates the 24-file BELLE II working set with log-uniform
+// sizes across the paper's range, deterministically from seed.
+func BelleFileSet(seed int64) []BelleFile {
+	rng := rand.New(rand.NewSource(seed))
+	files := make([]BelleFile, BelleFileCount)
+	logMin := math.Log(float64(BelleMinFileSize))
+	logMax := math.Log(float64(BelleMaxFileSize))
+	for i := range files {
+		var size int64
+		switch i {
+		case 0:
+			size = BelleMinFileSize // pin the extremes the paper quotes
+		case 1:
+			size = BelleMaxFileSize
+		default:
+			size = int64(math.Exp(logMin + rng.Float64()*(logMax-logMin)))
+		}
+		files[i] = BelleFile{
+			ID:   int64(i + 1),
+			Path: fmt.Sprintf("/belle2/mc/run%02d/sim%02d.root", i/6, i),
+			Size: size,
+		}
+	}
+	return files
+}
+
+// BelleAccess is one step of the workload: op applied to a file.
+type BelleAccess struct {
+	// FileIndex indexes into the BelleFileSet slice.
+	FileIndex int
+	// Write marks the occasional output write; the workload is read-heavy.
+	Write bool
+	// Fraction is the portion of the file touched by this access.
+	Fraction float64
+}
+
+// BelleRun produces the access sequence of one workload run: the suite
+// walks its files and reads each 10–20 times in succession (§IV), with a
+// small fraction of writes for simulation output.
+func BelleRun(rng *rand.Rand, fileCount int) []BelleAccess {
+	if fileCount <= 0 {
+		fileCount = BelleFileCount
+	}
+	var seq []BelleAccess
+	order := rng.Perm(fileCount)
+	for _, fi := range order {
+		repeats := 10 + rng.Intn(11) // 10..20 successive accesses
+		for r := 0; r < repeats; r++ {
+			a := BelleAccess{
+				FileIndex: fi,
+				Fraction:  0.3 + 0.7*rng.Float64(),
+			}
+			// ~5% of accesses write back simulation output.
+			if rng.Float64() < 0.05 {
+				a.Write = true
+				a.Fraction *= 0.25
+			}
+			seq = append(seq, a)
+		}
+	}
+	return seq
+}

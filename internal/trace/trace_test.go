@@ -1,0 +1,275 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestThroughputFormula(t *testing.T) {
+	r := EOSRecord{RB: 1000, WB: 500, OTS: 100, OTMS: 0, CTS: 101, CTMS: 500}
+	// 1500 bytes over 1.5 s = 1000 B/s.
+	if got := r.Throughput(); got != 1000 {
+		t.Errorf("Throughput = %v, want 1000", got)
+	}
+	if got := r.Duration(); got != 1.5 {
+		t.Errorf("Duration = %v, want 1.5", got)
+	}
+}
+
+func TestThroughputZeroDuration(t *testing.T) {
+	r := EOSRecord{RB: 1000, OTS: 100, CTS: 100}
+	if got := r.Throughput(); got != 0 {
+		t.Errorf("Throughput with zero duration = %v, want 0", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := EOSRecord{RB: 1, OTS: 10, CTS: 11}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid record rejected: %v", err)
+	}
+	cases := []EOSRecord{
+		{RB: -1},
+		{OTMS: 1000},
+		{CTMS: -5},
+		{OTS: 20, CTS: 10},
+		{RT: -1},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid record accepted", i)
+		}
+	}
+}
+
+func TestFieldsMatchesFieldNames(t *testing.T) {
+	r := EOSRecord{}
+	fields := r.Fields()
+	if len(fields) != len(FieldNames) {
+		t.Fatalf("Fields returned %d values, FieldNames has %d", len(fields), len(FieldNames))
+	}
+	if len(FieldNames)+1 != NumFields {
+		t.Errorf("numeric fields (%d) + path should equal NumFields (%d)", len(FieldNames), NumFields)
+	}
+}
+
+func TestChosenFeatures(t *testing.T) {
+	r := EOSRecord{RB: 10, WB: 20, OTS: 100, OTMS: 500, CTS: 101, CTMS: 250, FID: 7, FSID: 3}
+	got := r.ChosenFeatures()
+	want := []float64{10, 20, 100.5, 101.25, 7, 3}
+	if len(got) != len(ChosenFeatureNames) {
+		t.Fatalf("ChosenFeatures returned %d values, names list has %d", len(got), len(ChosenFeatureNames))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("feature %s = %v, want %v", ChosenFeatureNames[i], got[i], want[i])
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	cfg := GeneratorConfig{Seed: 42, Records: 100}
+	a := NewGenerator(cfg).Generate(100)
+	b := NewGenerator(cfg).Generate(100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs between equal-seed generators", i)
+		}
+	}
+	c := NewGenerator(GeneratorConfig{Seed: 43, Records: 100}).Generate(100)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestGeneratorRecordsValid(t *testing.T) {
+	recs := NewGenerator(GeneratorConfig{Seed: 7}).Generate(2000)
+	var lastOpen int64
+	for i := range recs {
+		if err := recs[i].Validate(); err != nil {
+			t.Fatalf("record %d invalid: %v", i, err)
+		}
+		if recs[i].OTS < lastOpen {
+			t.Fatalf("record %d opens before record %d (time went backwards)", i, i-1)
+		}
+		lastOpen = recs[i].OTS
+		if recs[i].Throughput() <= 0 {
+			t.Fatalf("record %d has non-positive throughput", i)
+		}
+		if !strings.HasPrefix(recs[i].Path, "/eos/") {
+			t.Fatalf("record %d has unexpected path %q", i, recs[i].Path)
+		}
+	}
+}
+
+func TestGeneratorDefaultsApplied(t *testing.T) {
+	g := NewGenerator(GeneratorConfig{})
+	def := DefaultGeneratorConfig()
+	if g.cfg.Devices != def.Devices || g.cfg.Files != def.Files {
+		t.Errorf("defaults not applied: %+v", g.cfg)
+	}
+	if n := len(g.Generate(0)); n != def.Records {
+		t.Errorf("Generate(0) produced %d records, want default %d", n, def.Records)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	recs := NewGenerator(GeneratorConfig{Seed: 9}).Generate(50)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(recs) {
+		t.Fatalf("round trip lost records: %d -> %d", len(recs), len(back))
+	}
+	for i := range recs {
+		if recs[i] != back[i] {
+			t.Fatalf("record %d changed in round trip:\n  out: %+v\n  in:  %+v", i, recs[i], back[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b,c\n1,2,3\n")); err == nil {
+		t.Error("wrong column count should error")
+	}
+	// Valid header, bad value.
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	bad := buf.String() + strings.Repeat("x,", NumFields-1) + "p\n"
+	if _, err := ReadCSV(strings.NewReader(bad)); err == nil {
+		t.Error("non-numeric value should error")
+	}
+}
+
+// Property: CSV round trip preserves throughput for arbitrary valid records.
+func TestCSVRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		recs := NewGenerator(GeneratorConfig{Seed: rng.Int63(), Records: 5}).Generate(5)
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, recs); err != nil {
+			return false
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil || len(back) != len(recs) {
+			return false
+		}
+		for i := range recs {
+			if recs[i].Throughput() != back[i].Throughput() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBelleFileSet(t *testing.T) {
+	files := BelleFileSet(1)
+	if len(files) != BelleFileCount {
+		t.Fatalf("got %d files, want %d", len(files), BelleFileCount)
+	}
+	var sawMin, sawMax bool
+	for i, f := range files {
+		if f.Size < BelleMinFileSize || f.Size > BelleMaxFileSize {
+			t.Errorf("file %d size %d outside paper range", i, f.Size)
+		}
+		if f.ID != int64(i+1) {
+			t.Errorf("file %d has ID %d, want %d", i, f.ID, i+1)
+		}
+		if f.Size == BelleMinFileSize {
+			sawMin = true
+		}
+		if f.Size == BelleMaxFileSize {
+			sawMax = true
+		}
+	}
+	if !sawMin || !sawMax {
+		t.Error("file set should pin the paper's 583 KB and 1.1 GB extremes")
+	}
+	// Deterministic.
+	again := BelleFileSet(1)
+	for i := range files {
+		if files[i] != again[i] {
+			t.Fatal("BelleFileSet not deterministic")
+		}
+	}
+}
+
+func TestBelleRunAccessPattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	seq := BelleRun(rng, BelleFileCount)
+
+	// Every file appears, in runs of 10..20 successive accesses.
+	seen := make(map[int]bool)
+	runLen := 1
+	checkRun := func(l int) {
+		if l < 10 || l > 20 {
+			t.Fatalf("run length %d outside 10..20", l)
+		}
+	}
+	for i := 1; i < len(seq); i++ {
+		if seq[i].FileIndex == seq[i-1].FileIndex {
+			runLen++
+		} else {
+			checkRun(runLen)
+			runLen = 1
+		}
+		seen[seq[i].FileIndex] = true
+	}
+	checkRun(runLen)
+	seen[seq[0].FileIndex] = true
+	if len(seen) != BelleFileCount {
+		t.Errorf("run touched %d files, want %d", len(seen), BelleFileCount)
+	}
+
+	// Read-heavy: writes well under 20%.
+	var writes int
+	for _, a := range seq {
+		if a.Write {
+			writes++
+		}
+		if a.Fraction <= 0 || a.Fraction > 1 {
+			t.Fatalf("fraction %v out of (0,1]", a.Fraction)
+		}
+	}
+	if frac := float64(writes) / float64(len(seq)); frac > 0.2 {
+		t.Errorf("write fraction %v too high for a read-heavy workload", frac)
+	}
+}
+
+func TestBelleRunDefaultCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	seq := BelleRun(rng, 0)
+	max := 0
+	for _, a := range seq {
+		if a.FileIndex > max {
+			max = a.FileIndex
+		}
+	}
+	if max != BelleFileCount-1 {
+		t.Errorf("default run max file index = %d, want %d", max, BelleFileCount-1)
+	}
+}
