@@ -9,7 +9,8 @@
 //
 //	geomancy [-listen 127.0.0.1:0] [-runs 25] [-seed 1] [-epochs 40]
 //	         [-cooldown 5] [-db replay.wal] [-model 1] [-epsilon 0.1]
-//	         [-target throughput|latency] [-v]
+//	         [-target throughput|latency] [-metrics-addr 127.0.0.1:9090]
+//	         [-metrics-json metrics.json] [-v]
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"geomancy/internal/core"
 	"geomancy/internal/replaydb"
 	"geomancy/internal/storagesim"
+	"geomancy/internal/telemetry"
 	"geomancy/internal/trace"
 	"geomancy/internal/workload"
 )
@@ -39,6 +41,8 @@ func main() {
 	model := flag.Int("model", 1, "Table I architecture number (1-23)")
 	epsilon := flag.Float64("epsilon", 0.1, "exploration rate")
 	target := flag.String("target", "throughput", "modeling target: throughput or latency")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics on this address (empty = disabled)")
+	metricsJSON := flag.String("metrics-json", "", "write a JSON metrics snapshot to this file on exit")
 	flag.Parse()
 
 	cfg := core.Config{
@@ -50,13 +54,29 @@ func main() {
 		WindowX:      *windowX,
 		Seed:         *seed,
 	}
-	if err := run(*listen, *runs, *seed, cfg, *dbPath, *verbose); err != nil {
+	if err := run(*listen, *runs, *seed, cfg, *dbPath, *verbose, *metricsAddr, *metricsJSON); err != nil {
 		log.SetFlags(0)
 		log.Fatalf("geomancy: %v", err)
 	}
 }
 
-func run(listen string, runs int, seed int64, cfg core.Config, dbPath string, verbose bool) error {
+func run(listen string, runs int, seed int64, cfg core.Config, dbPath string, verbose bool, metricsAddr, metricsJSON string) error {
+	// Observability: one registry shared by every layer of the deployment.
+	reg := telemetry.NewRegistry()
+	telemetry.RegisterHelp(reg)
+	if metricsAddr != "" {
+		srv, err := reg.Serve(metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("metrics on http://%s/metrics\n", srv.Addr())
+	}
+	// Pre-register the decision counters so they export at zero before the
+	// first layout push.
+	movesCtr := reg.Counter(telemetry.MetricMovementsTotal)
+	movedBytes := reg.Counter(telemetry.MetricMovedBytesTotal)
+
 	// Target system.
 	cluster := storagesim.NewBluesky(seed)
 	files := trace.BelleFileSet(seed)
@@ -71,7 +91,10 @@ func run(listen string, runs int, seed int64, cfg core.Config, dbPath string, ve
 		return err
 	}
 	defer db.Close()
+	db.SetMetrics(reg)
 	daemon := agents.NewDaemon(db)
+	daemon.SetMetrics(reg)
+	daemon.Verbose = verbose
 	addr, err := daemon.Start(listen)
 	if err != nil {
 		return err
@@ -108,8 +131,10 @@ func run(listen string, runs int, seed int64, cfg core.Config, dbPath string, ve
 	if err != nil {
 		return err
 	}
+	engine.SetMetrics(reg)
 	checker := agents.NewActionChecker(rand.New(rand.NewSource(seed+17)), cluster.DeviceNames())
 
+	accessObs := workload.MetricsObserver(reg)
 	var tpSum float64
 	var tpN int64
 	for r := 0; r < runs; r++ {
@@ -117,6 +142,7 @@ func run(listen string, runs int, seed int64, cfg core.Config, dbPath string, ve
 			if err := monitors.Observe(res, wl, run); err != nil {
 				fmt.Fprintf(os.Stderr, "monitor: %v\n", err)
 			}
+			accessObs(res, wl, run)
 			tpSum += res.Throughput
 			tpN++
 		})
@@ -126,7 +152,9 @@ func run(listen string, runs int, seed int64, cfg core.Config, dbPath string, ve
 		if err := monitors.Flush(); err != nil {
 			return err
 		}
-		fmt.Printf("run %2d: %4d accesses, mean %.2f GB/s\n", r, stats.Accesses, stats.MeanThroughput/1e9)
+		fmt.Printf("run %2d: %4d accesses, mean %.2f GB/s, p50/p95/p99 latency %.1f/%.1f/%.1f ms\n",
+			r, stats.Accesses, stats.MeanThroughput/1e9,
+			stats.LatencyP50*1e3, stats.LatencyP95*1e3, stats.LatencyP99*1e3)
 
 		if !engine.ShouldAct(stats.Run) {
 			continue
@@ -154,6 +182,8 @@ func run(listen string, runs int, seed int64, cfg core.Config, dbPath string, ve
 		after := cluster.Layout()
 		for _, f := range files {
 			if before[f.ID] != after[f.ID] {
+				movesCtr.Inc()
+				movedBytes.Add(uint64(f.Size))
 				if _, err := db.AppendMovement(replaydb.MovementRecord{
 					Time:        cluster.Now(),
 					FileID:      f.ID,
@@ -180,6 +210,20 @@ func run(listen string, runs int, seed int64, cfg core.Config, dbPath string, ve
 	if tpN > 0 {
 		fmt.Printf("overall mean throughput: %.2f GB/s over %d accesses (%d telemetry records, %d movements)\n",
 			tpSum/float64(tpN)/1e9, tpN, db.Len(), db.MovementCount())
+	}
+	if metricsJSON != "" {
+		f, err := os.Create(metricsJSON)
+		if err != nil {
+			return err
+		}
+		if err := reg.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("metrics snapshot written to %s\n", metricsJSON)
 	}
 	return nil
 }

@@ -33,9 +33,25 @@ import (
 	"geomancy/internal/core"
 	"geomancy/internal/replaydb"
 	"geomancy/internal/storagesim"
+	"geomancy/internal/telemetry"
 	"geomancy/internal/trace"
 	"geomancy/internal/workload"
 )
+
+// Metrics is the telemetry registry: a concurrency-safe collection of
+// counters, gauges, and histograms that every layer of the closed loop
+// reports into. Expose it over HTTP with Serve (Prometheus text format on
+// /metrics, JSON on /metrics.json) or snapshot it with WritePrometheus /
+// WriteJSON.
+type Metrics = telemetry.Registry
+
+// NewMetrics returns an empty registry with the canonical Geomancy metric
+// help text installed.
+func NewMetrics() *Metrics {
+	reg := telemetry.NewRegistry()
+	telemetry.RegisterHelp(reg)
+	return reg
+}
 
 // RunStats re-exports the per-run workload summary.
 type RunStats = workload.RunStats
@@ -67,6 +83,7 @@ type config struct {
 	bootstrapRun  int
 	target        string
 	gapScheduling bool
+	metrics       *telemetry.Registry
 }
 
 // Option customizes New.
@@ -117,6 +134,12 @@ func WithLatencyTarget() Option { return func(c *config) { c.target = core.Targe
 // paper's §X extension).
 func WithGapScheduling() Option { return func(c *config) { c.gapScheduling = true } }
 
+// WithTelemetry reports every layer of the system — per-device access
+// histograms, training gauges, movement and ReplayDB counters — through m.
+// Share one registry across systems to aggregate, or call Serve on it to
+// scrape live.
+func WithTelemetry(m *Metrics) Option { return func(c *config) { c.metrics = m } }
+
 // System is a fully wired Geomancy deployment over a simulated target
 // system. It is not safe for concurrent use.
 type System struct {
@@ -129,6 +152,9 @@ type System struct {
 	stats         []RunStats
 	tpSum         float64
 	tpCount       int64
+
+	metrics    *telemetry.Registry
+	metricsObs workload.Observer
 }
 
 // New assembles a system: cluster, working set spread evenly, replay
@@ -182,12 +208,18 @@ func New(opts ...Option) (*System, error) {
 	if cfg.gapScheduling {
 		loop.EnableGapScheduling()
 	}
+	if cfg.metrics != nil {
+		db.SetMetrics(cfg.metrics)
+		loop.SetMetrics(cfg.metrics)
+	}
 	sys := &System{
 		cluster:       cluster,
 		db:            db,
 		runner:        runner,
 		loop:          loop,
 		bootstrapLeft: cfg.bootstrapRun,
+		metrics:       cfg.metrics,
+		metricsObs:    workload.MetricsObserver(cfg.metrics),
 	}
 	loop.Observer = func(res storagesim.AccessResult, wl, run int) {
 		sys.tpSum += res.Throughput
@@ -206,6 +238,9 @@ func (s *System) Run() (RunStats, error) {
 		s.bootstrapLeft--
 		stats, err = s.runner.RunOnce(func(res storagesim.AccessResult, wl, run int) {
 			s.loop.Observer(res, wl, run)
+			if s.metricsObs != nil {
+				s.metricsObs(res, wl, run)
+			}
 			s.recordBootstrap(res, wl, run)
 		})
 	} else {
@@ -276,6 +311,9 @@ func (s *System) Devices() []string { return s.cluster.DeviceNames() }
 
 // Telemetry returns the number of access records collected.
 func (s *System) Telemetry() int { return s.db.Len() }
+
+// Metrics returns the registry installed with WithTelemetry, or nil.
+func (s *System) Metrics() *Metrics { return s.metrics }
 
 // Close releases the replay database.
 func (s *System) Close() error { return s.db.Close() }

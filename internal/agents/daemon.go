@@ -3,12 +3,16 @@ package agents
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
+	"log"
 	"net"
 	"sync"
 	"time"
 
 	"geomancy/internal/replaydb"
+	"geomancy/internal/telemetry"
 )
 
 // Daemon is the Interface Daemon: it accepts monitoring-agent telemetry,
@@ -27,6 +31,29 @@ type Daemon struct {
 
 	// AckTimeout bounds how long PushLayout waits for each control agent.
 	AckTimeout time.Duration
+
+	// Verbose enables structured connection/error logging with a [daemon]
+	// prefix. Quiet by default: connection handling errors are counted in
+	// the metrics but not printed.
+	Verbose bool
+	// Logger overrides the destination of verbose logs (default:
+	// log.Default()).
+	Logger *log.Logger
+
+	metrics daemonMetrics
+}
+
+// daemonMetrics bundles the daemon's pre-resolved telemetry handles; nil
+// handles no-op until SetMetrics installs a registry.
+type daemonMetrics struct {
+	connsTotal   *telemetry.Counter
+	connsOpen    *telemetry.Gauge
+	errorsTotal  *telemetry.Counter
+	reportsTotal *telemetry.Counter
+	layoutPushes *telemetry.Counter
+	rpcMetrics   *telemetry.Histogram
+	rpcRecent    *telemetry.Histogram
+	rpcPush      *telemetry.Histogram
 }
 
 type controlConn struct {
@@ -45,6 +72,34 @@ func NewDaemon(db *replaydb.DB) *Daemon {
 	}
 }
 
+// SetMetrics wires the daemon's connection and RPC-latency instrumentation
+// to reg. Call before Start; handles are pre-registered so every metric
+// exports (at zero) from the first scrape.
+func (d *Daemon) SetMetrics(reg *telemetry.Registry) {
+	d.metrics = daemonMetrics{
+		connsTotal:   reg.Counter(telemetry.MetricDaemonConnectionsTotal),
+		connsOpen:    reg.Gauge(telemetry.MetricDaemonConnectionsOpen),
+		errorsTotal:  reg.Counter(telemetry.MetricDaemonErrorsTotal),
+		reportsTotal: reg.Counter(telemetry.MetricDaemonReportsTotal),
+		layoutPushes: reg.Counter(telemetry.MetricDaemonLayoutPushes),
+		rpcMetrics:   reg.Histogram(telemetry.MetricDaemonRPCSeconds, telemetry.DefDurationBuckets, telemetry.L("type", TypeMetrics)),
+		rpcRecent:    reg.Histogram(telemetry.MetricDaemonRPCSeconds, telemetry.DefDurationBuckets, telemetry.L("type", TypeRecentQuery)),
+		rpcPush:      reg.Histogram(telemetry.MetricDaemonRPCSeconds, telemetry.DefDurationBuckets, telemetry.L("type", TypeLayout)),
+	}
+}
+
+// logf prints one structured log line when Verbose is set.
+func (d *Daemon) logf(format string, args ...any) {
+	if !d.Verbose {
+		return
+	}
+	l := d.Logger
+	if l == nil {
+		l = log.Default()
+	}
+	l.Printf("[daemon] "+format, args...)
+}
+
 // Start listens on addr (e.g. "127.0.0.1:0") and serves connections until
 // Close. It returns the bound address.
 func (d *Daemon) Start(addr string) (string, error) {
@@ -55,6 +110,7 @@ func (d *Daemon) Start(addr string) (string, error) {
 	d.mu.Lock()
 	d.ln = ln
 	d.mu.Unlock()
+	d.logf("listening on %s", ln.Addr())
 	d.wg.Add(1)
 	go d.acceptLoop(ln)
 	return ln.Addr().String(), nil
@@ -65,8 +121,15 @@ func (d *Daemon) acceptLoop(ln net.Listener) {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			if !errors.Is(err, net.ErrClosed) {
+				d.metrics.errorsTotal.Inc()
+				d.logf("accept: %v", err)
+			}
 			return // listener closed
 		}
+		d.metrics.connsTotal.Inc()
+		d.metrics.connsOpen.Add(1)
+		d.logf("accepted %s", conn.RemoteAddr())
 		d.wg.Add(1)
 		go d.serve(conn)
 	}
@@ -76,6 +139,7 @@ func (d *Daemon) acceptLoop(ln net.Listener) {
 func (d *Daemon) serve(conn net.Conn) {
 	defer d.wg.Done()
 	defer conn.Close()
+	defer d.metrics.connsOpen.Add(-1)
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
@@ -92,23 +156,44 @@ func (d *Daemon) serve(conn net.Conn) {
 		delete(d.conns, conn)
 		if registered != nil {
 			delete(d.controls, regID)
+			d.logf("control agent %d disconnected (%s)", regID, conn.RemoteAddr())
 		}
 		d.mu.Unlock()
 	}()
 	for {
 		var env Envelope
 		if err := dec.Decode(&env); err != nil {
-			return // EOF or broken peer
+			// EOF is the peer's orderly close; anything else is a broken
+			// or malformed stream worth surfacing.
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				d.metrics.errorsTotal.Inc()
+				d.logf("decode from %s: %v", conn.RemoteAddr(), err)
+			} else {
+				d.logf("peer %s closed", conn.RemoteAddr())
+			}
+			return
 		}
+		start := time.Now()
 		switch env.Type {
 		case TypeMetrics:
+			ok := true
 			for _, rep := range env.Reports {
 				if _, err := d.db.AppendAccess(rep.ToRecord()); err != nil {
+					d.metrics.errorsTotal.Inc()
+					d.logf("append from %s: %v", env.From, err)
 					enc.Encode(Envelope{Type: TypeError, Error: err.Error()})
-					return
+					ok = false
+					break
 				}
 			}
+			if !ok {
+				return
+			}
+			d.metrics.reportsTotal.Add(uint64(len(env.Reports)))
+			d.metrics.rpcMetrics.Observe(time.Since(start).Seconds())
 			if err := enc.Encode(Envelope{Type: TypeMetricsAck, ID: env.ID, N: len(env.Reports)}); err != nil {
+				d.metrics.errorsTotal.Inc()
+				d.logf("ack to %s: %v", conn.RemoteAddr(), err)
 				return
 			}
 		case TypeRegisterControl:
@@ -119,6 +204,7 @@ func (d *Daemon) serve(conn net.Conn) {
 			d.controls[regID] = cc
 			d.mu.Unlock()
 			registered = cc
+			d.logf("control agent %d registered (%s)", regID, conn.RemoteAddr())
 		case TypeLayoutAck:
 			if registered != nil {
 				select {
@@ -140,10 +226,15 @@ func (d *Daemon) serve(conn net.Conn) {
 			for _, rec := range recs {
 				reply.Reports = append(reply.Reports, ReportFromRecord(rec))
 			}
+			d.metrics.rpcRecent.Observe(time.Since(start).Seconds())
 			if err := enc.Encode(reply); err != nil {
+				d.metrics.errorsTotal.Inc()
+				d.logf("recent reply to %s: %v", conn.RemoteAddr(), err)
 				return
 			}
 		default:
+			d.metrics.errorsTotal.Inc()
+			d.logf("unknown message type %q from %s", env.Type, conn.RemoteAddr())
 			enc.Encode(Envelope{Type: TypeError, Error: fmt.Sprintf("unknown message type %q", env.Type)})
 		}
 	}
@@ -160,6 +251,7 @@ func (d *Daemon) ControlCount() int {
 // waits (up to AckTimeout each) for their acknowledgements. It returns the
 // total number of files the agents report moving.
 func (d *Daemon) PushLayout(layout map[int64]string) (int, error) {
+	start := time.Now()
 	entries := make([]LayoutEntry, 0, len(layout))
 	for id, dev := range layout {
 		entries = append(entries, LayoutEntry{FileID: id, Device: dev})
@@ -173,24 +265,34 @@ func (d *Daemon) PushLayout(layout map[int64]string) (int, error) {
 	}
 	d.mu.Unlock()
 	if len(targets) == 0 {
+		d.metrics.errorsTotal.Inc()
 		return 0, fmt.Errorf("agents: no control agents registered")
 	}
 
 	var moved int
 	for _, cc := range targets {
 		if err := cc.enc.Encode(env); err != nil {
+			d.metrics.errorsTotal.Inc()
+			d.logf("layout push to %s: %v", cc.conn.RemoteAddr(), err)
 			return moved, fmt.Errorf("agents: pushing layout: %w", err)
 		}
 		select {
 		case ack := <-cc.acks:
 			if ack.Error != "" {
+				d.metrics.errorsTotal.Inc()
+				d.logf("layout ack from %s: %s", cc.conn.RemoteAddr(), ack.Error)
 				return moved, fmt.Errorf("agents: control agent: %s", ack.Error)
 			}
 			moved += ack.Moved
 		case <-time.After(d.AckTimeout):
+			d.metrics.errorsTotal.Inc()
+			d.logf("layout ack from %s timed out after %v", cc.conn.RemoteAddr(), d.AckTimeout)
 			return moved, fmt.Errorf("agents: timed out waiting for layout ack")
 		}
 	}
+	d.metrics.layoutPushes.Inc()
+	d.metrics.rpcPush.Observe(time.Since(start).Seconds())
+	d.logf("pushed layout of %d files to %d control agents (%d moved)", len(entries), len(targets), moved)
 	return moved, nil
 }
 
@@ -216,5 +318,6 @@ func (d *Daemon) Close() error {
 		c.Close()
 	}
 	d.wg.Wait()
+	d.logf("closed")
 	return err
 }

@@ -1,0 +1,187 @@
+package agents
+
+import (
+	"bytes"
+	"encoding/json"
+	"log"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"geomancy/internal/replaydb"
+	"geomancy/internal/telemetry"
+)
+
+func newTestDB(t *testing.T) *replaydb.DB {
+	t.Helper()
+	db, err := replaydb.Open(replaydb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+// registerRawControl dials the daemon and registers as a control agent
+// without an ack loop, so layout pushes to it hang until the ack timeout.
+func registerRawControl(t *testing.T, d *Daemon, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	if err := json.NewEncoder(conn).Encode(Envelope{Type: TypeRegisterControl}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "raw control registration", func() bool { return d.ControlCount() == 1 })
+	return conn
+}
+
+func TestPushLayoutAckTimeout(t *testing.T) {
+	d, _, addr := startDaemon(t)
+	d.AckTimeout = 50 * time.Millisecond
+	registerRawControl(t, d, addr)
+
+	start := time.Now()
+	_, err := d.PushLayout(map[int64]string{1: "pic"})
+	if err == nil {
+		t.Fatal("PushLayout should time out when the control agent never acks")
+	}
+	if !strings.Contains(err.Error(), "timed out") {
+		t.Errorf("error = %v, want ack timeout", err)
+	}
+	if elapsed := time.Since(start); elapsed < d.AckTimeout {
+		t.Errorf("returned after %v, before the %v ack timeout", elapsed, d.AckTimeout)
+	}
+}
+
+func TestPushLayoutErrorAck(t *testing.T) {
+	d, _, addr := startDaemon(t)
+	conn := registerRawControl(t, d, addr)
+
+	// Ack every layout push with an error, like a control agent whose
+	// mover failed.
+	go func() {
+		dec := json.NewDecoder(conn)
+		enc := json.NewEncoder(conn)
+		var env Envelope
+		for dec.Decode(&env) == nil {
+			if env.Type == TypeLayout {
+				enc.Encode(Envelope{Type: TypeLayoutAck, Error: "mover: disk on fire"})
+			}
+		}
+	}()
+	_, err := d.PushLayout(map[int64]string{1: "pic"})
+	if err == nil || !strings.Contains(err.Error(), "disk on fire") {
+		t.Errorf("error = %v, want the control agent's mover error", err)
+	}
+}
+
+func TestDaemonMetrics(t *testing.T) {
+	db := newTestDB(t)
+	d := NewDaemon(db)
+	d.SetMetrics(telemetry.NewRegistry())
+	reg := telemetry.NewRegistry()
+	d.SetMetrics(reg) // re-wiring replaces the handles cleanly
+	addr, err := d.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	m, err := NewMonitor(addr, "pic", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := m.Observe(sampleResult("pic", i), 1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "reports stored", func() bool { return db.Len() == 4 })
+	m.Close()
+	waitFor(t, "connection closed", func() bool {
+		return reg.Gauge(telemetry.MetricDaemonConnectionsOpen).Value() == 0
+	})
+
+	if got := reg.Counter(telemetry.MetricDaemonConnectionsTotal).Value(); got != 1 {
+		t.Errorf("connections_total = %d, want 1", got)
+	}
+	if got := reg.Counter(telemetry.MetricDaemonReportsTotal).Value(); got != 4 {
+		t.Errorf("reports_total = %d, want 4", got)
+	}
+	rpc := reg.Histogram(telemetry.MetricDaemonRPCSeconds, telemetry.DefDurationBuckets, telemetry.L("type", TypeMetrics))
+	if rpc.Count() != 1 {
+		t.Errorf("rpc histogram count = %d, want 1 batch", rpc.Count())
+	}
+	// A push with no registered controls is an error and counts as one.
+	if _, err := d.PushLayout(map[int64]string{1: "x"}); err == nil {
+		t.Fatal("expected error with no controls")
+	}
+	if got := reg.Counter(telemetry.MetricDaemonErrorsTotal).Value(); got != 1 {
+		t.Errorf("errors_total = %d, want 1", got)
+	}
+	if got := reg.Counter(telemetry.MetricDaemonLayoutPushes).Value(); got != 0 {
+		t.Errorf("layout_pushes_total = %d, want 0 (push failed)", got)
+	}
+}
+
+func TestDaemonVerboseLogging(t *testing.T) {
+	db := newTestDB(t)
+	d := NewDaemon(db)
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	d.Verbose = true
+	d.Logger = log.New(lockedWriter{&mu, &buf}, "", 0)
+	addr, err := d.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One well-behaved connection, then one that sends garbage.
+	m, err := NewMonitor(addr, "pic", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Observe(sampleResult("pic", 0), 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "report stored", func() bool { return db.Len() == 1 })
+	m.Close()
+
+	garbage, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	garbage.Write([]byte("this is not JSON\n"))
+	garbage.Close()
+	waitFor(t, "decode error logged", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return strings.Contains(buf.String(), "decode from")
+	})
+	d.Close()
+
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	for _, want := range []string{"[daemon] listening on", "[daemon] accepted", "[daemon] decode from", "[daemon] closed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  *bytes.Buffer
+}
+
+func (lw lockedWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
+}

@@ -22,6 +22,7 @@ import (
 	"geomancy/internal/mat"
 	"geomancy/internal/nn"
 	"geomancy/internal/replaydb"
+	"geomancy/internal/telemetry"
 )
 
 // Config tunes the engine. Zero values select the paper's settings.
@@ -174,6 +175,35 @@ type Engine struct {
 	trained      bool
 
 	rewards []float64
+
+	metrics engineMetrics
+}
+
+// engineMetrics holds the engine's pre-resolved telemetry handles; all
+// fields are nil (no-op) until SetMetrics installs a registry.
+type engineMetrics struct {
+	trainings    *telemetry.Counter
+	trainErrors  *telemetry.Counter
+	duration     *telemetry.Gauge
+	durationHist *telemetry.Histogram
+	loss         *telemetry.Gauge
+	samples      *telemetry.Gauge
+	valMARE      *telemetry.Gauge
+}
+
+// SetMetrics points the engine's training instrumentation at reg: a
+// training-cycle counter, duration/loss/sample-count gauges refreshed
+// every cycle, and a duration histogram. A nil registry detaches.
+func (e *Engine) SetMetrics(reg *telemetry.Registry) {
+	e.metrics = engineMetrics{
+		trainings:    reg.Counter(telemetry.MetricTrainingsTotal),
+		trainErrors:  reg.Counter(telemetry.MetricTrainingErrorsTotal),
+		duration:     reg.Gauge(telemetry.MetricTrainingDuration),
+		durationHist: reg.Histogram(telemetry.MetricTrainingDurationHist, telemetry.DefDurationBuckets),
+		loss:         reg.Gauge(telemetry.MetricTrainingLoss),
+		samples:      reg.Gauge(telemetry.MetricTrainingSamples),
+		valMARE:      reg.Gauge(telemetry.MetricTrainingValidationMAE),
+	}
 }
 
 // NewEngine builds an engine over the ReplayDB for the given candidate
@@ -407,6 +437,21 @@ func (e *Engine) gatherTraining() (*nn.Dataset, error) {
 // paper's 60/20/20 split, and refreshes the MAE adjustment from the
 // validation partition.
 func (e *Engine) Train() (TrainReport, error) {
+	rep, err := e.train()
+	if err != nil {
+		e.metrics.trainErrors.Inc()
+		return rep, err
+	}
+	e.metrics.trainings.Inc()
+	e.metrics.duration.Set(rep.Duration.Seconds())
+	e.metrics.durationHist.Observe(rep.Duration.Seconds())
+	e.metrics.loss.Set(rep.FinalLoss)
+	e.metrics.samples.Set(float64(rep.Samples))
+	e.metrics.valMARE.Set(rep.Validation.MARE)
+	return rep, nil
+}
+
+func (e *Engine) train() (TrainReport, error) {
 	ds, err := e.gatherTraining()
 	if err != nil {
 		return TrainReport{}, err

@@ -6,6 +6,7 @@ import (
 	"geomancy/internal/agents"
 	"geomancy/internal/replaydb"
 	"geomancy/internal/storagesim"
+	"geomancy/internal/telemetry"
 	"geomancy/internal/workload"
 )
 
@@ -44,6 +45,28 @@ type Loop struct {
 	// paper's §X extension). Use EnableGapScheduling to install one wired
 	// to the loop's telemetry.
 	Scheduler *MoveScheduler
+
+	// metrics instrumentation, installed by SetMetrics; all handles no-op
+	// while nil.
+	metricsObs   workload.Observer
+	movesCtr     *telemetry.Counter
+	movedBytes   *telemetry.Counter
+	deferralsCtr *telemetry.Counter
+	exploreCtr   *telemetry.Counter
+}
+
+// SetMetrics wires the loop (and its engine) to report through reg:
+// per-device access histograms on every recorded access, movement /
+// deferral / exploration counters on every layout application, and the
+// engine's training gauges. Counters are pre-registered so they export at
+// zero before the first decision.
+func (l *Loop) SetMetrics(reg *telemetry.Registry) {
+	l.metricsObs = workload.MetricsObserver(reg)
+	l.movesCtr = reg.Counter(telemetry.MetricMovementsTotal)
+	l.movedBytes = reg.Counter(telemetry.MetricMovedBytesTotal)
+	l.deferralsCtr = reg.Counter(telemetry.MetricDeferralsTotal)
+	l.exploreCtr = reg.Counter(telemetry.MetricExplorationTotal)
+	l.Engine.SetMetrics(reg)
 }
 
 // NewLoop assembles a loop over an existing cluster/runner/db.
@@ -88,6 +111,9 @@ func (l *Loop) TrainLog() []TrainReport {
 // record stores telemetry from one access.
 func (l *Loop) record(res storagesim.AccessResult, wl, run int) error {
 	l.accessCount++
+	if l.metricsObs != nil {
+		l.metricsObs(res, wl, run)
+	}
 	if l.Scheduler != nil && l.Scheduler.Gaps != nil {
 		l.Scheduler.Gaps.Observe(res.FileID, res.Start)
 	}
@@ -168,6 +194,7 @@ func (l *Loop) RunOnce() (workload.RunStats, error) {
 		var deferred []Deferral
 		layout, deferred = l.Scheduler.Filter(layout, current, est)
 		l.deferrals = append(l.deferrals, deferred...)
+		l.deferralsCtr.Add(uint64(len(deferred)))
 	}
 	moves, err := l.Runner.ApplyLayout(layout)
 	if err != nil {
@@ -179,7 +206,10 @@ func (l *Loop) RunOnce() (workload.RunStats, error) {
 			randomCount++
 		}
 	}
+	l.movesCtr.Add(uint64(len(moves)))
+	l.exploreCtr.Add(uint64(randomCount))
 	for _, mv := range moves {
+		l.movedBytes.Add(uint64(mv.Bytes))
 		if _, err := l.DB.AppendMovement(replaydb.MovementRecord{
 			Time:        mv.Start,
 			FileID:      mv.FileID,

@@ -61,7 +61,7 @@ func ablationRun(opts Options, mutate func(*core.Config), gapScheduling bool) (A
 	}
 	sb := newSeriesBuilder(opts.SeriesWindow)
 	loop.Observer = func(res storagesim.AccessResult, wl, run int) {
-		sb.add(res.Throughput)
+		sb.add(res.Throughput, res.End-res.Start)
 	}
 	for r := 0; r < opts.Runs; r++ {
 		if _, err := loop.RunOnce(); err != nil {

@@ -23,6 +23,8 @@ import (
 	"io"
 	"math"
 	"strings"
+
+	"geomancy/internal/telemetry"
 )
 
 // Options sizes an experiment run.
@@ -121,6 +123,9 @@ type Series struct {
 	Std float64
 	// Accesses is the total access count.
 	Accesses int64
+	// LatencyP50/P95/P99 are per-access latency percentiles in seconds,
+	// estimated from a fixed-bucket histogram over the whole series.
+	LatencyP50, LatencyP95, LatencyP99 float64
 }
 
 // MovementBar is one Fig. 5 movement annotation.
@@ -129,26 +134,32 @@ type MovementBar struct {
 	Moved       int
 }
 
-// seriesBuilder accumulates per-access throughput into fixed-size buckets.
+// seriesBuilder accumulates per-access throughput into fixed-size buckets
+// and per-access latency into a histogram for the percentile summary.
 type seriesBuilder struct {
-	window int64
-	count  int64
-	sum    float64
-	all    []float64
-	points []Point
+	window  int64
+	count   int64
+	sum     float64
+	all     []float64
+	points  []Point
+	latency *telemetry.Histogram
 }
 
 func newSeriesBuilder(window int) *seriesBuilder {
 	if window <= 0 {
 		window = 500
 	}
-	return &seriesBuilder{window: int64(window)}
+	return &seriesBuilder{
+		window:  int64(window),
+		latency: telemetry.NewHistogram(telemetry.DefLatencyBuckets),
+	}
 }
 
-func (b *seriesBuilder) add(tp float64) {
+func (b *seriesBuilder) add(tp, lat float64) {
 	b.count++
 	b.sum += tp
 	b.all = append(b.all, tp)
+	b.latency.Observe(lat)
 	if b.count%b.window == 0 {
 		b.points = append(b.points, Point{AccessIndex: b.count, Throughput: b.sum / float64(b.window)})
 		b.sum = 0
@@ -161,6 +172,9 @@ func (b *seriesBuilder) finish(name string) Series {
 	}
 	s := Series{Name: name, Points: b.points, Accesses: b.count}
 	s.Mean, s.Std = meanStd(b.all)
+	s.LatencyP50 = b.latency.Quantile(0.50)
+	s.LatencyP95 = b.latency.Quantile(0.95)
+	s.LatencyP99 = b.latency.Quantile(0.99)
 	return s
 }
 
@@ -268,8 +282,9 @@ func (t *Table) RenderCSV(w io.Writer) error {
 func RenderSeries(w io.Writer, series []Series) error {
 	var b strings.Builder
 	for _, s := range series {
-		fmt.Fprintf(&b, "%s: mean %s ± %s over %d accesses\n",
-			s.Name, GBps(s.Mean), GBps(s.Std), s.Accesses)
+		fmt.Fprintf(&b, "%s: mean %s ± %s over %d accesses (p50/p95/p99 latency %.1f/%.1f/%.1f ms)\n",
+			s.Name, GBps(s.Mean), GBps(s.Std), s.Accesses,
+			s.LatencyP50*1e3, s.LatencyP95*1e3, s.LatencyP99*1e3)
 		for _, p := range s.Points {
 			fmt.Fprintf(&b, "  access %6d  %s\n", p.AccessIndex, GBps(p.Throughput))
 		}

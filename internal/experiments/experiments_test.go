@@ -22,7 +22,7 @@ func TestOptionsDefaults(t *testing.T) {
 func TestSeriesBuilderBuckets(t *testing.T) {
 	sb := newSeriesBuilder(3)
 	for i := 1; i <= 7; i++ {
-		sb.add(float64(i))
+		sb.add(float64(i), float64(i)*1e-3)
 	}
 	s := sb.finish("x")
 	// Buckets: (1,2,3)→2 at 3; (4,5,6)→5 at 6; (7)→7 at 7.

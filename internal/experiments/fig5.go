@@ -49,7 +49,7 @@ func runPolicy(p policy.Policy, opts Options) (Series, *testbed, error) {
 			if err := tb.observe(res, wl, run); err != nil && obsErr == nil {
 				obsErr = err
 			}
-			sb.add(res.Throughput)
+			sb.add(res.Throughput, res.End-res.Start)
 		}); err != nil {
 			return Series{}, nil, err
 		}
@@ -107,7 +107,7 @@ func runGeomancyDynamic(opts Options) (Series, *core.Loop, *testbed, error) {
 	}
 	sb := newSeriesBuilder(opts.SeriesWindow)
 	loop.Observer = func(res storagesim.AccessResult, wl, run int) {
-		sb.add(res.Throughput)
+		sb.add(res.Throughput, res.End-res.Start)
 	}
 	for r := 0; r < opts.Runs; r++ {
 		if _, err := loop.RunOnce(); err != nil {
@@ -265,7 +265,7 @@ func Fig5b(opts Options) (*ComparisonResult, error) {
 func (r *ComparisonResult) SummaryTable(title string) *Table {
 	t := &Table{
 		Title:  title,
-		Header: []string{"placement", "mean throughput", "σ", "accesses", "Geomancy gain"},
+		Header: []string{"placement", "mean throughput", "σ", "accesses", "p50/p95/p99 lat (ms)", "Geomancy gain"},
 	}
 	for _, s := range r.Series {
 		gain := ""
@@ -273,7 +273,9 @@ func (r *ComparisonResult) SummaryTable(title string) *Table {
 			gain = fmt.Sprintf("%+.1f%%", g)
 		}
 		t.Rows = append(t.Rows, []string{
-			s.Name, GBps(s.Mean), GBps(s.Std), fmt.Sprintf("%d", s.Accesses), gain,
+			s.Name, GBps(s.Mean), GBps(s.Std), fmt.Sprintf("%d", s.Accesses),
+			fmt.Sprintf("%.1f/%.1f/%.1f", s.LatencyP50*1e3, s.LatencyP95*1e3, s.LatencyP99*1e3),
+			gain,
 		})
 	}
 	return t

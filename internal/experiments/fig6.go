@@ -59,7 +59,7 @@ func Fig6(opts Options) (*Fig6Result, error) {
 	}
 	tunedSB := newSeriesBuilder(opts.SeriesWindow)
 	loop.Observer = func(res storagesim.AccessResult, wl, run int) {
-		tunedSB.add(res.Throughput)
+		tunedSB.add(res.Throughput, res.End-res.Start)
 	}
 	untunedSB := newSeriesBuilder(opts.SeriesWindow)
 
@@ -92,7 +92,7 @@ func Fig6(opts Options) (*Fig6Result, error) {
 			if err := tb.observe(res, wl, run); err != nil && obsErr == nil {
 				obsErr = err
 			}
-			untunedSB.add(res.Throughput)
+			untunedSB.add(res.Throughput, res.End-res.Start)
 		}); err != nil {
 			return nil, err
 		}

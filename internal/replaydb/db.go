@@ -9,6 +9,8 @@ import (
 	"io"
 	"os"
 	"sync"
+
+	"geomancy/internal/telemetry"
 )
 
 // magic identifies a ReplayDB WAL file and its format version.
@@ -39,6 +41,22 @@ type DB struct {
 	opts     Options
 	unsynced int
 	closed   bool
+
+	// telemetry counters; nil handles no-op until SetMetrics installs a
+	// registry. Atomic, so they are safe to bump under either lock mode.
+	accessInserts   *telemetry.Counter
+	movementInserts *telemetry.Counter
+	queries         *telemetry.Counter
+}
+
+// SetMetrics wires the database's insert/query counters to reg. Replayed
+// WAL frames are not counted — the counters track live traffic.
+func (db *DB) SetMetrics(reg *telemetry.Registry) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.accessInserts = reg.Counter(telemetry.MetricReplayAccessInserts)
+	db.movementInserts = reg.Counter(telemetry.MetricReplayMovementInserts)
+	db.queries = reg.Counter(telemetry.MetricReplayQueriesTotal)
 }
 
 // Open opens (creating if necessary) a database. Existing WAL contents are
@@ -202,6 +220,7 @@ func (db *DB) AppendAccess(rec AccessRecord) (AccessRecord, error) {
 		return rec, fmt.Errorf("replaydb: appending access: %w", err)
 	}
 	db.insertAccessNoSeq(rec)
+	db.accessInserts.Inc()
 	return rec, nil
 }
 
@@ -227,6 +246,7 @@ func (db *DB) AppendMovement(m MovementRecord) (MovementRecord, error) {
 		return m, fmt.Errorf("replaydb: appending movement: %w", err)
 	}
 	db.movements = append(db.movements, m)
+	db.movementInserts.Inc()
 	return m, nil
 }
 
@@ -267,6 +287,7 @@ func (db *DB) Movements() []MovementRecord {
 func (db *DB) RecentByDevice(device string, n int) []AccessRecord {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	db.queries.Inc()
 	return db.collect(db.byDevice[device], n)
 }
 
@@ -276,6 +297,7 @@ func (db *DB) RecentByDevice(device string, n int) []AccessRecord {
 func (db *DB) RecentByFile(fileID int64, n int) []AccessRecord {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	db.queries.Inc()
 	return db.collect(db.byFile[fileID], n)
 }
 
@@ -284,6 +306,7 @@ func (db *DB) RecentByFile(fileID int64, n int) []AccessRecord {
 func (db *DB) Recent(n int) []AccessRecord {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	db.queries.Inc()
 	start := len(db.accesses) - n
 	if start < 0 {
 		start = 0
@@ -312,6 +335,7 @@ func (db *DB) collect(positions []int, n int) []AccessRecord {
 func (db *DB) TimeRange(from, to float64) []AccessRecord {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	db.queries.Inc()
 	var out []AccessRecord
 	for i := range db.accesses {
 		if t := db.accesses[i].Time; t >= from && t < to {

@@ -73,6 +73,7 @@ type Filter struct {
 func (db *DB) Query(f Filter) []AccessRecord {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	db.queries.Inc()
 	bounded := f.From != 0 || f.To != 0
 	var out []AccessRecord
 	for i := range db.accesses {

@@ -1,0 +1,201 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// formatValue renders a sample value the way the Prometheus text format
+// expects (shortest round-trip representation, +Inf spelled out).
+func formatValue(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// withLabels renders `name{labels}` (or just name when unlabeled), with an
+// optional extra label appended (the histogram `le`).
+func withLabels(name, labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return name
+	case labels == "":
+		return name + "{" + extra + "}"
+	case extra == "":
+		return name + "{" + labels + "}"
+	default:
+		return name + "{" + labels + "," + extra + "}"
+	}
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format, families sorted by name, series in creation order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	names := append([]string(nil), r.names...)
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.mu.RLock()
+		order := append([]string(nil), f.order...)
+		help := f.help
+		f.mu.RUnlock()
+		if len(order) == 0 {
+			continue
+		}
+		if help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, key := range order {
+			f.mu.RLock()
+			s := f.series[key]
+			f.mu.RUnlock()
+			switch m := s.(type) {
+			case *Counter:
+				fmt.Fprintf(&b, "%s %d\n", withLabels(f.name, key, ""), m.Value())
+			case *Gauge:
+				fmt.Fprintf(&b, "%s %s\n", withLabels(f.name, key, ""), formatValue(m.Value()))
+			case *Histogram:
+				for _, bc := range m.bucketCounts() {
+					le := `le="` + formatValue(bc.Upper) + `"`
+					fmt.Fprintf(&b, "%s %d\n", withLabels(f.name+"_bucket", key, le), bc.Cumulative)
+				}
+				fmt.Fprintf(&b, "%s %s\n", withLabels(f.name+"_sum", key, ""), formatValue(m.Sum()))
+				fmt.Fprintf(&b, "%s %d\n", withLabels(f.name+"_count", key, ""), m.Count())
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Sample is one exported series in a JSON snapshot.
+type Sample struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value is set for counters and gauges.
+	Value *float64 `json:"value,omitempty"`
+	// Histogram is set for histograms.
+	Histogram *HistogramSummary `json:"histogram,omitempty"`
+}
+
+// Snapshot returns a point-in-time dump of every series, ordered by family
+// name then series creation order.
+func (r *Registry) Snapshot() []Sample {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	names := append([]string(nil), r.names...)
+	r.mu.RUnlock()
+	sort.Strings(names)
+
+	var out []Sample
+	for _, name := range names {
+		r.mu.RLock()
+		f := r.families[name]
+		r.mu.RUnlock()
+		f.mu.RLock()
+		order := append([]string(nil), f.order...)
+		f.mu.RUnlock()
+		for _, key := range order {
+			f.mu.RLock()
+			s := f.series[key]
+			labels := f.labels[key]
+			f.mu.RUnlock()
+			sample := Sample{Name: name}
+			if len(labels) > 0 {
+				sample.Labels = make(map[string]string, len(labels))
+				for _, l := range labels {
+					sample.Labels[l.Key] = l.Value
+				}
+			}
+			switch m := s.(type) {
+			case *Counter:
+				v := float64(m.Value())
+				sample.Value = &v
+			case *Gauge:
+				v := m.Value()
+				sample.Value = &v
+			case *Histogram:
+				sum := m.Summary()
+				sample.Histogram = &sum
+			}
+			out = append(out, sample)
+		}
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as indented JSON — the offline-run export
+// (cmd/geomancy -metrics-json).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Metrics []Sample `json:"metrics"`
+	}{Metrics: r.Snapshot()})
+}
+
+// Handler returns an http.Handler serving the Prometheus text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// Server is a running metrics endpoint.
+type Server struct {
+	ln   net.Listener
+	srv  *http.Server
+	once sync.Once
+}
+
+// Serve starts an HTTP server on addr (e.g. "127.0.0.1:0") exposing
+// /metrics (Prometheus text) and /metrics.json (JSON snapshot). It returns
+// immediately; use Server.Addr for the bound address.
+func (r *Registry) Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: metrics listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		r.WriteJSON(w)
+	})
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error {
+	var err error
+	s.once.Do(func() { err = s.srv.Close() })
+	return err
+}

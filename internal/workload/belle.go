@@ -13,14 +13,54 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"geomancy/internal/storagesim"
+	"geomancy/internal/telemetry"
 	"geomancy/internal/trace"
 )
 
 // Observer receives the telemetry of each access, tagged with the workload
 // id and run index; monitoring agents subscribe here.
 type Observer func(res storagesim.AccessResult, workloadID, run int)
+
+// MetricsObserver returns an Observer that feeds per-device access
+// telemetry into reg: latency and throughput histograms plus access/byte
+// counters, all labeled {device="..."}. Per-device metric handles are
+// cached so the per-access cost is a few atomic adds. Returns nil for a
+// nil registry (a nil Observer is ignored by every caller).
+func MetricsObserver(reg *telemetry.Registry) Observer {
+	if reg == nil {
+		return nil
+	}
+	type devMetrics struct {
+		accesses *telemetry.Counter
+		bytes    *telemetry.Counter
+		latency  *telemetry.Histogram
+		tput     *telemetry.Histogram
+	}
+	var mu sync.Mutex
+	cache := make(map[string]*devMetrics)
+	return func(res storagesim.AccessResult, workloadID, run int) {
+		mu.Lock()
+		m := cache[res.Device]
+		if m == nil {
+			dev := telemetry.L("device", res.Device)
+			m = &devMetrics{
+				accesses: reg.Counter(telemetry.MetricAccessesTotal, dev),
+				bytes:    reg.Counter(telemetry.MetricAccessBytesTotal, dev),
+				latency:  reg.Histogram(telemetry.MetricAccessLatency, telemetry.DefLatencyBuckets, dev),
+				tput:     reg.Histogram(telemetry.MetricAccessThroughput, telemetry.DefThroughputBuckets, dev),
+			}
+			cache[res.Device] = m
+		}
+		mu.Unlock()
+		m.accesses.Inc()
+		m.bytes.Add(uint64(res.BytesRead + res.BytesWritten))
+		m.latency.Observe(res.End - res.Start)
+		m.tput.Observe(res.Throughput)
+	}
+}
 
 // Runner executes BELLE II runs against a cluster.
 type Runner struct {
@@ -96,15 +136,20 @@ type RunStats struct {
 	MeanThroughput float64
 	// Duration is the simulated wall time of the run in seconds.
 	Duration float64
+	// LatencyP50/P95/P99 are per-access latency percentiles of the run in
+	// seconds (YCSB-style measurement, estimated from a fixed-bucket
+	// histogram).
+	LatencyP50, LatencyP95, LatencyP99 float64
 }
 
-// RunOnce executes one workload run: every file visited in random order,
+/// RunOnce executes one workload run: every file visited in random order,
 // each accessed 10–20 times in succession. The observer (if non-nil) sees
 // every access.
 func (r *Runner) RunOnce(obs Observer) (RunStats, error) {
 	seq := trace.BelleRun(r.rng, len(r.Files))
 	start := r.cluster.Now()
 	stats := RunStats{Run: r.runs}
+	lat := telemetry.NewHistogram(telemetry.DefLatencyBuckets)
 	var tpSum float64
 	for _, a := range seq {
 		f := r.Files[a.FileIndex]
@@ -125,12 +170,16 @@ func (r *Runner) RunOnce(obs Observer) (RunStats, error) {
 		stats.Accesses++
 		stats.Bytes += rb + wb
 		tpSum += res.Throughput
+		lat.Observe(res.End - res.Start)
 		if obs != nil {
 			obs(res, r.ID, r.runs)
 		}
 	}
 	if stats.Accesses > 0 {
 		stats.MeanThroughput = tpSum / float64(stats.Accesses)
+		stats.LatencyP50 = lat.Quantile(0.50)
+		stats.LatencyP95 = lat.Quantile(0.95)
+		stats.LatencyP99 = lat.Quantile(0.99)
 	}
 	stats.Duration = r.cluster.Now() - start
 	r.runs++

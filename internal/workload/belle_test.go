@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"geomancy/internal/storagesim"
+	"geomancy/internal/telemetry"
 	"geomancy/internal/trace"
 )
 
@@ -154,6 +155,46 @@ func TestApplyLayoutPartial(t *testing.T) {
 		if after[id] != dev {
 			t.Errorf("file %d moved unexpectedly %s → %s", id, dev, after[id])
 		}
+	}
+}
+
+func TestRunStatsLatencyPercentiles(t *testing.T) {
+	r := newTestRunner(t, 9)
+	stats, err := r.RunOnce(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.LatencyP50 <= 0 {
+		t.Fatalf("p50 = %v, want > 0", stats.LatencyP50)
+	}
+	if stats.LatencyP50 > stats.LatencyP95 || stats.LatencyP95 > stats.LatencyP99 {
+		t.Errorf("percentiles not monotone: p50 %v p95 %v p99 %v",
+			stats.LatencyP50, stats.LatencyP95, stats.LatencyP99)
+	}
+	// No single access can outlast the whole run (serial virtual clock), so
+	// p99 is bounded by the run duration even after bucket rounding.
+	if stats.LatencyP99 > 2*stats.Duration {
+		t.Errorf("p99 %v implausible for a run of duration %v", stats.LatencyP99, stats.Duration)
+	}
+}
+
+func TestMetricsObserver(t *testing.T) {
+	r := newTestRunner(t, 10)
+	reg := telemetry.NewRegistry()
+	obs := MetricsObserver(reg)
+	stats, err := r.RunOnce(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for _, dev := range r.Cluster().DeviceNames() {
+		total += reg.Counter(telemetry.MetricAccessesTotal, telemetry.L("device", dev)).Value()
+	}
+	if total != uint64(stats.Accesses) {
+		t.Errorf("device counters sum to %d, run made %d accesses", total, stats.Accesses)
+	}
+	if MetricsObserver(nil) != nil {
+		t.Error("nil registry should yield a nil observer")
 	}
 }
 
