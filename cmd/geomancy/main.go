@@ -9,16 +9,21 @@
 //
 //	geomancy [-listen 127.0.0.1:0] [-runs 25] [-seed 1] [-epochs 40]
 //	         [-cooldown 5] [-db replay.wal] [-model 1] [-epsilon 0.1]
-//	         [-target throughput|latency] [-metrics-addr 127.0.0.1:9090]
-//	         [-metrics-json metrics.json] [-v]
+//	         [-target throughput|latency] [-parallel 0]
+//	         [-metrics-addr 127.0.0.1:9090] [-metrics-json metrics.json] [-v]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
 
 	"geomancy/internal/agents"
 	"geomancy/internal/core"
@@ -41,6 +46,7 @@ func main() {
 	model := flag.Int("model", 1, "Table I architecture number (1-23)")
 	epsilon := flag.Float64("epsilon", 0.1, "exploration rate")
 	target := flag.String("target", "throughput", "modeling target: throughput or latency")
+	parallel := flag.Int("parallel", 0, "engine worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics on this address (empty = disabled)")
 	metricsJSON := flag.String("metrics-json", "", "write a JSON metrics snapshot to this file on exit")
 	flag.Parse()
@@ -53,14 +59,26 @@ func main() {
 		CooldownRuns: *cooldown,
 		WindowX:      *windowX,
 		Seed:         *seed,
+		Parallelism:  *parallel,
 	}
-	if err := run(*listen, *runs, *seed, cfg, *dbPath, *verbose, *metricsAddr, *metricsJSON); err != nil {
+	if cfg.Parallelism == 0 {
+		cfg.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	// SIGINT/SIGTERM cancel the run between accesses, epochs, and scoring
+	// batches, so an interrupted deployment exits cleanly mid-cycle.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *listen, *runs, *seed, cfg, *dbPath, *verbose, *metricsAddr, *metricsJSON); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "geomancy: interrupted")
+			os.Exit(130)
+		}
 		log.SetFlags(0)
 		log.Fatalf("geomancy: %v", err)
 	}
 }
 
-func run(listen string, runs int, seed int64, cfg core.Config, dbPath string, verbose bool, metricsAddr, metricsJSON string) error {
+func run(ctx context.Context, listen string, runs int, seed int64, cfg core.Config, dbPath string, verbose bool, metricsAddr, metricsJSON string) error {
 	// Observability: one registry shared by every layer of the deployment.
 	reg := telemetry.NewRegistry()
 	telemetry.RegisterHelp(reg)
@@ -138,7 +156,7 @@ func run(listen string, runs int, seed int64, cfg core.Config, dbPath string, ve
 	var tpSum float64
 	var tpN int64
 	for r := 0; r < runs; r++ {
-		stats, err := runner.RunOnce(func(res storagesim.AccessResult, wl, run int) {
+		stats, err := runner.RunOnceContext(ctx, func(res storagesim.AccessResult, wl, run int) {
 			if err := monitors.Observe(res, wl, run); err != nil {
 				fmt.Fprintf(os.Stderr, "monitor: %v\n", err)
 			}
@@ -159,7 +177,7 @@ func run(listen string, runs int, seed int64, cfg core.Config, dbPath string, ve
 		if !engine.ShouldAct(stats.Run) {
 			continue
 		}
-		rep, err := engine.Train()
+		rep, err := engine.TrainContext(ctx)
 		if err != nil {
 			return err
 		}
@@ -168,7 +186,7 @@ func run(listen string, runs int, seed int64, cfg core.Config, dbPath string, ve
 		for _, f := range files {
 			metas = append(metas, core.FileMeta{ID: f.ID, Path: f.Path, Size: f.Size, Device: layout[f.ID]})
 		}
-		proposal, decisions, err := engine.ProposeLayout(metas, checker, agents.ClusterValidator(cluster))
+		proposal, decisions, err := engine.ProposeLayoutContext(ctx, metas, checker, agents.ClusterValidator(cluster))
 		if err != nil {
 			return err
 		}

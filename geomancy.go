@@ -28,7 +28,10 @@
 package geomancy
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime"
 
 	"geomancy/internal/core"
 	"geomancy/internal/replaydb"
@@ -53,6 +56,14 @@ func NewMetrics() *Metrics {
 	return reg
 }
 
+// Sentinel errors of the public API. Match with errors.Is; the internal
+// engine's sentinels (core.ErrNoTelemetry, core.ErrNotTrained) also surface
+// through Run's error chain unchanged.
+var (
+	// ErrClosed reports a Run (or RunN) issued after Close.
+	ErrClosed = errors.New("geomancy: system closed")
+)
+
 // RunStats re-exports the per-run workload summary.
 type RunStats = workload.RunStats
 
@@ -69,6 +80,13 @@ type File = trace.BelleFile
 // build custom clusters.
 type DeviceProfile = storagesim.DeviceProfile
 
+// AccessResult re-exports the per-access telemetry record observers see.
+type AccessResult = storagesim.AccessResult
+
+// Observer receives every access's telemetry, tagged with the workload id
+// and run index. Observers run synchronously on the access path.
+type Observer = workload.Observer
+
 // config collects the options.
 type config struct {
 	seed          int64
@@ -83,6 +101,8 @@ type config struct {
 	bootstrapRun  int
 	target        string
 	gapScheduling bool
+	parallelism   int
+	observer      Observer
 	metrics       *telemetry.Registry
 }
 
@@ -134,6 +154,20 @@ func WithLatencyTarget() Option { return func(c *config) { c.target = core.Targe
 // paper's §X extension).
 func WithGapScheduling() Option { return func(c *config) { c.gapScheduling = true } }
 
+// WithParallelism bounds the engine's worker pool: candidate feature
+// assembly, the batched-inference GEMMs, and per-minibatch gradient
+// accumulation all fan out across n goroutines. The default is
+// runtime.GOMAXPROCS(0). n = 1 runs the serial engine bit-for-bit; any
+// n ≥ 2 is deterministic and independent of the actual worker count, so
+// equal seeds replay identically on any machine with at least two workers.
+func WithParallelism(n int) Option { return func(c *config) { c.parallelism = n } }
+
+// WithObserver taps every access's telemetry: fn runs synchronously for
+// each AccessResult the workload produces, during bootstrap and tuned runs
+// alike. Use it to stream per-access data into custom sinks without
+// wiring a full telemetry registry.
+func WithObserver(fn Observer) Option { return func(c *config) { c.observer = fn } }
+
 // WithTelemetry reports every layer of the system — per-device access
 // histograms, training gauges, movement and ReplayDB counters — through m.
 // Share one registry across systems to aggregate, or call Serve on it to
@@ -149,6 +183,7 @@ type System struct {
 	loop    *core.Loop
 
 	bootstrapLeft int
+	closed        bool
 	stats         []RunStats
 	tpSum         float64
 	tpCount       int64
@@ -168,6 +203,7 @@ func New(opts ...Option) (*System, error) {
 		epochs:       200,
 		windowX:      2000,
 		bootstrapRun: 5,
+		parallelism:  runtime.GOMAXPROCS(0),
 	}
 	for _, o := range opts {
 		o(&cfg)
@@ -200,6 +236,7 @@ func New(opts ...Option) (*System, error) {
 		WindowX:      cfg.windowX,
 		Seed:         cfg.seed,
 		Target:       cfg.target,
+		Parallelism:  cfg.parallelism,
 	})
 	if err != nil {
 		db.Close()
@@ -224,19 +261,36 @@ func New(opts ...Option) (*System, error) {
 	loop.Observer = func(res storagesim.AccessResult, wl, run int) {
 		sys.tpSum += res.Throughput
 		sys.tpCount++
+		if cfg.observer != nil {
+			cfg.observer(res, wl, run)
+		}
 	}
 	return sys, nil
 }
 
 // Run executes one workload run. During the bootstrap phase only telemetry
 // is collected; afterwards the engine trains and retunes the layout on its
-// cooldown schedule.
+// cooldown schedule. Run after Close returns ErrClosed.
 func (s *System) Run() (RunStats, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with cancellation: ctx is checked between workload
+// accesses, between training epochs, and between candidate-scoring
+// batches, so a cancelled call returns promptly with an error satisfying
+// errors.Is(err, ctx.Err()) and without applying a partial layout.
+func (s *System) RunContext(ctx context.Context) (RunStats, error) {
+	if s.closed {
+		return RunStats{}, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return RunStats{}, err
+	}
 	var stats RunStats
 	var err error
 	if s.bootstrapLeft > 0 {
 		s.bootstrapLeft--
-		stats, err = s.runner.RunOnce(func(res storagesim.AccessResult, wl, run int) {
+		stats, err = s.runner.RunOnceContext(ctx, func(res storagesim.AccessResult, wl, run int) {
 			s.loop.Observer(res, wl, run)
 			if s.metricsObs != nil {
 				s.metricsObs(res, wl, run)
@@ -244,7 +298,7 @@ func (s *System) Run() (RunStats, error) {
 			s.recordBootstrap(res, wl, run)
 		})
 	} else {
-		stats, err = s.loop.RunOnce()
+		stats, err = s.loop.RunOnceContext(ctx)
 	}
 	if err != nil {
 		return stats, err
@@ -274,9 +328,15 @@ func (s *System) recordBootstrap(res storagesim.AccessResult, wl, run int) {
 
 // RunN executes n workload runs, stopping at the first error.
 func (s *System) RunN(n int) ([]RunStats, error) {
+	return s.RunNContext(context.Background(), n)
+}
+
+// RunNContext executes n workload runs under ctx, stopping at the first
+// error; the completed runs' statistics are returned alongside it.
+func (s *System) RunNContext(ctx context.Context, n int) ([]RunStats, error) {
 	out := make([]RunStats, 0, n)
 	for i := 0; i < n; i++ {
-		st, err := s.Run()
+		st, err := s.RunContext(ctx)
 		if err != nil {
 			return out, err
 		}
@@ -315,5 +375,12 @@ func (s *System) Telemetry() int { return s.db.Len() }
 // Metrics returns the registry installed with WithTelemetry, or nil.
 func (s *System) Metrics() *Metrics { return s.metrics }
 
-// Close releases the replay database.
-func (s *System) Close() error { return s.db.Close() }
+// Close releases the replay database. Close is idempotent: the second and
+// later calls are no-ops returning nil. Run after Close returns ErrClosed.
+func (s *System) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.db.Close()
+}

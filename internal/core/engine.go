@@ -11,10 +11,14 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"geomancy/internal/agents"
@@ -23,6 +27,17 @@ import (
 	"geomancy/internal/nn"
 	"geomancy/internal/replaydb"
 	"geomancy/internal/telemetry"
+)
+
+// Sentinel errors of the engine. Callers match with errors.Is; the closed
+// loop and the facade surface them unchanged (wrapped with context).
+var (
+	// ErrNoTelemetry reports an empty training window: the ReplayDB has
+	// no access records for any candidate device yet.
+	ErrNoTelemetry = errors.New("core: no telemetry in ReplayDB")
+	// ErrNotTrained reports a layout proposal requested before the first
+	// completed training cycle.
+	ErrNotTrained = errors.New("core: engine not trained")
 )
 
 // Config tunes the engine. Zero values select the paper's settings.
@@ -60,6 +75,14 @@ type Config struct {
 	// Optimizer overrides SGD when set ("sgd" default, "adam" for the
 	// ablation).
 	Optimizer string
+	// Parallelism bounds the engine's worker pool: candidate feature
+	// assembly, the batched-inference GEMMs, and per-minibatch gradient
+	// accumulation all fan out across this many goroutines. 1 (the
+	// default) reproduces the serial engine bit-for-bit; any value ≥ 2 is
+	// deterministic and independent of the actual worker count, because
+	// the layout-deciding randomness stays on one goroutine and gradient
+	// reduction uses a fixed chunk structure.
+	Parallelism int
 	// Target selects the modeled performance metric: "throughput" (the
 	// paper's choice) or "latency" (the §V-C future-work variant — some
 	// workloads are latency-sensitive). With the latency target the
@@ -101,6 +124,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Optimizer == "" {
 		c.Optimizer = "sgd"
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = 1
 	}
 	if c.Target == "" {
 		c.Target = TargetThroughput
@@ -176,6 +202,11 @@ type Engine struct {
 
 	rewards []float64
 
+	// Batched-inference buffers, reused across decisions.
+	scratch nn.Scratch
+	inFlat  *mat.Matrix
+	inSeq   []*mat.Matrix
+
 	metrics engineMetrics
 }
 
@@ -189,6 +220,8 @@ type engineMetrics struct {
 	loss         *telemetry.Gauge
 	samples      *telemetry.Gauge
 	valMARE      *telemetry.Gauge
+	inferBatch   *telemetry.Histogram
+	inferSeconds *telemetry.Gauge
 }
 
 // SetMetrics points the engine's training instrumentation at reg: a
@@ -203,6 +236,8 @@ func (e *Engine) SetMetrics(reg *telemetry.Registry) {
 		loss:         reg.Gauge(telemetry.MetricTrainingLoss),
 		samples:      reg.Gauge(telemetry.MetricTrainingSamples),
 		valMARE:      reg.Gauge(telemetry.MetricTrainingValidationMAE),
+		inferBatch:   reg.Histogram(telemetry.MetricInferenceBatchSize, telemetry.DefBatchSizeBuckets),
+		inferSeconds: reg.Gauge(telemetry.MetricInferenceDuration),
 	}
 }
 
@@ -405,7 +440,7 @@ func (e *Engine) gatherTraining() (*nn.Dataset, error) {
 		recs = append(recs, e.db.RecentByDevice(dev, e.cfg.WindowX)...)
 	}
 	if len(recs) == 0 {
-		return nil, fmt.Errorf("core: no telemetry in ReplayDB")
+		return nil, ErrNoTelemetry
 	}
 	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Time < recs[j].Time })
 
@@ -437,7 +472,14 @@ func (e *Engine) gatherTraining() (*nn.Dataset, error) {
 // paper's 60/20/20 split, and refreshes the MAE adjustment from the
 // validation partition.
 func (e *Engine) Train() (TrainReport, error) {
-	rep, err := e.train()
+	return e.TrainContext(context.Background())
+}
+
+// TrainContext is Train with cancellation: ctx is checked between training
+// epochs, and a cancelled cycle returns ctx.Err() without refreshing the
+// model's scalers or validation metrics.
+func (e *Engine) TrainContext(ctx context.Context) (TrainReport, error) {
+	rep, err := e.train(ctx)
 	if err != nil {
 		e.metrics.trainErrors.Inc()
 		return rep, err
@@ -451,7 +493,7 @@ func (e *Engine) Train() (TrainReport, error) {
 	return rep, nil
 }
 
-func (e *Engine) train() (TrainReport, error) {
+func (e *Engine) train(ctx context.Context) (TrainReport, error) {
 	ds, err := e.gatherTraining()
 	if err != nil {
 		return TrainReport{}, err
@@ -473,10 +515,12 @@ func (e *Engine) train() (TrainReport, error) {
 
 	start := time.Now()
 	loss, err := e.net.Fit(train, nn.FitConfig{
-		Epochs:    e.cfg.Epochs,
-		BatchSize: e.cfg.BatchSize,
-		Optimizer: opt,
-		Rng:       e.rng,
+		Epochs:      e.cfg.Epochs,
+		BatchSize:   e.cfg.BatchSize,
+		Optimizer:   opt,
+		Rng:         e.rng,
+		Parallelism: e.cfg.Parallelism,
+		Ctx:         ctx,
 	})
 	if err != nil {
 		return TrainReport{}, err
@@ -584,6 +628,187 @@ func clamp01(v float64) float64 {
 	return v
 }
 
+// parallelFor runs fn(i) for every i in [0, n) across up to workers
+// goroutines, checking ctx between work items. workers ≤ 1 runs inline.
+// The iteration partition never affects results: callers only use it for
+// independent per-item work.
+func parallelFor(ctx context.Context, n, workers int, fn func(i int)) error {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i)
+		}
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// flatBuf returns the engine's reusable flat-input buffer sized rows×cols.
+func (e *Engine) flatBuf(rows, cols int) *mat.Matrix {
+	if e.inFlat == nil || e.inFlat.Rows != rows || e.inFlat.Cols != cols {
+		e.inFlat = mat.New(rows, cols)
+	}
+	return e.inFlat
+}
+
+// seqBufs returns the engine's reusable sequence-input buffers: w timestep
+// matrices, each rows×cols.
+func (e *Engine) seqBufs(w, rows, cols int) []*mat.Matrix {
+	if len(e.inSeq) != w {
+		e.inSeq = make([]*mat.Matrix, w)
+	}
+	for t := range e.inSeq {
+		if e.inSeq[t] == nil || e.inSeq[t].Rows != rows || e.inSeq[t].Cols != cols {
+			e.inSeq[t] = mat.New(rows, cols)
+		}
+	}
+	return e.inSeq
+}
+
+// candidateScores evaluates every (file, device) pairing in one batched
+// inference: feature assembly fans out over the worker pool (one ReplayDB
+// fetch per file instead of one per pairing), all len(files)×len(devices)
+// candidate rows go through a single ForwardBatch call, and the
+// denormalized, MAE-adjusted predictions come back as scores[i][j] for
+// files[i] on e.devices[j]. Every score is bit-identical to what
+// predictCandidate computes for the same pairing: batching and row-sharded
+// GEMMs do not change any output row's arithmetic order.
+func (e *Engine) candidateScores(ctx context.Context, files []FileMeta) ([][]float64, error) {
+	nDev := len(e.devices)
+	total := len(files) * nDev
+	if total == 0 {
+		return nil, nil
+	}
+	cols := e.net.InSize
+	recurrent := e.net.IsRecurrent()
+	var flat *mat.Matrix
+	var seq []*mat.Matrix
+	w := 1
+	if recurrent {
+		w = e.net.Window
+		seq = e.seqBufs(w, total, cols)
+	} else {
+		flat = e.flatBuf(total, cols)
+	}
+
+	// Assemble candidate feature rows; nothing here consumes e.rng.
+	err := parallelFor(ctx, len(files), e.cfg.Parallelism, func(i int) {
+		f := files[i]
+		// Candidate feature row: the file's typical access at this
+		// location, stamped at the most recent known time.
+		recent := e.db.RecentByFile(f.ID, e.net.Window)
+		var rb, wb, ts float64
+		if len(recent) > 0 {
+			last := recent[len(recent)-1]
+			ts = float64(last.CloseTS) + float64(last.CloseTMS)/1000
+			var rbSum, wbSum float64
+			for k := range recent {
+				rbSum += float64(recent[k].BytesRead)
+				wbSum += float64(recent[k].BytesWritten)
+			}
+			rb = rbSum / float64(len(recent))
+			wb = wbSum / float64(len(recent))
+		} else {
+			rb = float64(f.Size) / 2
+			ts = 0
+		}
+		// History rows (normalized) are shared by every device pairing of
+		// this file; only the candidate row itself differs per device.
+		var hist [][]float64
+		if recurrent {
+			hist = make([][]float64, len(recent))
+			for k := range recent {
+				raw := e.featureRow(&recent[k])
+				nrm := make([]float64, len(raw))
+				for c, v := range raw {
+					nrm[c] = e.featScaler.TransformValue(c, v)
+				}
+				hist[k] = nrm
+			}
+		}
+		for j, dev := range e.devices {
+			devIdx, ok := e.devIndex[dev]
+			if !ok {
+				devIdx = len(e.devices)
+			}
+			row := []float64{logBytes(rb), logBytes(wb), ts, ts, float64(f.ID), float64(devIdx)}
+			norm := make([]float64, len(row))
+			for c, v := range row {
+				norm[c] = e.featScaler.TransformValue(c, v)
+			}
+			r := i*nDev + j
+			if !recurrent {
+				flat.SetRow(r, norm)
+				continue
+			}
+			// The window is the file's history padded by repeating the
+			// candidate row, then the candidate row last — the batched form
+			// of predictCandidate's prepend-and-slice.
+			need := w - 1
+			for t := 0; t < need; t++ {
+				if k := len(hist) - need + t; k >= 0 {
+					seq[t].SetRow(r, hist[k])
+				} else {
+					seq[t].SetRow(r, norm)
+				}
+			}
+			seq[need].SetRow(r, norm)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// One batched forward pass over every candidate row.
+	start := time.Now()
+	e.scratch.Parallelism = e.cfg.Parallelism
+	out := e.net.ForwardBatch(flat, seq, &e.scratch)
+	e.metrics.inferSeconds.Set(time.Since(start).Seconds())
+	e.metrics.inferBatch.Observe(float64(total))
+
+	// Denormalize and MAE-adjust every prediction.
+	scores := make([][]float64, len(files))
+	err = parallelFor(ctx, len(files), e.cfg.Parallelism, func(i int) {
+		s := make([]float64, nDev)
+		for j := 0; j < nDev; j++ {
+			raw := DecodeTarget(e.targetScaler.Inverse(clamp01(out.At(i*nDev+j, 0))))
+			s[j] = nn.AdjustPrediction(raw, e.valMetrics)
+		}
+		scores[i] = s
+	})
+	if err != nil {
+		return nil, err
+	}
+	return scores, nil
+}
+
 // ProposeLayout predicts the throughput of every file at every candidate
 // location (including not moving it) and returns the layout assigning each
 // file to its best predicted location. With probability Epsilon a file is
@@ -591,42 +816,80 @@ func clamp01(v float64) float64 {
 // availability picture fresh (§V-H). The checker validates destinations;
 // invalid proposals fall back per the Action Checker rules.
 func (e *Engine) ProposeLayout(files []FileMeta, checker *agents.ActionChecker, valid agents.Validator) (map[int64]string, []Decision, error) {
+	return e.ProposeLayoutContext(context.Background(), files, checker, valid)
+}
+
+// ProposeLayoutContext is ProposeLayout with cancellation: ctx is checked
+// between candidate-scoring batches. All candidate predictions happen in
+// one batched inference (candidateScores) and the per-file validity
+// filters fan out over the worker pool; only the ε-greedy selection — the
+// part that draws from e.rng — runs serially in file order, so a fixed
+// seed replays identically at any Parallelism.
+func (e *Engine) ProposeLayoutContext(ctx context.Context, files []FileMeta, checker *agents.ActionChecker, valid agents.Validator) (map[int64]string, []Decision, error) {
 	if !e.trained {
-		return nil, nil, fmt.Errorf("core: engine not trained")
+		return nil, nil, ErrNotTrained
 	}
 	if checker == nil {
 		checker = agents.NewActionChecker(e.rng, e.devices)
 	}
-	layout := make(map[int64]string, len(files))
-	decisions := make([]Decision, 0, len(files))
-	for _, f := range files {
+	scores, err := e.candidateScores(ctx, files)
+	if err != nil {
+		return nil, nil, err
+	}
+	type scored struct {
+		d       Decision
+		cands   []agents.Candidate
+		passing []agents.Candidate
+	}
+	pre := make([]scored, len(files))
+	err = parallelFor(ctx, len(files), e.cfg.Parallelism, func(i int) {
+		f := files[i]
 		d := Decision{FileID: f.ID, Current: f.Device, Predictions: make(map[string]float64, len(e.devices))}
 		cands := make([]agents.Candidate, 0, len(e.devices))
-		for _, dev := range e.devices {
-			p := e.predictCandidate(f, dev)
+		for j, dev := range e.devices {
+			p := scores[i][j]
 			d.Predictions[dev] = p
 			// Candidate scores are maximize-me: latency negates.
 			cands = append(cands, agents.Candidate{Device: dev, Predicted: e.betterScore(p)})
 		}
+		pre[i] = scored{d: d, cands: cands, passing: checker.Filter(cands, f.Size, valid)}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	layout := make(map[int64]string, len(files))
+	decisions := make([]Decision, 0, len(files))
+	for i := range files {
+		f := files[i]
+		d := pre[i].d
 		if e.rng.Float64() < e.cfg.Epsilon {
 			// Exploration: random movement, still subject to validation.
 			d.Random = true
-			shuffled := make([]agents.Candidate, len(cands))
-			copy(shuffled, cands)
-			e.rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+			shuffled := make([]agents.Candidate, len(pre[i].cands))
+			copy(shuffled, pre[i].cands)
+			e.rng.Shuffle(len(shuffled), func(a, b int) { shuffled[a], shuffled[b] = shuffled[b], shuffled[a] })
 			passing := checker.Filter(shuffled, f.Size, valid)
 			if len(passing) > 0 {
 				d.Chosen = passing[0].Device
 			} else {
 				d.Chosen = f.Device
 			}
-		} else {
-			dev, random, ok := checker.Choose(cands, f.Size, valid)
-			if !ok {
-				dev = f.Device // nowhere to go: stay put
+		} else if passing := pre[i].passing; len(passing) > 0 {
+			// The checker's greedy rule over the precomputed valid set.
+			best := passing[0]
+			for _, c := range passing[1:] {
+				if c.Predicted > best.Predicted {
+					best = c
+				}
 			}
-			d.Chosen = dev
-			d.Random = random
+			d.Chosen = best.Device
+		} else if len(checker.AllDevices) > 0 {
+			// "In case all storage devices are invalid, a random movement
+			// is performed" (§V-H).
+			d.Chosen = checker.AllDevices[checker.Rng.Intn(len(checker.AllDevices))]
+			d.Random = true
+		} else {
+			d.Chosen = f.Device // nowhere to go: stay put
 		}
 		layout[f.ID] = d.Chosen
 		decisions = append(decisions, d)

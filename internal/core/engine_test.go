@@ -15,7 +15,7 @@ var testDevices = []string{"file0", "pic", "people", "tmp", "var", "USBtmp"}
 
 // seedDB fills a memory database with synthetic telemetry: device i has a
 // characteristic throughput, so the model has structure to learn.
-func seedDB(t *testing.T, n int) *replaydb.DB {
+func seedDB(t testing.TB, n int) *replaydb.DB {
 	t.Helper()
 	db, err := replaydb.Open(replaydb.Options{})
 	if err != nil {

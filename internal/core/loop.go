@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"geomancy/internal/agents"
@@ -148,8 +149,16 @@ func (l *Loop) fileMetas() []FileMeta {
 // RunOnce executes one workload run and, when the cooldown allows, one
 // full decide-and-move cycle. It returns the run statistics.
 func (l *Loop) RunOnce() (workload.RunStats, error) {
+	return l.RunOnceContext(context.Background())
+}
+
+// RunOnceContext is RunOnce with cancellation: ctx is checked between
+// workload accesses, between training epochs, and between candidate-scoring
+// batches. A cancelled cycle returns ctx.Err() (possibly wrapped) promptly
+// without applying a partial layout.
+func (l *Loop) RunOnceContext(ctx context.Context) (workload.RunStats, error) {
 	var obsErr error
-	stats, err := l.Runner.RunOnce(func(res storagesim.AccessResult, wl, run int) {
+	stats, err := l.Runner.RunOnceContext(ctx, func(res storagesim.AccessResult, wl, run int) {
 		if e := l.record(res, wl, run); e != nil && obsErr == nil {
 			obsErr = e
 		}
@@ -167,13 +176,13 @@ func (l *Loop) RunOnce() (workload.RunStats, error) {
 		return stats, nil
 	}
 
-	rep, err := l.Engine.Train()
+	rep, err := l.Engine.TrainContext(ctx)
 	if err != nil {
 		return stats, fmt.Errorf("core: training: %w", err)
 	}
 	l.trainLog = append(l.trainLog, rep)
 
-	layout, decisions, err := l.Engine.ProposeLayout(l.fileMetas(), l.Checker, agents.ClusterValidator(l.Cluster))
+	layout, decisions, err := l.Engine.ProposeLayoutContext(ctx, l.fileMetas(), l.Checker, agents.ClusterValidator(l.Cluster))
 	if err != nil {
 		return stats, fmt.Errorf("core: proposing layout: %w", err)
 	}

@@ -1,0 +1,49 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomMatrix(rng *rand.Rand, r, c int) *Matrix {
+	m := New(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// ParallelMulTo must be bit-for-bit identical to MulTo at every worker
+// count: sharding by output rows never changes any row's arithmetic order.
+func TestParallelMulToMatchesMulTo(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, shape := range [][3]int{{1, 6, 8}, {33, 6, 96}, {200, 96, 1}, {130, 17, 17}} {
+		a := randomMatrix(rng, shape[0], shape[1])
+		b := randomMatrix(rng, shape[1], shape[2])
+		want := New(shape[0], shape[2])
+		MulTo(want, a, b)
+		for _, workers := range []int{1, 2, 4, 16} {
+			got := New(shape[0], shape[2])
+			// Pre-dirty the destination: ParallelMulTo must overwrite fully.
+			for i := range got.Data {
+				got.Data[i] = 99
+			}
+			ParallelMulTo(got, a, b, workers)
+			for i := range want.Data {
+				if got.Data[i] != want.Data[i] {
+					t.Fatalf("shape %v workers %d: element %d = %v, want %v",
+						shape, workers, i, got.Data[i], want.Data[i])
+				}
+			}
+		}
+	}
+}
+
+func TestParallelMulToShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched inner dims should panic")
+		}
+	}()
+	ParallelMulTo(New(2, 2), New(2, 3), New(4, 2), 2)
+}

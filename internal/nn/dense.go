@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"math"
 	"math/rand"
 	"strconv"
 
@@ -25,6 +26,10 @@ type flatLayer interface {
 	// backward receives dLoss/dOutput and returns dLoss/dInput, adding
 	// parameter gradients into the layer's accumulators.
 	backward(dOut *mat.Matrix) *mat.Matrix
+	// cloneShared returns a replica sharing this layer's parameter
+	// matrices but owning private gradient accumulators and forward
+	// caches, so worker replicas can backpropagate concurrently.
+	cloneShared() flatLayer
 }
 
 // seqLayer consumes a sequence of T timestep matrices (each B×F) and emits
@@ -34,6 +39,8 @@ type seqLayer interface {
 	layer
 	forwardSeq(steps []*mat.Matrix) *mat.Matrix
 	backwardSeq(dOut *mat.Matrix)
+	// cloneShared mirrors flatLayer.cloneShared for recurrent heads.
+	cloneShared() seqLayer
 }
 
 // Dense is a fully connected layer computing act(X·W + b).
@@ -76,6 +83,61 @@ func (d *Dense) forward(x *mat.Matrix) *mat.Matrix {
 	}
 	d.lastIn, d.lastOut = x, out
 	return out
+}
+
+func (d *Dense) cloneShared() flatLayer {
+	return &Dense{
+		In: d.In, Out: d.Out, Act: d.Act,
+		W: d.W, B: d.B,
+		dW: mat.New(d.In, d.Out),
+		dB: mat.New(1, d.Out),
+	}
+}
+
+// forwardInto computes act(x·W + b) into dst without touching the
+// backward caches — the inference-only fast path. workers > 1 shards the
+// GEMM's output rows; every row is bit-identical to the serial product.
+func (d *Dense) forwardInto(dst, x *mat.Matrix, workers int) {
+	if workers > 1 {
+		mat.ParallelMulTo(dst, x, d.W, workers)
+	} else {
+		mat.MulTo(dst, x, d.W)
+	}
+	// Fused bias+activation epilogue: one pass over dst instead of an
+	// AddRowVector pass plus a per-element method-value call. Each element
+	// still computes act(v + b[j]), so results are bit-identical to the
+	// per-sample forward path.
+	bias := d.B.Data
+	n := len(bias)
+	switch d.Act {
+	case ReLU:
+		for r := 0; r < dst.Rows; r++ {
+			row := dst.Data[r*n : (r+1)*n]
+			for j, bv := range bias {
+				v := row[j] + bv
+				// Conditional on the integer bit pattern so the compiler
+				// emits a branchless select: activation signs are close to
+				// random, so a branch here mispredicts half the time. The
+				// strict v < 0 test keeps −0 and NaN unchanged, exactly
+				// like Activation.Apply.
+				bits := math.Float64bits(v)
+				if v < 0 {
+					bits = 0
+				}
+				row[j] = math.Float64frombits(bits)
+			}
+		}
+	case Linear:
+		for r := 0; r < dst.Rows; r++ {
+			row := dst.Data[r*n : (r+1)*n]
+			for j, bv := range bias {
+				row[j] += bv
+			}
+		}
+	default:
+		dst.AddRowVector(d.B)
+		dst.ApplyInPlace(d.Act.Apply)
+	}
 }
 
 func (d *Dense) backward(dOut *mat.Matrix) *mat.Matrix {

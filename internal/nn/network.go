@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -191,6 +192,17 @@ type FitConfig struct {
 	// for Patience consecutive epochs.
 	Validation *Dataset
 	Patience   int
+	// Parallelism shards each minibatch's gradient accumulation across
+	// this many worker replicas. Values ≤ 1 train serially — bit-for-bit
+	// the single-goroutine path. Any value ≥ 2 produces one canonical
+	// result independent of the actual worker count: the batch is split
+	// into fixed-size chunks whose gradients reduce in chunk order (see
+	// gradChunkRows), so equal seeds replay identically on any machine
+	// with at least two workers configured.
+	Parallelism int
+	// Ctx, when non-nil, cancels training between epochs; Fit returns the
+	// loss so far together with ctx.Err().
+	Ctx context.Context
 }
 
 // ErrNoData is returned when a dataset has no usable samples.
@@ -217,10 +229,25 @@ func (n *Network) Fit(ds *Dataset, cfg FitConfig) (float64, error) {
 	params := n.Params()
 	grads := n.GradsRef()
 
+	// Worker replicas for parallel gradient accumulation: they alias the
+	// parameters but own their gradients and caches.
+	var workers []*Network
+	if cfg.Parallelism > 1 {
+		workers = make([]*Network, cfg.Parallelism)
+		for i := range workers {
+			workers[i] = n.cloneShared()
+		}
+	}
+
 	var lastLoss float64
 	bestVal := math.Inf(1)
 	sinceBest := 0
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if cfg.Ctx != nil {
+			if err := cfg.Ctx.Err(); err != nil {
+				return lastLoss, err
+			}
+		}
 		if cfg.Rng != nil {
 			cfg.Rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		}
@@ -232,13 +259,19 @@ func (n *Network) Fit(ds *Dataset, cfg FitConfig) (float64, error) {
 				end = len(idx)
 			}
 			batch := idx[start:end]
-			flat, seq, y := n.assembleBatch(ds, batch)
-			pred := n.Forward(flat, seq)
-			loss, dOut := MSELoss(pred, y)
+			var loss float64
+			if workers != nil {
+				loss = n.fitBatchParallel(ds, batch, workers, grads)
+			} else {
+				flat, seq, y := n.assembleBatch(ds, batch)
+				pred := n.Forward(flat, seq)
+				var dOut *mat.Matrix
+				loss, dOut = MSELoss(pred, y)
+				n.ZeroGrads()
+				n.Backward(dOut)
+			}
 			epochLoss += loss
 			batches++
-			n.ZeroGrads()
-			n.Backward(dOut)
 			cfg.Optimizer.Step(params, grads)
 		}
 		lastLoss = epochLoss / float64(batches)

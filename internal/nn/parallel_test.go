@@ -1,0 +1,179 @@
+package nn
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"geomancy/internal/mat"
+)
+
+// randomRows returns n random feature rows of width z.
+func randomRows(rng *rand.Rand, n, z int) [][]float64 {
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, z)
+		for c := range rows[i] {
+			rows[i][c] = rng.Float64()
+		}
+	}
+	return rows
+}
+
+// testDataset builds a learnable synthetic dataset: y = mean(x) + noise.
+func testDataset(rng *rand.Rand, n, z int) *Dataset {
+	rows := randomRows(rng, n, z)
+	y := make([]float64, n)
+	for i, r := range rows {
+		var s float64
+		for _, v := range r {
+			s += v
+		}
+		y[i] = s/float64(z) + 0.01*rng.Float64()
+	}
+	return NewDataset(mat.FromRows(rows), y)
+}
+
+// ForwardBatch must be bit-for-bit identical to Forward, to per-sample
+// PredictOne calls, and to itself at any Scratch.Parallelism — for dense
+// and recurrent architectures alike.
+func TestForwardBatchMatchesForward(t *testing.T) {
+	for _, model := range []int{1, 18, 21} { // dense, SimpleRNN, LSTM head
+		rng := rand.New(rand.NewSource(5))
+		net, err := BuildModel(model, 6, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.Window = 4
+		const batch = 37
+		drng := rand.New(rand.NewSource(9))
+		var flat *mat.Matrix
+		var seq []*mat.Matrix
+		if net.IsRecurrent() {
+			seq = make([]*mat.Matrix, net.Window)
+			for ti := range seq {
+				seq[ti] = mat.FromRows(randomRows(drng, batch, 6))
+			}
+		} else {
+			flat = mat.FromRows(randomRows(drng, batch, 6))
+		}
+		want := net.Forward(flat, seq)
+		for _, par := range []int{1, 4} {
+			s := &Scratch{Parallelism: par}
+			got := net.ForwardBatch(flat, seq, s)
+			for i := range want.Data {
+				if got.Data[i] != want.Data[i] {
+					t.Fatalf("model %d parallelism %d: row %d ForwardBatch %v != Forward %v",
+						model, par, i/want.Cols, got.Data[i], want.Data[i])
+				}
+			}
+			// Reuse the scratch: buffers must not leak state between calls.
+			again := net.ForwardBatch(flat, seq, s)
+			for i := range want.Data {
+				if again.Data[i] != want.Data[i] {
+					t.Fatalf("model %d parallelism %d: scratch reuse diverged at %d", model, par, i)
+				}
+			}
+		}
+		// Per-sample equivalence: batching does not change any row's result.
+		for r := 0; r < batch; r++ {
+			var one float64
+			if net.IsRecurrent() {
+				win := make([][]float64, net.Window)
+				for ti := range win {
+					win[ti] = seq[ti].Row(r)
+				}
+				one = net.PredictOne(win)
+			} else {
+				one = net.PredictOne([][]float64{flat.Row(r)})
+			}
+			if one != want.At(r, 0) {
+				t.Fatalf("model %d: per-sample row %d = %v, batched = %v", model, r, one, want.At(r, 0))
+			}
+		}
+	}
+}
+
+// Training with any Parallelism ≥ 2 must produce one canonical result
+// independent of the worker count: a batch always reduces as fixed 8-row
+// chunks in chunk order.
+func TestFitParallelDeterministicAcrossWorkerCounts(t *testing.T) {
+	train := func(par int) (float64, []*mat.Matrix) {
+		rng := rand.New(rand.NewSource(3))
+		net, err := BuildModel(1, 6, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds := testDataset(rand.New(rand.NewSource(8)), 200, 6)
+		loss, err := net.Fit(ds, FitConfig{
+			Epochs:      4,
+			BatchSize:   32,
+			Optimizer:   &SGD{LR: 0.05},
+			Rng:         rand.New(rand.NewSource(2)),
+			Parallelism: par,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return loss, net.Params()
+	}
+	refLoss, refParams := train(2)
+	for _, par := range []int{3, 4, 8} {
+		loss, params := train(par)
+		if loss != refLoss {
+			t.Errorf("parallelism %d: loss %v != parallelism 2 loss %v", par, loss, refLoss)
+		}
+		for pi := range params {
+			for i := range params[pi].Data {
+				if params[pi].Data[i] != refParams[pi].Data[i] {
+					t.Fatalf("parallelism %d: param %d[%d] diverged", par, pi, i)
+				}
+			}
+		}
+	}
+}
+
+// Parallelism ≤ 1 must run the untouched serial path.
+func TestFitSerialUnchangedByParallelismOne(t *testing.T) {
+	train := func(par int) []*mat.Matrix {
+		rng := rand.New(rand.NewSource(3))
+		net, err := BuildModel(1, 6, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds := testDataset(rand.New(rand.NewSource(8)), 150, 6)
+		if _, err := net.Fit(ds, FitConfig{
+			Epochs:      3,
+			BatchSize:   32,
+			Optimizer:   &SGD{LR: 0.05},
+			Rng:         rand.New(rand.NewSource(2)),
+			Parallelism: par,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return net.Params()
+	}
+	a, b := train(0), train(1)
+	for pi := range a {
+		for i := range a[pi].Data {
+			if a[pi].Data[i] != b[pi].Data[i] {
+				t.Fatalf("Parallelism 0 and 1 diverged at param %d[%d]", pi, i)
+			}
+		}
+	}
+}
+
+// A cancelled context stops Fit between epochs with ctx.Err().
+func TestFitContextCancel(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net, err := BuildModel(1, 6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := testDataset(rand.New(rand.NewSource(8)), 100, 6)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := net.Fit(ds, FitConfig{Epochs: 50, Optimizer: &SGD{LR: 0.05}, Ctx: ctx}); err != context.Canceled {
+		t.Errorf("Fit with cancelled ctx returned %v, want context.Canceled", err)
+	}
+}

@@ -25,6 +25,8 @@ const (
 	MetricTrainingErrorsTotal   = "geomancy_training_errors_total"
 	MetricTrainingDurationHist  = "geomancy_training_duration_seconds_hist"
 	MetricTrainingValidationMAE = "geomancy_training_validation_mare"
+	MetricInferenceBatchSize    = "geomancy_inference_batch_size"
+	MetricInferenceDuration     = "geomancy_inference_duration_seconds"
 
 	// Interface Daemon (agents) — RPC histogram labeled {type="..."}.
 	MetricDaemonConnectionsTotal = "geomancy_daemon_connections_total"
@@ -63,6 +65,8 @@ func RegisterHelp(r *Registry) {
 		MetricTrainingErrorsTotal:    "Training cycles that failed.",
 		MetricTrainingDurationHist:   "Distribution of training-cycle wall times.",
 		MetricTrainingValidationMAE:  "Validation mean absolute relative error of the most recent cycle.",
+		MetricInferenceBatchSize:     "Distribution of candidate rows scored per batched inference.",
+		MetricInferenceDuration:      "Wall time of the most recent batched candidate inference.",
 		MetricDaemonConnectionsTotal: "TCP connections accepted by the Interface Daemon.",
 		MetricDaemonConnectionsOpen:  "TCP connections currently open on the Interface Daemon.",
 		MetricDaemonRPCSeconds:       "Interface Daemon request handling time by message type.",

@@ -460,4 +460,7 @@ var (
 	// DefDurationBuckets covers coarse durations (training, RPC handling,
 	// moves) from 1 ms to ~1000 s.
 	DefDurationBuckets = ExpBuckets(1e-3, 4, 11)
+	// DefBatchSizeBuckets covers batched-inference sizes from 1 row to
+	// 32768 (files × candidate devices per decision).
+	DefBatchSizeBuckets = ExpBuckets(1, 2, 16)
 )

@@ -11,6 +11,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -142,16 +143,26 @@ type RunStats struct {
 	LatencyP50, LatencyP95, LatencyP99 float64
 }
 
-/// RunOnce executes one workload run: every file visited in random order,
+// RunOnce executes one workload run: every file visited in random order,
 // each accessed 10–20 times in succession. The observer (if non-nil) sees
 // every access.
 func (r *Runner) RunOnce(obs Observer) (RunStats, error) {
+	return r.RunOnceContext(context.Background(), obs)
+}
+
+// RunOnceContext is RunOnce with cancellation: ctx is checked before every
+// access, and a cancelled run returns the partial statistics together with
+// ctx.Err() without counting as a completed run.
+func (r *Runner) RunOnceContext(ctx context.Context, obs Observer) (RunStats, error) {
 	seq := trace.BelleRun(r.rng, len(r.Files))
 	start := r.cluster.Now()
 	stats := RunStats{Run: r.runs}
 	lat := telemetry.NewHistogram(telemetry.DefLatencyBuckets)
 	var tpSum float64
 	for _, a := range seq {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
 		f := r.Files[a.FileIndex]
 		bytes := int64(float64(f.Size) * a.Fraction)
 		if bytes <= 0 {

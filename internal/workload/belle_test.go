@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"geomancy/internal/storagesim"
@@ -218,5 +220,36 @@ func TestRunErrorsOnUnavailableDevice(t *testing.T) {
 	r.Cluster().SetAvailable("pic", false)
 	if _, err := r.RunOnce(nil); err == nil {
 		t.Error("run should fail when a hosting device disappears")
+	}
+}
+
+// A cancelled context aborts a run between accesses: partial stats come
+// back with ctx.Err() and the run does not count as completed.
+func TestRunOnceContextCancel(t *testing.T) {
+	r := newTestRunner(t, 6)
+	ctx, cancel := context.WithCancel(context.Background())
+	var seen int
+	_, err := r.RunOnceContext(ctx, func(res storagesim.AccessResult, wl, run int) {
+		seen++
+		if seen == 3 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunOnceContext = %v, want context.Canceled", err)
+	}
+	if seen != 3 {
+		t.Errorf("observer saw %d accesses after cancel at 3", seen)
+	}
+	if r.Runs() != 0 {
+		t.Errorf("cancelled run counted as completed (%d runs)", r.Runs())
+	}
+	// The runner remains usable: the next uncancelled run completes.
+	stats, err := r.RunOnce(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Accesses == 0 || r.Runs() != 1 {
+		t.Errorf("runner unusable after cancellation: %+v runs=%d", stats, r.Runs())
 	}
 }
