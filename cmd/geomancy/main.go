@@ -10,6 +10,8 @@
 //	geomancy [-listen 127.0.0.1:0] [-runs 25] [-seed 1] [-epochs 40]
 //	         [-cooldown 5] [-db replay.wal] [-model 1] [-epsilon 0.1]
 //	         [-target throughput|latency] [-parallel 0]
+//	         [-retry-attempts 4] [-retry-base 5ms] [-io-timeout 5s]
+//	         [-fail-open] [-fault-drop 0] [-fault-delay 0] [-fault-partial 0]
 //	         [-metrics-addr 127.0.0.1:9090] [-metrics-json metrics.json] [-v]
 package main
 
@@ -24,15 +26,24 @@ import (
 	"os/signal"
 	"runtime"
 	"syscall"
+	"time"
 
 	"geomancy/internal/agents"
 	"geomancy/internal/core"
+	"geomancy/internal/faultnet"
 	"geomancy/internal/replaydb"
 	"geomancy/internal/storagesim"
 	"geomancy/internal/telemetry"
 	"geomancy/internal/trace"
 	"geomancy/internal/workload"
 )
+
+// deployOptions carries the fault-tolerance knobs into run.
+type deployOptions struct {
+	retry    agents.RetryPolicy
+	failOpen bool
+	faults   *faultnet.Config
+}
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "Interface Daemon listen address")
@@ -49,6 +60,14 @@ func main() {
 	parallel := flag.Int("parallel", 0, "engine worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics on this address (empty = disabled)")
 	metricsJSON := flag.String("metrics-json", "", "write a JSON metrics snapshot to this file on exit")
+	retryAttempts := flag.Int("retry-attempts", 0, "agent RPC retry budget (0 = default 4)")
+	retryBase := flag.Duration("retry-base", 0, "agent retry base backoff (0 = default 5ms)")
+	ioTimeout := flag.Duration("io-timeout", 0, "per-RPC agent I/O deadline (0 = default 5s)")
+	failOpen := flag.Bool("fail-open", true, "keep serving the last-known layout when agents are unreachable")
+	faultDrop := flag.Float64("fault-drop", 0, "inject: probability an agent I/O drops the connection")
+	faultDelay := flag.Float64("fault-delay", 0, "inject: probability an agent I/O is delayed")
+	faultDelayDur := flag.Duration("fault-delay-ms", 2*time.Millisecond, "inject: delay applied to delayed I/Os")
+	faultPartial := flag.Float64("fault-partial", 0, "inject: probability a write is truncated mid-stream")
 	flag.Parse()
 
 	cfg := core.Config{
@@ -64,11 +83,28 @@ func main() {
 	if cfg.Parallelism == 0 {
 		cfg.Parallelism = runtime.GOMAXPROCS(0)
 	}
+	opts := deployOptions{
+		retry: agents.RetryPolicy{
+			MaxAttempts: *retryAttempts,
+			BaseDelay:   *retryBase,
+			IOTimeout:   *ioTimeout,
+		},
+		failOpen: *failOpen,
+	}
+	if *faultDrop > 0 || *faultDelay > 0 || *faultPartial > 0 {
+		opts.faults = &faultnet.Config{
+			Seed:             *seed,
+			DropRate:         *faultDrop,
+			DelayRate:        *faultDelay,
+			Delay:            *faultDelayDur,
+			PartialWriteRate: *faultPartial,
+		}
+	}
 	// SIGINT/SIGTERM cancel the run between accesses, epochs, and scoring
 	// batches, so an interrupted deployment exits cleanly mid-cycle.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *listen, *runs, *seed, cfg, *dbPath, *verbose, *metricsAddr, *metricsJSON); err != nil {
+	if err := run(ctx, *listen, *runs, *seed, cfg, *dbPath, *verbose, *metricsAddr, *metricsJSON, opts); err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "geomancy: interrupted")
 			os.Exit(130)
@@ -78,7 +114,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, listen string, runs int, seed int64, cfg core.Config, dbPath string, verbose bool, metricsAddr, metricsJSON string) error {
+func run(ctx context.Context, listen string, runs int, seed int64, cfg core.Config, dbPath string, verbose bool, metricsAddr, metricsJSON string, opts deployOptions) error {
 	// Observability: one registry shared by every layer of the deployment.
 	reg := telemetry.NewRegistry()
 	telemetry.RegisterHelp(reg)
@@ -113,6 +149,15 @@ func run(ctx context.Context, listen string, runs int, seed int64, cfg core.Conf
 	daemon := agents.NewDaemon(db)
 	daemon.SetMetrics(reg)
 	daemon.Verbose = verbose
+	if opts.faults != nil {
+		fn := faultnet.New(*opts.faults)
+		daemon.WrapListener = fn.Listener
+		defer func() {
+			st := fn.Stats()
+			fmt.Printf("fault injection: %d drops, %d delays, %d partial writes\n",
+				st.Drops, st.Delays, st.PartialWrites)
+		}()
+	}
 	addr, err := daemon.Start(listen)
 	if err != nil {
 		return err
@@ -120,8 +165,24 @@ func run(ctx context.Context, listen string, runs int, seed int64, cfg core.Conf
 	defer daemon.Close()
 	fmt.Printf("interface daemon listening on %s\n", addr)
 
+	agentOpts := []agents.Option{
+		agents.WithRetryPolicy(opts.retry),
+		agents.WithMetrics(reg),
+	}
+	degradedCtr := reg.Counter(telemetry.MetricAgentDegradedTotal)
+	// degrade reports (and logs) err as a tolerated outage when running
+	// fail-open; otherwise the caller propagates it.
+	degrade := func(stage string, err error) bool {
+		if !opts.failOpen || !(errors.Is(err, agents.ErrUnavailable) || errors.Is(err, core.ErrNoTelemetry)) {
+			return false
+		}
+		degradedCtr.Inc()
+		fmt.Fprintf(os.Stderr, "degraded (%s): %v\n", stage, err)
+		return true
+	}
+
 	// Target-system side: monitoring agents (one per mount) + control agent.
-	monitors, err := agents.NewMonitorSet(addr, cluster.DeviceNames(), 32)
+	monitors, err := agents.NewMonitorSet(addr, cluster.DeviceNames(), 32, agentOpts...)
 	if err != nil {
 		return err
 	}
@@ -132,7 +193,7 @@ func run(ctx context.Context, listen string, runs int, seed int64, cfg core.Conf
 			return false, err
 		}
 		return mv.From != mv.To, nil
-	})
+	}, agentOpts...)
 	if err != nil {
 		return err
 	}
@@ -140,7 +201,7 @@ func run(ctx context.Context, listen string, runs int, seed int64, cfg core.Conf
 
 	// DRL engine. Training data flows through the Interface Daemon (the
 	// paper's Fig. 2 path), not by touching the database directly.
-	store, err := agents.DialRemoteStore(addr)
+	store, err := agents.DialRemoteStore(addr, agentOpts...)
 	if err != nil {
 		return err
 	}
@@ -151,6 +212,7 @@ func run(ctx context.Context, listen string, runs int, seed int64, cfg core.Conf
 	}
 	engine.SetMetrics(reg)
 	checker := agents.NewActionChecker(rand.New(rand.NewSource(seed+17)), cluster.DeviceNames())
+	pushRng := rand.New(rand.NewSource(seed + 101))
 
 	accessObs := workload.MetricsObserver(reg)
 	var tpSum float64
@@ -168,7 +230,10 @@ func run(ctx context.Context, listen string, runs int, seed int64, cfg core.Conf
 			return err
 		}
 		if err := monitors.Flush(); err != nil {
-			return err
+			// The unacked batch stays queued and replays on a later flush.
+			if !degrade("telemetry flush", err) {
+				return err
+			}
 		}
 		fmt.Printf("run %2d: %4d accesses, mean %.2f GB/s, p50/p95/p99 latency %.1f/%.1f/%.1f ms\n",
 			r, stats.Accesses, stats.MeanThroughput/1e9,
@@ -179,6 +244,9 @@ func run(ctx context.Context, listen string, runs int, seed int64, cfg core.Conf
 		}
 		rep, err := engine.TrainContext(ctx)
 		if err != nil {
+			if degrade("training", err) {
+				continue
+			}
 			return err
 		}
 		layout := cluster.Layout()
@@ -188,11 +256,17 @@ func run(ctx context.Context, listen string, runs int, seed int64, cfg core.Conf
 		}
 		proposal, decisions, err := engine.ProposeLayoutContext(ctx, metas, checker, agents.ClusterValidator(cluster))
 		if err != nil {
+			if degrade("proposing layout", err) {
+				continue
+			}
 			return err
 		}
 		before := cluster.Layout()
-		moved, err := daemon.PushLayout(proposal)
+		moved, err := daemon.PushLayoutRetry(proposal, opts.retry, pushRng)
 		if err != nil {
+			if degrade("layout push", err) {
+				continue
+			}
 			return err
 		}
 		// Persist the layout change the way the paper detects it: a file

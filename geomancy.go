@@ -31,9 +31,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"runtime"
 
+	"geomancy/internal/agents"
 	"geomancy/internal/core"
+	"geomancy/internal/faultnet"
 	"geomancy/internal/replaydb"
 	"geomancy/internal/storagesim"
 	"geomancy/internal/telemetry"
@@ -87,6 +90,24 @@ type AccessResult = storagesim.AccessResult
 // and run index. Observers run synchronously on the access path.
 type Observer = workload.Observer
 
+// RetryPolicy bounds every agent RPC in the distributed deployment:
+// per-operation I/O deadlines plus an exponential-backoff retry budget
+// with jitter. The zero value selects the defaults (4 attempts, 5ms base
+// backoff, 5s I/O timeout).
+type RetryPolicy = agents.RetryPolicy
+
+// SkippedDecision records a decision cycle served in degraded mode: the
+// agents plane was unreachable, so the last-known layout was kept.
+type SkippedDecision = core.SkippedDecision
+
+// FaultConfig tunes deterministic fault injection on the distributed
+// deployment's agent connections (drops, delays, partial writes), for
+// chaos-testing the control plane.
+type FaultConfig = faultnet.Config
+
+// FaultStats counts the faults injected so far.
+type FaultStats = faultnet.Stats
+
 // config collects the options.
 type config struct {
 	seed          int64
@@ -104,6 +125,9 @@ type config struct {
 	parallelism   int
 	observer      Observer
 	metrics       *telemetry.Registry
+	distributed   bool
+	retry         *agents.RetryPolicy
+	faults        *faultnet.Config
 }
 
 // Option customizes New.
@@ -174,6 +198,30 @@ func WithObserver(fn Observer) Option { return func(c *config) { c.observer = fn
 // scrape live.
 func WithTelemetry(m *Metrics) Option { return func(c *config) { c.metrics = m } }
 
+// WithDistributed runs the closed loop through the paper's Fig. 2
+// plumbing instead of in-process calls: an Interface Daemon on loopback
+// TCP, one monitoring agent per device shipping telemetry batches, a
+// control agent executing layout pushes, and the engine training through
+// a RemoteStore. The loop fails open: when the daemon or a control agent
+// is unreachable, it keeps serving the last-known layout, records the
+// skipped decision (see Skipped), and counts it on
+// geomancy_agents_degraded_decisions_total.
+func WithDistributed() Option { return func(c *config) { c.distributed = true } }
+
+// WithRetryPolicy bounds the distributed deployment's agent RPCs:
+// deadlines, retry budget, and backoff. Only meaningful with
+// WithDistributed.
+func WithRetryPolicy(p RetryPolicy) Option {
+	return func(c *config) { c.retry = &p }
+}
+
+// WithFaultInjection perturbs every agent connection of the distributed
+// deployment with deterministic, seeded faults — the chaos-testing knob
+// for the control plane. Only meaningful with WithDistributed.
+func WithFaultInjection(fc FaultConfig) Option {
+	return func(c *config) { c.faults = &fc }
+}
+
 // System is a fully wired Geomancy deployment over a simulated target
 // system. It is not safe for concurrent use.
 type System struct {
@@ -181,6 +229,13 @@ type System struct {
 	db      *replaydb.DB
 	runner  *workload.Runner
 	loop    *core.Loop
+
+	// distributed plane (nil without WithDistributed)
+	daemon   *agents.Daemon
+	monitors *agents.MonitorSet
+	control  *agents.Control
+	store    *agents.RemoteStore
+	fnet     *faultnet.Network
 
 	bootstrapLeft int
 	closed        bool
@@ -228,7 +283,24 @@ func New(opts ...Option) (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("geomancy: opening replay database: %w", err)
 	}
-	loop, err := core.NewLoop(db, cluster, runner, core.Config{
+	sys := &System{
+		cluster:       cluster,
+		db:            db,
+		runner:        runner,
+		bootstrapLeft: cfg.bootstrapRun,
+		metrics:       cfg.metrics,
+		metricsObs:    workload.MetricsObserver(cfg.metrics),
+	}
+	var store core.TelemetryStore = db
+	if cfg.distributed {
+		if err := sys.startAgents(&cfg); err != nil {
+			sys.teardownAgents()
+			db.Close()
+			return nil, err
+		}
+		store = sys.store
+	}
+	loop, err := core.NewLoopWithStore(store, db, cluster, runner, core.Config{
 		ModelNumber:  cfg.model,
 		Epsilon:      cfg.epsilon,
 		CooldownRuns: cfg.cooldown,
@@ -239,8 +311,24 @@ func New(opts ...Option) (*System, error) {
 		Parallelism:  cfg.parallelism,
 	})
 	if err != nil {
+		sys.teardownAgents()
 		db.Close()
 		return nil, fmt.Errorf("geomancy: building engine: %w", err)
+	}
+	sys.loop = loop
+	if cfg.distributed {
+		rp := agents.RetryPolicy{}
+		if cfg.retry != nil {
+			rp = *cfg.retry
+		}
+		loop.Recorder = sys.monitors.Observe
+		loop.Flusher = sys.monitors.Flush
+		loop.Pusher = pushRetrier{
+			d:      sys.daemon,
+			policy: rp,
+			rng:    rand.New(rand.NewSource(cfg.seed + 101)),
+		}
+		loop.FailOpen = true
 	}
 	if cfg.gapScheduling {
 		loop.EnableGapScheduling()
@@ -248,15 +336,6 @@ func New(opts ...Option) (*System, error) {
 	if cfg.metrics != nil {
 		db.SetMetrics(cfg.metrics)
 		loop.SetMetrics(cfg.metrics)
-	}
-	sys := &System{
-		cluster:       cluster,
-		db:            db,
-		runner:        runner,
-		loop:          loop,
-		bootstrapLeft: cfg.bootstrapRun,
-		metrics:       cfg.metrics,
-		metricsObs:    workload.MetricsObserver(cfg.metrics),
 	}
 	loop.Observer = func(res storagesim.AccessResult, wl, run int) {
 		sys.tpSum += res.Throughput
@@ -266,6 +345,95 @@ func New(opts ...Option) (*System, error) {
 		}
 	}
 	return sys, nil
+}
+
+// startAgents brings up the distributed plane on loopback TCP: Interface
+// Daemon, one monitoring agent per device, a control agent whose mover
+// drives the simulated cluster, and the engine's RemoteStore.
+func (s *System) startAgents(cfg *config) error {
+	daemon := agents.NewDaemon(s.db)
+	if cfg.metrics != nil {
+		daemon.SetMetrics(cfg.metrics)
+	}
+	if cfg.faults != nil {
+		s.fnet = faultnet.New(*cfg.faults)
+		daemon.WrapListener = s.fnet.Listener
+	}
+	addr, err := daemon.Start("127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("geomancy: starting interface daemon: %w", err)
+	}
+	s.daemon = daemon
+	var aopts []agents.Option
+	if cfg.retry != nil {
+		aopts = append(aopts, agents.WithRetryPolicy(*cfg.retry))
+	}
+	if cfg.metrics != nil {
+		aopts = append(aopts, agents.WithMetrics(cfg.metrics))
+	}
+	monitors, err := agents.NewMonitorSet(addr, s.cluster.DeviceNames(), monitorBatchSize, aopts...)
+	if err != nil {
+		return fmt.Errorf("geomancy: starting monitoring agents: %w", err)
+	}
+	s.monitors = monitors
+	control, err := agents.NewControl(addr, func(id int64, dev string) (bool, error) {
+		mv, err := s.cluster.Move(id, dev)
+		if err != nil {
+			return false, err
+		}
+		return mv.From != mv.To, nil
+	}, aopts...)
+	if err != nil {
+		return fmt.Errorf("geomancy: starting control agent: %w", err)
+	}
+	s.control = control
+	store, err := agents.DialRemoteStore(addr, aopts...)
+	if err != nil {
+		return fmt.Errorf("geomancy: connecting engine store: %w", err)
+	}
+	s.store = store
+	return nil
+}
+
+// monitorBatchSize is the monitoring agents' telemetry batch size in the
+// distributed deployment.
+const monitorBatchSize = 32
+
+// pushRetrier is the loop's LayoutPusher: Daemon.PushLayout under the
+// retry policy, so a transient fault on a control-agent connection does
+// not cost a decision cycle (pushes replay safely; see PushLayoutRetry).
+type pushRetrier struct {
+	d      *agents.Daemon
+	policy agents.RetryPolicy
+	rng    *rand.Rand
+}
+
+func (p pushRetrier) PushLayout(layout map[int64]string) (int, error) {
+	return p.d.PushLayoutRetry(layout, p.policy, p.rng)
+}
+
+// teardownAgents closes whatever part of the distributed plane is up,
+// tolerating an unreachable daemon (final flushes are then abandoned).
+func (s *System) teardownAgents() error {
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil && !errors.Is(err, agents.ErrUnavailable) {
+			first = err
+		}
+	}
+	if s.monitors != nil {
+		keep(s.monitors.Close())
+	}
+	if s.control != nil {
+		keep(s.control.Close())
+	}
+	if s.store != nil {
+		keep(s.store.Close())
+	}
+	if s.daemon != nil {
+		keep(s.daemon.Close())
+	}
+	return first
 }
 
 // Run executes one workload run. During the bootstrap phase only telemetry
@@ -290,13 +458,31 @@ func (s *System) RunContext(ctx context.Context) (RunStats, error) {
 	var err error
 	if s.bootstrapLeft > 0 {
 		s.bootstrapLeft--
+		var obsErr error
 		stats, err = s.runner.RunOnceContext(ctx, func(res storagesim.AccessResult, wl, run int) {
 			s.loop.Observer(res, wl, run)
 			if s.metricsObs != nil {
 				s.metricsObs(res, wl, run)
 			}
-			s.recordBootstrap(res, wl, run)
+			if s.monitors != nil {
+				if e := s.monitors.Observe(res, wl, run); e != nil && obsErr == nil {
+					obsErr = e
+				}
+			} else {
+				s.recordBootstrap(res, wl, run)
+			}
 		})
+		if err == nil && s.monitors != nil {
+			if e := s.monitors.Flush(); e != nil && obsErr == nil {
+				obsErr = e
+			}
+		}
+		// An unreachable daemon during bootstrap is tolerated: the
+		// monitors retain the unacked batches and replay them on a later
+		// flush, so no telemetry is lost.
+		if err == nil && obsErr != nil && !errors.Is(obsErr, agents.ErrUnavailable) {
+			return stats, fmt.Errorf("geomancy: recording bootstrap telemetry: %w", obsErr)
+		}
 	} else {
 		stats, err = s.loop.RunOnceContext(ctx)
 	}
@@ -375,12 +561,31 @@ func (s *System) Telemetry() int { return s.db.Len() }
 // Metrics returns the registry installed with WithTelemetry, or nil.
 func (s *System) Metrics() *Metrics { return s.metrics }
 
-// Close releases the replay database. Close is idempotent: the second and
-// later calls are no-ops returning nil. Run after Close returns ErrClosed.
+// Skipped returns every decision cycle served in degraded mode: the
+// distributed plane was unreachable, so the last-known layout was kept.
+// Always empty without WithDistributed.
+func (s *System) Skipped() []SkippedDecision { return s.loop.Skipped() }
+
+// FaultStats returns the faults injected so far; zero without
+// WithFaultInjection.
+func (s *System) FaultStats() FaultStats {
+	if s.fnet == nil {
+		return FaultStats{}
+	}
+	return s.fnet.Stats()
+}
+
+// Close flushes and stops the distributed agents (when running) and
+// releases the replay database. Close is idempotent: the second and later
+// calls are no-ops returning nil. Run after Close returns ErrClosed.
 func (s *System) Close() error {
 	if s.closed {
 		return nil
 	}
 	s.closed = true
-	return s.db.Close()
+	err := s.teardownAgents()
+	if dbErr := s.db.Close(); dbErr != nil && err == nil {
+		err = dbErr
+	}
+	return err
 }

@@ -4,35 +4,85 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
+
+	"geomancy/internal/telemetry"
 )
 
 // Client is a query connection to the Interface Daemon; the DRL engine
 // uses one to request training data ("the DRL engine requests training
 // data from the ReplayDB via the Interface Daemon", §V-E).
+//
+// Failure model: every query runs under the retry policy's I/O deadline,
+// so a hung daemon surfaces as a timeout instead of blocking forever.
+// Queries are idempotent reads, so transport failures redial and repeat
+// the query; replies are matched by ID, and stale replies left over from
+// timed-out predecessors are drained rather than mistaken for answers.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	bw   *bufio.Writer
-	enc  *json.Encoder
-	dec  *json.Decoder
-	next uint64
+	addr string
+	opts options
+	met  agentMetrics
+	rng  *rand.Rand // backoff jitter only
+
+	mu        sync.Mutex
+	conn      net.Conn
+	bw        *bufio.Writer
+	enc       *json.Encoder
+	dec       *json.Decoder
+	connected bool
+	next      uint64
 }
 
 // NewClient dials the daemon at addr.
-func NewClient(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
+func NewClient(addr string, opts ...Option) (*Client, error) {
+	o := buildOptions(opts)
+	c := &Client{
+		addr: addr,
+		opts: o,
+		met:  metricsFor(o.reg, "client"),
+		rng:  rand.New(rand.NewSource(1009)),
+	}
+	if err := c.ensureConnLocked(); err != nil {
 		return nil, fmt.Errorf("agents: client dial: %w", err)
 	}
-	bw := bufio.NewWriter(conn)
-	return &Client{
-		conn: conn,
-		bw:   bw,
-		enc:  json.NewEncoder(bw),
-		dec:  json.NewDecoder(bufio.NewReader(conn)),
-	}, nil
+	return c, nil
+}
+
+// SetMetrics re-points the client's retry/reconnect instrumentation at
+// reg (agents dialed before a registry existed).
+func (c *Client) SetMetrics(reg *telemetry.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.met = metricsFor(reg, "client")
+}
+
+func (c *Client) ensureConnLocked() error {
+	if c.conn != nil {
+		return nil
+	}
+	conn, err := c.opts.dial("tcp", c.addr)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	c.bw = bufio.NewWriter(conn)
+	c.enc = json.NewEncoder(c.bw)
+	c.dec = json.NewDecoder(bufio.NewReader(conn))
+	if c.connected {
+		c.met.reconnects.Inc()
+	}
+	c.connected = true
+	return nil
+}
+
+func (c *Client) dropConnLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
 }
 
 // Recent fetches the n most recent accesses for a device (empty device =
@@ -52,24 +102,71 @@ func (c *Client) query(req Envelope) ([]Report, error) {
 	defer c.mu.Unlock()
 	c.next++
 	req.ID = c.next
+	var lastErr error
+	for attempt := 1; attempt <= c.opts.policy.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			c.met.retries.Inc()
+			time.Sleep(c.opts.policy.backoff(attempt-1, c.rng))
+		}
+		if err := c.ensureConnLocked(); err != nil {
+			lastErr = err
+			continue
+		}
+		reports, err := c.roundTripLocked(req)
+		if err == nil {
+			return reports, nil
+		}
+		if fe, ok := err.(fatalAckError); ok {
+			return nil, fmt.Errorf("agents: daemon error: %w", fe.err)
+		}
+		lastErr = err
+		c.dropConnLocked()
+	}
+	return nil, markUnavailable(fmt.Errorf("agents: client query: %w", lastErr))
+}
+
+// roundTripLocked performs one query round trip under the I/O deadline,
+// draining any stale replies whose ID predates this query.
+func (c *Client) roundTripLocked(req Envelope) ([]Report, error) {
+	deadline := time.Now().Add(c.opts.policy.IOTimeout)
+	if err := c.conn.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
+	start := time.Now()
 	if err := c.enc.Encode(req); err != nil {
-		return nil, fmt.Errorf("agents: client query: %w", err)
+		return nil, fmt.Errorf("write query: %w", err)
 	}
 	if err := c.bw.Flush(); err != nil {
-		return nil, fmt.Errorf("agents: client query: %w", err)
+		return nil, fmt.Errorf("write query: %w", err)
 	}
-	var reply Envelope
-	if err := c.dec.Decode(&reply); err != nil {
-		return nil, fmt.Errorf("agents: client reply: %w", err)
+	for {
+		var reply Envelope
+		if err := c.dec.Decode(&reply); err != nil {
+			return nil, fmt.Errorf("read reply: %w", err)
+		}
+		switch {
+		case reply.Type == TypeError:
+			return nil, fatalAckError{fmt.Errorf("%s", reply.Error)}
+		case reply.Type == TypeRecentReply && reply.ID < req.ID:
+			// A stale reply to an earlier query whose round trip we
+			// abandoned; drain it so this query reads its own answer.
+			continue
+		case reply.Type != TypeRecentReply || reply.ID != req.ID:
+			return nil, fmt.Errorf("unexpected reply %q (id %d, want %d)", reply.Type, reply.ID, req.ID)
+		}
+		c.met.ackLatency.Observe(time.Since(start).Seconds())
+		return reply.Reports, nil
 	}
-	if reply.Type == TypeError {
-		return nil, fmt.Errorf("agents: daemon error: %s", reply.Error)
-	}
-	if reply.Type != TypeRecentReply || reply.ID != req.ID {
-		return nil, fmt.Errorf("agents: unexpected reply %q (id %d, want %d)", reply.Type, reply.ID, req.ID)
-	}
-	return reply.Reports, nil
 }
 
 // Close disconnects the client.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}

@@ -3,9 +3,12 @@ package agents
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 )
 
 // Mover executes one file movement on the target system. It reports
@@ -18,47 +21,82 @@ type Mover func(fileID int64, device string) (moved bool, err error)
 // with the number of files moved. Agents "do not interfere with the
 // system's activities except for instructing the target system to move
 // data in the background" (§V-A).
+//
+// Failure model: when the daemon connection breaks, the agent redials and
+// re-registers with exponential backoff, indefinitely, until Close — a
+// long-lived agent on the target system must outlive daemon restarts.
+// Layout application is idempotent (moving a file to the device it is
+// already on is a no-op), so a push replayed after a reconnect is safe.
 type Control struct {
 	mover Mover
-
-	conn net.Conn
-	bw   *bufio.Writer
-	enc  *json.Encoder
+	addr  string
+	opts  options
+	met   agentMetrics
+	rng   *rand.Rand // backoff jitter only
 
 	mu      sync.Mutex
+	conn    net.Conn
+	bw      *bufio.Writer
+	enc     *json.Encoder
 	applied int // total files moved over the agent's lifetime
-	done    chan struct{}
+	closed  bool
+
+	stop chan struct{} // closed by Close; interrupts reconnect backoff
+	done chan struct{} // closed when the receive loop exits
 }
 
 // NewControl dials the daemon, registers, and starts applying layout
 // pushes in the background.
-func NewControl(addr string, mover Mover) (*Control, error) {
+func NewControl(addr string, mover Mover, opts ...Option) (*Control, error) {
 	if mover == nil {
 		return nil, fmt.Errorf("agents: control agent needs a mover")
 	}
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("agents: control dial: %w", err)
-	}
-	bw := bufio.NewWriter(conn)
+	o := buildOptions(opts)
 	c := &Control{
 		mover: mover,
-		conn:  conn,
-		bw:    bw,
-		enc:   json.NewEncoder(bw),
+		addr:  addr,
+		opts:  o,
+		met:   metricsFor(o.reg, "control"),
+		rng:   rand.New(rand.NewSource(2027)),
+		stop:  make(chan struct{}),
 		done:  make(chan struct{}),
 	}
-	if err := c.send(Envelope{Type: TypeRegisterControl}); err != nil {
-		conn.Close()
+	if err := c.connect(); err != nil {
 		return nil, err
 	}
-	go c.loop()
+	go c.run()
 	return c, nil
+}
+
+// connect dials and registers one connection, installing it as current.
+func (c *Control) connect() error {
+	conn, err := c.opts.dial("tcp", c.addr)
+	if err != nil {
+		return fmt.Errorf("agents: control dial: %w", err)
+	}
+	bw := bufio.NewWriter(conn)
+	enc := json.NewEncoder(bw)
+	c.mu.Lock()
+	c.conn = conn
+	c.bw = bw
+	c.enc = enc
+	c.mu.Unlock()
+	if err := c.send(Envelope{Type: TypeRegisterControl}); err != nil {
+		conn.Close()
+		return err
+	}
+	return nil
 }
 
 func (c *Control) send(env Envelope) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.conn == nil {
+		return fmt.Errorf("agents: control send: not connected")
+	}
+	if err := c.conn.SetWriteDeadline(time.Now().Add(c.opts.policy.IOTimeout)); err != nil {
+		return fmt.Errorf("agents: control send: %w", err)
+	}
 	if err := c.enc.Encode(env); err != nil {
 		return fmt.Errorf("agents: control send: %w", err)
 	}
@@ -68,13 +106,31 @@ func (c *Control) send(env Envelope) error {
 	return nil
 }
 
-// loop reads layout pushes until the connection closes.
-func (c *Control) loop() {
+// run reads layout pushes, reconnecting on connection loss until Close.
+func (c *Control) run() {
 	defer close(c.done)
-	dec := json.NewDecoder(bufio.NewReader(c.conn))
+	for {
+		c.mu.Lock()
+		conn := c.conn
+		closed := c.closed
+		c.mu.Unlock()
+		if closed || conn == nil {
+			return
+		}
+		c.serveConn(conn)
+		if !c.reconnect() {
+			return
+		}
+	}
+}
+
+// serveConn applies pushes from one connection until it breaks.
+func (c *Control) serveConn(conn net.Conn) {
+	dec := json.NewDecoder(bufio.NewReader(conn))
 	for {
 		var env Envelope
 		if err := dec.Decode(&env); err != nil {
+			conn.Close()
 			return
 		}
 		if env.Type != TypeLayout {
@@ -98,12 +154,36 @@ func (c *Control) loop() {
 		c.mu.Lock()
 		c.applied += moved
 		c.mu.Unlock()
-		ack := Envelope{Type: TypeLayoutAck, Moved: moved}
+		ack := Envelope{Type: TypeLayoutAck, ID: env.ID, Moved: moved}
 		if firstErr != nil {
 			ack.Error = firstErr.Error()
 		}
 		if err := c.send(ack); err != nil {
+			conn.Close()
 			return
+		}
+	}
+}
+
+// reconnect redials-and-reregisters with backoff until it succeeds or the
+// agent is closed. It reports whether a connection was established.
+func (c *Control) reconnect() bool {
+	for attempt := 1; ; attempt++ {
+		select {
+		case <-c.stop:
+			return false
+		case <-time.After(c.opts.policy.backoff(attempt, c.rng)):
+		}
+		c.mu.Lock()
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return false
+		}
+		c.met.retries.Inc()
+		if err := c.connect(); err == nil {
+			c.met.reconnects.Inc()
+			return true
 		}
 	}
 }
@@ -117,7 +197,24 @@ func (c *Control) Applied() int {
 
 // Close disconnects the agent and waits for its loop to stop.
 func (c *Control) Close() error {
-	err := c.conn.Close()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		<-c.done
+		return nil
+	}
+	c.closed = true
+	conn := c.conn
+	c.mu.Unlock()
+	close(c.stop)
+	var err error
+	if conn != nil {
+		// The serve loop closes the connection itself when it breaks; a
+		// second close here is a harmless no-op, not a failure.
+		if cerr := conn.Close(); cerr != nil && !errors.Is(cerr, net.ErrClosed) {
+			err = cerr
+		}
+	}
 	<-c.done
 	return err
 }

@@ -7,7 +7,9 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -26,11 +28,22 @@ type Daemon struct {
 	controls map[uint64]*controlConn
 	conns    map[net.Conn]struct{}
 	nextID   uint64
-	closed   bool
-	wg       sync.WaitGroup
+	nextPush uint64
+	// lastSeq holds the highest acknowledged batch ID per monitor (the
+	// envelope's From). Batch IDs are monotonic per monitor and survive
+	// reconnects, so a replayed batch whose original delivery succeeded
+	// is detected here and acknowledged without storing duplicates.
+	lastSeq map[string]uint64
+	closed  bool
+	wg      sync.WaitGroup
 
 	// AckTimeout bounds how long PushLayout waits for each control agent.
 	AckTimeout time.Duration
+
+	// WrapListener, when set before Start, wraps the accept listener —
+	// the hook fault-injection harnesses (internal/faultnet) use to
+	// perturb every agent connection.
+	WrapListener func(net.Listener) net.Listener
 
 	// Verbose enables structured connection/error logging with a [daemon]
 	// prefix. Quiet by default: connection handling errors are counted in
@@ -51,6 +64,7 @@ type daemonMetrics struct {
 	errorsTotal  *telemetry.Counter
 	reportsTotal *telemetry.Counter
 	layoutPushes *telemetry.Counter
+	duplicates   *telemetry.Counter
 	rpcMetrics   *telemetry.Histogram
 	rpcRecent    *telemetry.Histogram
 	rpcPush      *telemetry.Histogram
@@ -68,6 +82,7 @@ func NewDaemon(db *replaydb.DB) *Daemon {
 		db:         db,
 		controls:   make(map[uint64]*controlConn),
 		conns:      make(map[net.Conn]struct{}),
+		lastSeq:    make(map[string]uint64),
 		AckTimeout: 5 * time.Second,
 	}
 }
@@ -82,6 +97,7 @@ func (d *Daemon) SetMetrics(reg *telemetry.Registry) {
 		errorsTotal:  reg.Counter(telemetry.MetricDaemonErrorsTotal),
 		reportsTotal: reg.Counter(telemetry.MetricDaemonReportsTotal),
 		layoutPushes: reg.Counter(telemetry.MetricDaemonLayoutPushes),
+		duplicates:   reg.Counter(telemetry.MetricDaemonDuplicateBatches),
 		rpcMetrics:   reg.Histogram(telemetry.MetricDaemonRPCSeconds, telemetry.DefDurationBuckets, telemetry.L("type", TypeMetrics)),
 		rpcRecent:    reg.Histogram(telemetry.MetricDaemonRPCSeconds, telemetry.DefDurationBuckets, telemetry.L("type", TypeRecentQuery)),
 		rpcPush:      reg.Histogram(telemetry.MetricDaemonRPCSeconds, telemetry.DefDurationBuckets, telemetry.L("type", TypeLayout)),
@@ -106,6 +122,9 @@ func (d *Daemon) Start(addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("agents: daemon listen: %w", err)
+	}
+	if d.WrapListener != nil {
+		ln = d.WrapListener(ln)
 	}
 	d.mu.Lock()
 	d.ln = ln
@@ -176,6 +195,24 @@ func (d *Daemon) serve(conn net.Conn) {
 		start := time.Now()
 		switch env.Type {
 		case TypeMetrics:
+			// Dedupe replayed batches: a monitor that never saw the ack
+			// re-sends the batch under its original (From, ID). Storing it
+			// again would double-count the telemetry, so acknowledge
+			// without appending.
+			if env.From != "" && env.ID != 0 {
+				d.mu.Lock()
+				dup := env.ID <= d.lastSeq[env.From]
+				d.mu.Unlock()
+				if dup {
+					d.metrics.duplicates.Inc()
+					d.logf("duplicate batch (%s, %d) deduped", env.From, env.ID)
+					if err := enc.Encode(Envelope{Type: TypeMetricsAck, ID: env.ID, N: len(env.Reports)}); err != nil {
+						d.metrics.errorsTotal.Inc()
+						return
+					}
+					continue
+				}
+			}
 			ok := true
 			for _, rep := range env.Reports {
 				if _, err := d.db.AppendAccess(rep.ToRecord()); err != nil {
@@ -188,6 +225,13 @@ func (d *Daemon) serve(conn net.Conn) {
 			}
 			if !ok {
 				return
+			}
+			if env.From != "" && env.ID != 0 {
+				d.mu.Lock()
+				if env.ID > d.lastSeq[env.From] {
+					d.lastSeq[env.From] = env.ID
+				}
+				d.mu.Unlock()
 			}
 			d.metrics.reportsTotal.Add(uint64(len(env.Reports)))
 			d.metrics.rpcMetrics.Observe(time.Since(start).Seconds())
@@ -247,53 +291,145 @@ func (d *Daemon) ControlCount() int {
 	return len(d.controls)
 }
 
+// PushOutcome reports how one control agent handled a layout push.
+type PushOutcome struct {
+	// Agent is the daemon-assigned registration ID.
+	Agent uint64
+	// Moved is the number of files the agent reports moving.
+	Moved int
+	// Err is the agent's failure, a transport error, or an ack timeout;
+	// nil for a clean application.
+	Err error
+}
+
 // PushLayout broadcasts a layout to every registered control agent and
-// waits (up to AckTimeout each) for their acknowledgements. It returns the
-// total number of files the agents report moving.
+// waits (up to AckTimeout overall) for their acknowledgements. It returns
+// the total number of files the agents report moving.
+//
+// Entries go out sorted by FileID, so the wire transcript of a fixed-seed
+// run is identical run-to-run (the layout map's iteration order is not).
+// Every agent is contacted even when an earlier one fails — an agent that
+// silently kept a stale layout is worse than an aggregated error — and
+// the error (if any) reports each failing agent's outcome. Acks are
+// correlated by a per-push ID so a late ack from a previous, timed-out
+// push is never credited to this one.
 func (d *Daemon) PushLayout(layout map[int64]string) (int, error) {
+	moved, outcomes, err := d.PushLayoutOutcomes(layout)
+	_ = outcomes
+	return moved, err
+}
+
+// PushLayoutOutcomes is PushLayout with the per-agent outcomes exposed.
+func (d *Daemon) PushLayoutOutcomes(layout map[int64]string) (int, []PushOutcome, error) {
 	start := time.Now()
 	entries := make([]LayoutEntry, 0, len(layout))
 	for id, dev := range layout {
 		entries = append(entries, LayoutEntry{FileID: id, Device: dev})
 	}
-	env := Envelope{Type: TypeLayout, Layout: entries}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].FileID < entries[j].FileID })
 
 	d.mu.Lock()
-	targets := make([]*controlConn, 0, len(d.controls))
-	for _, cc := range d.controls {
-		targets = append(targets, cc)
+	d.nextPush++
+	pushID := d.nextPush
+	ids := make([]uint64, 0, len(d.controls))
+	for id := range d.controls {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	targets := make([]*controlConn, 0, len(ids))
+	for _, id := range ids {
+		targets = append(targets, d.controls[id])
 	}
 	d.mu.Unlock()
 	if len(targets) == 0 {
 		d.metrics.errorsTotal.Inc()
-		return 0, fmt.Errorf("agents: no control agents registered")
+		return 0, nil, markUnavailable(fmt.Errorf("agents: no control agents registered"))
 	}
+	env := Envelope{Type: TypeLayout, ID: pushID, Layout: entries}
 
-	var moved int
-	for _, cc := range targets {
+	// Write phase: contact every agent before waiting on any ack.
+	outcomes := make([]PushOutcome, len(targets))
+	for i, cc := range targets {
+		outcomes[i].Agent = ids[i]
+		cc.conn.SetWriteDeadline(time.Now().Add(d.AckTimeout))
 		if err := cc.enc.Encode(env); err != nil {
 			d.metrics.errorsTotal.Inc()
 			d.logf("layout push to %s: %v", cc.conn.RemoteAddr(), err)
-			return moved, fmt.Errorf("agents: pushing layout: %w", err)
+			outcomes[i].Err = markUnavailable(fmt.Errorf("push: %w", err))
 		}
-		select {
-		case ack := <-cc.acks:
-			if ack.Error != "" {
+		cc.conn.SetWriteDeadline(time.Time{})
+	}
+
+	// Ack phase: one shared deadline so a slow agent cannot stretch the
+	// wait to len(targets) × AckTimeout.
+	deadline := time.After(d.AckTimeout)
+	var moved int
+	for i, cc := range targets {
+		if outcomes[i].Err != nil {
+			continue
+		}
+	await:
+		for {
+			select {
+			case ack := <-cc.acks:
+				if ack.ID != 0 && ack.ID != pushID {
+					continue await // stale ack from a superseded push
+				}
+				moved += ack.Moved
+				outcomes[i].Moved = ack.Moved
+				if ack.Error != "" {
+					d.metrics.errorsTotal.Inc()
+					d.logf("layout ack from %s: %s", cc.conn.RemoteAddr(), ack.Error)
+					outcomes[i].Err = fmt.Errorf("apply: %s", ack.Error)
+				}
+				break await
+			case <-deadline:
 				d.metrics.errorsTotal.Inc()
-				d.logf("layout ack from %s: %s", cc.conn.RemoteAddr(), ack.Error)
-				return moved, fmt.Errorf("agents: control agent: %s", ack.Error)
+				d.logf("layout ack from %s timed out after %v", cc.conn.RemoteAddr(), d.AckTimeout)
+				outcomes[i].Err = markUnavailable(fmt.Errorf("ack timed out after %v", d.AckTimeout))
+				break await
 			}
-			moved += ack.Moved
-		case <-time.After(d.AckTimeout):
-			d.metrics.errorsTotal.Inc()
-			d.logf("layout ack from %s timed out after %v", cc.conn.RemoteAddr(), d.AckTimeout)
-			return moved, fmt.Errorf("agents: timed out waiting for layout ack")
 		}
+	}
+
+	var errs []error
+	for _, oc := range outcomes {
+		if oc.Err != nil {
+			errs = append(errs, fmt.Errorf("agents: control agent %d: %w", oc.Agent, oc.Err))
+		}
+	}
+	if len(errs) > 0 {
+		return moved, outcomes, errors.Join(errs...)
 	}
 	d.metrics.layoutPushes.Inc()
 	d.metrics.rpcPush.Observe(time.Since(start).Seconds())
 	d.logf("pushed layout of %d files to %d control agents (%d moved)", len(entries), len(targets), moved)
-	return moved, nil
+	return moved, outcomes, nil
+}
+
+// PushLayoutRetry is PushLayout with policy's retry budget. Replaying a
+// push is safe — layout application is idempotent (re-homing a file onto
+// its current device is a no-op) and acks are correlated per push — so a
+// transient transport fault need not cost the caller a decision cycle.
+// Mover failures (the target system refusing a move) are not retried:
+// repeating the request would not change the answer.
+func (d *Daemon) PushLayoutRetry(layout map[int64]string, policy RetryPolicy, rng *rand.Rand) (int, error) {
+	policy = policy.withDefaults()
+	var lastErr error
+	for attempt := 1; attempt <= policy.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			time.Sleep(policy.backoff(attempt-1, rng))
+		}
+		moved, _, err := d.PushLayoutOutcomes(layout)
+		if err == nil {
+			return moved, nil
+		}
+		lastErr = err
+		if !errors.Is(err, ErrUnavailable) {
+			return moved, err
+		}
+	}
+	return 0, lastErr
 }
 
 // Close stops the listener and waits for connection handlers to drain.

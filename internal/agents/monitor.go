@@ -4,8 +4,10 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 
 	"geomancy/internal/storagesim"
 )
@@ -16,6 +18,12 @@ import (
 // telemetry to the Interface Daemon in batches, because "Geomancy captures
 // groups of accesses as one access to lower the overhead of transferring
 // the performance data".
+//
+// Failure model: a batch keeps its sequence ID until the daemon
+// acknowledges it. Transport failures (write error, ack timeout, dropped
+// connection) redial and replay the batch under the *same* ID; the daemon
+// deduplicates by (From, ID), so a retry whose original delivery actually
+// succeeded is acknowledged without storing duplicates.
 type Monitor struct {
 	// Device is the mount this agent watches; accesses on other devices
 	// are ignored.
@@ -23,34 +31,72 @@ type Monitor struct {
 	// BatchSize is the number of reports shipped per message.
 	BatchSize int
 
-	mu    sync.Mutex
-	conn  net.Conn
-	bw    *bufio.Writer
-	enc   *json.Encoder
-	dec   *json.Decoder
-	next  uint64
-	batch []Report
+	addr string
+	opts options
+	met  agentMetrics
+	rng  *rand.Rand // backoff jitter only; never affects behaviour
+
+	mu        sync.Mutex
+	conn      net.Conn
+	bw        *bufio.Writer
+	enc       *json.Encoder
+	dec       *json.Decoder
+	connected bool // a connection has succeeded before (reconnect metric)
+	next      uint64
+	batchID   uint64 // ID of the buffered batch; 0 = unassigned
+	batch     []Report
 }
 
 // NewMonitor dials the Interface Daemon at addr and returns an agent for
 // the named device. batchSize ≤ 0 defaults to 32.
-func NewMonitor(addr, device string, batchSize int) (*Monitor, error) {
+func NewMonitor(addr, device string, batchSize int, opts ...Option) (*Monitor, error) {
 	if batchSize <= 0 {
 		batchSize = 32
 	}
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("agents: monitor dial: %w", err)
-	}
-	bw := bufio.NewWriter(conn)
-	return &Monitor{
+	o := buildOptions(opts)
+	m := &Monitor{
 		Device:    device,
 		BatchSize: batchSize,
-		conn:      conn,
-		bw:        bw,
-		enc:       json.NewEncoder(bw),
-		dec:       json.NewDecoder(bufio.NewReader(conn)),
-	}, nil
+		addr:      addr,
+		opts:      o,
+		met:       metricsFor(o.reg, "monitor"),
+		rng:       rand.New(rand.NewSource(int64(len(device)) + 42)),
+	}
+	if err := m.ensureConnLocked(); err != nil {
+		return nil, fmt.Errorf("agents: monitor dial: %w", err)
+	}
+	return m, nil
+}
+
+// ensureConnLocked (re)establishes the daemon connection. Callers hold
+// m.mu (or are the constructor).
+func (m *Monitor) ensureConnLocked() error {
+	if m.conn != nil {
+		return nil
+	}
+	conn, err := m.opts.dial("tcp", m.addr)
+	if err != nil {
+		return err
+	}
+	m.conn = conn
+	m.bw = bufio.NewWriter(conn)
+	m.enc = json.NewEncoder(m.bw)
+	m.dec = json.NewDecoder(bufio.NewReader(conn))
+	if m.connected {
+		m.met.reconnects.Inc()
+	}
+	m.connected = true
+	return nil
+}
+
+// dropConnLocked discards a broken connection so the next attempt
+// redials. A fresh connection also guarantees a clean stream position: no
+// stale acks from timed-out round trips linger in the read buffer.
+func (m *Monitor) dropConnLocked() {
+	if m.conn != nil {
+		m.conn.Close()
+		m.conn = nil
+	}
 }
 
 // Observe records one access. Accesses on other devices are ignored, so a
@@ -87,37 +133,100 @@ func (m *Monitor) flushLocked() error {
 	if len(m.batch) == 0 {
 		return nil
 	}
-	m.next++
-	env := Envelope{Type: TypeMetrics, ID: m.next, From: m.Device, Reports: m.batch}
+	// The batch ID is assigned once and survives retries: the daemon
+	// dedupes replays by (From, ID).
+	if m.batchID == 0 {
+		m.next++
+		m.batchID = m.next
+	}
+	env := Envelope{Type: TypeMetrics, ID: m.batchID, From: m.Device, Reports: m.batch}
+	var lastErr error
+	for attempt := 1; attempt <= m.opts.policy.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			m.met.retries.Inc()
+			time.Sleep(m.opts.policy.backoff(attempt-1, m.rng))
+		}
+		if err := m.ensureConnLocked(); err != nil {
+			lastErr = err
+			continue
+		}
+		err := m.shipLocked(env)
+		if err == nil {
+			m.batch = m.batch[:0]
+			m.batchID = 0
+			return nil
+		}
+		if isFatalAck(err) {
+			// The daemon answered; the failure is its storage layer, not
+			// the transport. Keep the batch (and its ID) for the caller
+			// to retry; do not burn the retry budget on it.
+			return fmt.Errorf("agents: monitor %s: %w", m.Device, err)
+		}
+		lastErr = err
+		m.dropConnLocked()
+	}
+	return markUnavailable(fmt.Errorf("agents: monitor %s flush: %w", m.Device, lastErr))
+}
+
+// fatalAckError marks a daemon-level (non-transport) rejection.
+type fatalAckError struct{ err error }
+
+func (e fatalAckError) Error() string { return e.err.Error() }
+func (e fatalAckError) Unwrap() error { return e.err }
+
+func isFatalAck(err error) bool {
+	_, ok := err.(fatalAckError)
+	return ok
+}
+
+// shipLocked performs one write-batch/read-ack round trip under the
+// policy's I/O deadline.
+func (m *Monitor) shipLocked(env Envelope) error {
+	deadline := time.Now().Add(m.opts.policy.IOTimeout)
+	if err := m.conn.SetDeadline(deadline); err != nil {
+		return err
+	}
+	start := time.Now()
 	if err := m.enc.Encode(env); err != nil {
-		return fmt.Errorf("agents: monitor %s flush: %w", m.Device, err)
+		return fmt.Errorf("write batch: %w", err)
 	}
 	if err := m.bw.Flush(); err != nil {
-		return fmt.Errorf("agents: monitor %s flush: %w", m.Device, err)
+		return fmt.Errorf("write batch: %w", err)
 	}
 	// Wait for the daemon's ack so that a completed Flush guarantees the
 	// telemetry is queryable (the engine trains right after flushing).
-	var ack Envelope
-	if err := m.dec.Decode(&ack); err != nil {
-		return fmt.Errorf("agents: monitor %s ack: %w", m.Device, err)
+	// Acks for earlier IDs (replays of round trips whose ack was lost)
+	// are drained, never treated as answers to this batch.
+	for {
+		var ack Envelope
+		if err := m.dec.Decode(&ack); err != nil {
+			return fmt.Errorf("read ack: %w", err)
+		}
+		switch {
+		case ack.Type == TypeError:
+			return fatalAckError{fmt.Errorf("daemon error: %s", ack.Error)}
+		case ack.Type == TypeMetricsAck && ack.ID < env.ID:
+			continue // stale ack from a superseded round trip
+		case ack.Type != TypeMetricsAck || ack.ID != env.ID:
+			return fmt.Errorf("unexpected ack %q (id %d, want %d)", ack.Type, ack.ID, env.ID)
+		}
+		m.met.ackLatency.Observe(time.Since(start).Seconds())
+		return nil
 	}
-	if ack.Type == TypeError {
-		return fmt.Errorf("agents: monitor %s: daemon error: %s", m.Device, ack.Error)
-	}
-	if ack.Type != TypeMetricsAck || ack.ID != m.next {
-		return fmt.Errorf("agents: monitor %s: unexpected ack %q (id %d, want %d)", m.Device, ack.Type, ack.ID, m.next)
-	}
-	m.batch = m.batch[:0]
-	return nil
 }
 
 // Close flushes and closes the connection.
 func (m *Monitor) Close() error {
-	if err := m.Flush(); err != nil {
-		m.conn.Close()
-		return err
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	err := m.flushLocked()
+	if m.conn != nil {
+		if cerr := m.conn.Close(); err == nil {
+			err = cerr
+		}
+		m.conn = nil
 	}
-	return m.conn.Close()
+	return err
 }
 
 // MonitorSet bundles one monitor per device behind a single Observer
@@ -127,10 +236,10 @@ type MonitorSet struct {
 }
 
 // NewMonitorSet dials one monitoring agent per device name.
-func NewMonitorSet(addr string, devices []string, batchSize int) (*MonitorSet, error) {
+func NewMonitorSet(addr string, devices []string, batchSize int, opts ...Option) (*MonitorSet, error) {
 	set := &MonitorSet{}
 	for _, dev := range devices {
-		m, err := NewMonitor(addr, dev, batchSize)
+		m, err := NewMonitor(addr, dev, batchSize, opts...)
 		if err != nil {
 			set.Close()
 			return nil, err
@@ -158,6 +267,15 @@ func (s *MonitorSet) Flush() error {
 		}
 	}
 	return nil
+}
+
+// Pending returns the total buffered, unshipped reports across agents.
+func (s *MonitorSet) Pending() int {
+	n := 0
+	for _, m := range s.monitors {
+		n += m.Pending()
+	}
+	return n
 }
 
 // Close closes every agent, returning the first error.

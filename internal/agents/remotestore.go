@@ -27,8 +27,8 @@ func NewRemoteStore(client *Client) *RemoteStore {
 }
 
 // DialRemoteStore connects a fresh client to the daemon at addr.
-func DialRemoteStore(addr string) (*RemoteStore, error) {
-	cl, err := NewClient(addr)
+func DialRemoteStore(addr string, opts ...Option) (*RemoteStore, error) {
+	cl, err := NewClient(addr, opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"geomancy/internal/agents"
@@ -19,6 +20,21 @@ type MovementEvent struct {
 	Run         int
 	// Random counts exploration decisions in the applied layout.
 	Random int
+}
+
+// SkippedDecision records one decision cycle the loop served in degraded
+// mode: agents were unreachable (or telemetry was not yet queryable), so
+// the last-known layout was kept instead of aborting the run.
+type SkippedDecision struct {
+	Run    int
+	Reason string
+}
+
+// LayoutPusher applies a layout through the distributed control plane
+// (agents.Daemon.PushLayout); the loop falls back to the in-process
+// Runner.ApplyLayout when none is installed.
+type LayoutPusher interface {
+	PushLayout(layout map[int64]string) (int, error)
 }
 
 // Loop wires the full Geomancy closed loop in-process: workload runs feed
@@ -40,8 +56,26 @@ type Loop struct {
 	movements   []MovementEvent
 	trainLog    []TrainReport
 	deferrals   []Deferral
+	skipped     []SkippedDecision
 	// Observer, when set, additionally receives every access.
 	Observer workload.Observer
+	// Recorder, when set, replaces the direct ReplayDB append on the
+	// telemetry path — the distributed deployment routes every access
+	// through its monitoring agents instead.
+	Recorder func(res storagesim.AccessResult, wl, run int) error
+	// Pusher, when set, applies decided layouts through the distributed
+	// control plane instead of Runner.ApplyLayout.
+	Pusher LayoutPusher
+	// Flusher, when set, drains buffered telemetry (the monitoring agents'
+	// partial batches) after every run, so each run's accesses are fully
+	// queryable before the engine's next decision.
+	Flusher func() error
+	// FailOpen keeps the loop alive through agent outages: when the
+	// daemon or a control agent is unreachable during a decision cycle,
+	// the loop keeps serving the last-known layout, records the cycle in
+	// Skipped, and counts it on the degraded-decisions metric instead of
+	// returning an error.
+	FailOpen bool
 	// Scheduler, when set, gates movements on predicted access gaps (the
 	// paper's §X extension). Use EnableGapScheduling to install one wired
 	// to the loop's telemetry.
@@ -54,6 +88,7 @@ type Loop struct {
 	movedBytes   *telemetry.Counter
 	deferralsCtr *telemetry.Counter
 	exploreCtr   *telemetry.Counter
+	degradedCtr  *telemetry.Counter
 }
 
 // SetMetrics wires the loop (and its engine) to report through reg:
@@ -67,12 +102,21 @@ func (l *Loop) SetMetrics(reg *telemetry.Registry) {
 	l.movedBytes = reg.Counter(telemetry.MetricMovedBytesTotal)
 	l.deferralsCtr = reg.Counter(telemetry.MetricDeferralsTotal)
 	l.exploreCtr = reg.Counter(telemetry.MetricExplorationTotal)
+	l.degradedCtr = reg.Counter(telemetry.MetricAgentDegradedTotal)
 	l.Engine.SetMetrics(reg)
 }
 
 // NewLoop assembles a loop over an existing cluster/runner/db.
 func NewLoop(db *replaydb.DB, cluster *storagesim.Cluster, runner *workload.Runner, cfg Config) (*Loop, error) {
-	engine, err := NewEngine(db, cluster.DeviceNames(), cfg)
+	return NewLoopWithStore(db, db, cluster, runner, cfg)
+}
+
+// NewLoopWithStore assembles a loop whose engine trains through store —
+// e.g. an agents.RemoteStore, preserving the paper's decoupling where
+// "the DRL engine requests training data from the ReplayDB via the
+// Interface Daemon" (§V-E) — while movement records still persist to db.
+func NewLoopWithStore(store TelemetryStore, db *replaydb.DB, cluster *storagesim.Cluster, runner *workload.Runner, cfg Config) (*Loop, error) {
+	engine, err := NewEngine(store, cluster.DeviceNames(), cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -83,6 +127,24 @@ func NewLoop(db *replaydb.DB, cluster *storagesim.Cluster, runner *workload.Runn
 		Cluster: cluster,
 		Checker: agents.NewActionChecker(engine.rng, cluster.DeviceNames()),
 	}, nil
+}
+
+// Skipped returns every decision cycle served in degraded mode.
+func (l *Loop) Skipped() []SkippedDecision {
+	return append([]SkippedDecision(nil), l.skipped...)
+}
+
+// degradable reports whether err is an outage the loop may fail open on:
+// unreachable agents, or an engine window that came back empty because
+// the remote store could not serve it.
+func degradable(err error) bool {
+	return errors.Is(err, agents.ErrUnavailable) || errors.Is(err, ErrNoTelemetry)
+}
+
+// noteDegraded records one fail-open cycle.
+func (l *Loop) noteDegraded(run int, err error) {
+	l.skipped = append(l.skipped, SkippedDecision{Run: run, Reason: err.Error()})
+	l.degradedCtr.Inc()
 }
 
 // EnableGapScheduling installs a gap-aware movement scheduler fed by the
@@ -109,7 +171,9 @@ func (l *Loop) TrainLog() []TrainReport {
 	return append([]TrainReport(nil), l.trainLog...)
 }
 
-// record stores telemetry from one access.
+// record stores telemetry from one access: through the Recorder (the
+// distributed monitoring agents) when installed, directly into the
+// ReplayDB otherwise.
 func (l *Loop) record(res storagesim.AccessResult, wl, run int) error {
 	l.accessCount++
 	if l.metricsObs != nil {
@@ -117,6 +181,9 @@ func (l *Loop) record(res storagesim.AccessResult, wl, run int) error {
 	}
 	if l.Scheduler != nil && l.Scheduler.Gaps != nil {
 		l.Scheduler.Gaps.Observe(res.FileID, res.Start)
+	}
+	if l.Recorder != nil {
+		return l.Recorder(res, wl, run)
 	}
 	_, err := l.DB.AppendAccess(replaydb.AccessRecord{
 		Time:         res.Start,
@@ -146,6 +213,35 @@ func (l *Loop) fileMetas() []FileMeta {
 	return metas
 }
 
+// applyLayout re-homes files: through the control plane when a Pusher is
+// installed (the movements materialize as cluster-layout changes made by
+// the control agents' movers), via the Runner otherwise.
+func (l *Loop) applyLayout(layout map[int64]string) ([]storagesim.MoveResult, error) {
+	if l.Pusher == nil {
+		return l.Runner.ApplyLayout(layout)
+	}
+	before := l.Cluster.Layout()
+	if _, err := l.Pusher.PushLayout(layout); err != nil {
+		return nil, err
+	}
+	// The agents applied the moves remotely; reconstruct the movement
+	// records from the observable layout change.
+	after := l.Cluster.Layout()
+	var moves []storagesim.MoveResult
+	for _, f := range l.Runner.Files {
+		if before[f.ID] != after[f.ID] {
+			moves = append(moves, storagesim.MoveResult{
+				FileID: f.ID,
+				From:   before[f.ID],
+				To:     after[f.ID],
+				Bytes:  f.Size,
+				Start:  l.Cluster.Now(),
+			})
+		}
+	}
+	return moves, nil
+}
+
 // RunOnce executes one workload run and, when the cooldown allows, one
 // full decide-and-move cycle. It returns the run statistics.
 func (l *Loop) RunOnce() (workload.RunStats, error) {
@@ -170,7 +266,24 @@ func (l *Loop) RunOnceContext(ctx context.Context) (workload.RunStats, error) {
 		return stats, err
 	}
 	if obsErr != nil {
+		// Telemetry could not reach the daemon. In fail-open mode the
+		// monitors retain the unacked batch (replayed on the next flush),
+		// so nothing is lost — skip this cycle's decision and keep
+		// serving the last-known layout.
+		if l.FailOpen && degradable(obsErr) {
+			l.noteDegraded(stats.Run, obsErr)
+			return stats, nil
+		}
 		return stats, fmt.Errorf("core: recording telemetry: %w", obsErr)
+	}
+	if l.Flusher != nil {
+		if err := l.Flusher(); err != nil {
+			if l.FailOpen && degradable(err) {
+				l.noteDegraded(stats.Run, err)
+				return stats, nil
+			}
+			return stats, fmt.Errorf("core: flushing telemetry: %w", err)
+		}
 	}
 	if !l.Engine.ShouldAct(stats.Run) {
 		return stats, nil
@@ -178,12 +291,20 @@ func (l *Loop) RunOnceContext(ctx context.Context) (workload.RunStats, error) {
 
 	rep, err := l.Engine.TrainContext(ctx)
 	if err != nil {
+		if l.FailOpen && degradable(err) {
+			l.noteDegraded(stats.Run, err)
+			return stats, nil
+		}
 		return stats, fmt.Errorf("core: training: %w", err)
 	}
 	l.trainLog = append(l.trainLog, rep)
 
 	layout, decisions, err := l.Engine.ProposeLayoutContext(ctx, l.fileMetas(), l.Checker, agents.ClusterValidator(l.Cluster))
 	if err != nil {
+		if l.FailOpen && degradable(err) {
+			l.noteDegraded(stats.Run, err)
+			return stats, nil
+		}
 		return stats, fmt.Errorf("core: proposing layout: %w", err)
 	}
 	if l.Scheduler != nil {
@@ -205,8 +326,12 @@ func (l *Loop) RunOnceContext(ctx context.Context) (workload.RunStats, error) {
 		l.deferrals = append(l.deferrals, deferred...)
 		l.deferralsCtr.Add(uint64(len(deferred)))
 	}
-	moves, err := l.Runner.ApplyLayout(layout)
+	moves, err := l.applyLayout(layout)
 	if err != nil {
+		if l.FailOpen && degradable(err) {
+			l.noteDegraded(stats.Run, err)
+			return stats, nil
+		}
 		return stats, fmt.Errorf("core: applying layout: %w", err)
 	}
 	randomCount := 0

@@ -35,6 +35,14 @@ const (
 	MetricDaemonErrorsTotal      = "geomancy_daemon_errors_total"
 	MetricDaemonLayoutPushes     = "geomancy_daemon_layout_pushes_total"
 	MetricDaemonReportsTotal     = "geomancy_daemon_reports_total"
+	MetricDaemonDuplicateBatches = "geomancy_daemon_duplicate_batches_total"
+
+	// Agent-side fault tolerance (monitors, query client, control agents)
+	// — retries/reconnects labeled {agent="..."}.
+	MetricAgentRetriesTotal    = "geomancy_agents_retries_total"
+	MetricAgentReconnectsTotal = "geomancy_agents_reconnects_total"
+	MetricAgentDegradedTotal   = "geomancy_agents_degraded_decisions_total"
+	MetricAgentAckSeconds      = "geomancy_agents_ack_latency_seconds"
 
 	// ReplayDB.
 	MetricReplayAccessInserts   = "geomancy_replaydb_access_inserts_total"
@@ -73,6 +81,11 @@ func RegisterHelp(r *Registry) {
 		MetricDaemonErrorsTotal:      "Interface Daemon protocol/storage errors.",
 		MetricDaemonLayoutPushes:     "Layouts pushed to control agents.",
 		MetricDaemonReportsTotal:     "Telemetry reports ingested by the Interface Daemon.",
+		MetricDaemonDuplicateBatches: "Retried telemetry batches deduplicated by (From, ID).",
+		MetricAgentRetriesTotal:      "Agent RPC attempts retried after transport errors.",
+		MetricAgentReconnectsTotal:   "Agent connections re-established after loss.",
+		MetricAgentDegradedTotal:     "Decision cycles skipped because agents were unreachable.",
+		MetricAgentAckSeconds:        "Round-trip latency of acknowledged agent RPCs.",
 		MetricReplayAccessInserts:    "Access records appended to the ReplayDB.",
 		MetricReplayMovementInserts:  "Movement records appended to the ReplayDB.",
 		MetricReplayQueriesTotal:     "Read queries served by the ReplayDB.",
