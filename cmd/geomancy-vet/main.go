@@ -1,0 +1,62 @@
+// Command geomancy-vet runs Geomancy's custom static-analysis suite —
+// determinism, ctxflow, metricnames, errcompare, locksafe — over the
+// module, in the spirit of `go vet` but enforcing the repo's own
+// invariants (see DESIGN.md §Enforced invariants).
+//
+// Usage:
+//
+//	go run ./cmd/geomancy-vet ./...
+//
+// Findings print one per line as file:line:col: analyzer: message, and
+// any finding makes the exit status 1. Sites that are intentionally
+// exempt carry //geomancy:nondeterministic <reason> (determinism) or
+// //geomancy:allow <analyzer> <reason> (any analyzer) on the same or
+// the preceding line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"geomancy/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: geomancy-vet [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(analyzers, pkgs)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "geomancy-vet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -63,6 +63,7 @@ func (c *Client) ensureConnLocked() error {
 	if c.conn != nil {
 		return nil
 	}
+	//geomancy:allow locksafe connection-serialization lock; the dial is deadline-bounded by RetryPolicy.IOTimeout
 	conn, err := c.opts.dial("tcp", c.addr)
 	if err != nil {
 		return err
@@ -128,19 +129,22 @@ func (c *Client) query(req Envelope) ([]Report, error) {
 // roundTripLocked performs one query round trip under the I/O deadline,
 // draining any stale replies whose ID predates this query.
 func (c *Client) roundTripLocked(req Envelope) ([]Report, error) {
-	deadline := time.Now().Add(c.opts.policy.IOTimeout)
+	deadline := time.Now().Add(c.opts.policy.IOTimeout) //geomancy:nondeterministic I/O deadline computation; never reaches wire or layout output
 	if err := c.conn.SetDeadline(deadline); err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	start := time.Now() //geomancy:nondeterministic telemetry timestamp for the ack-latency histogram
+	//geomancy:allow locksafe connection-serialization lock; the round trip is deadline-bounded by RetryPolicy.IOTimeout
 	if err := c.enc.Encode(req); err != nil {
 		return nil, fmt.Errorf("write query: %w", err)
 	}
+	//geomancy:allow locksafe connection-serialization lock; the round trip is deadline-bounded by RetryPolicy.IOTimeout
 	if err := c.bw.Flush(); err != nil {
 		return nil, fmt.Errorf("write query: %w", err)
 	}
 	for {
 		var reply Envelope
+		//geomancy:allow locksafe connection-serialization lock; the round trip is deadline-bounded by RetryPolicy.IOTimeout
 		if err := c.dec.Decode(&reply); err != nil {
 			return nil, fmt.Errorf("read reply: %w", err)
 		}
@@ -154,7 +158,7 @@ func (c *Client) roundTripLocked(req Envelope) ([]Report, error) {
 		case reply.Type != TypeRecentReply || reply.ID != req.ID:
 			return nil, fmt.Errorf("unexpected reply %q (id %d, want %d)", reply.Type, reply.ID, req.ID)
 		}
-		c.met.ackLatency.Observe(time.Since(start).Seconds())
+		c.met.ackLatency.Observe(time.Since(start).Seconds()) //geomancy:nondeterministic telemetry timestamp for the ack-latency histogram
 		return reply.Reports, nil
 	}
 }

@@ -94,12 +94,15 @@ func (c *Control) send(env Envelope) error {
 	if c.conn == nil {
 		return fmt.Errorf("agents: control send: not connected")
 	}
+	//geomancy:nondeterministic I/O deadline computation; never reaches wire or layout output
 	if err := c.conn.SetWriteDeadline(time.Now().Add(c.opts.policy.IOTimeout)); err != nil {
 		return fmt.Errorf("agents: control send: %w", err)
 	}
+	//geomancy:allow locksafe connection-serialization lock; the write is deadline-bounded by RetryPolicy.IOTimeout
 	if err := c.enc.Encode(env); err != nil {
 		return fmt.Errorf("agents: control send: %w", err)
 	}
+	//geomancy:allow locksafe connection-serialization lock; the write is deadline-bounded by RetryPolicy.IOTimeout
 	if err := c.bw.Flush(); err != nil {
 		return fmt.Errorf("agents: control send: %w", err)
 	}

@@ -118,6 +118,7 @@ func (d *Daemon) logf(format string, args ...any) {
 
 // Start listens on addr (e.g. "127.0.0.1:0") and serves connections until
 // Close. It returns the bound address.
+//geomancy:allow ctxflow Listen binds and returns immediately; the daemon's lifetime is owned by Close
 func (d *Daemon) Start(addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -192,7 +193,7 @@ func (d *Daemon) serve(conn net.Conn) {
 			}
 			return
 		}
-		start := time.Now()
+		start := time.Now() //geomancy:nondeterministic telemetry timestamp for the RPC-latency histogram
 		switch env.Type {
 		case TypeMetrics:
 			// Dedupe replayed batches: a monitor that never saw the ack
@@ -234,7 +235,7 @@ func (d *Daemon) serve(conn net.Conn) {
 				d.mu.Unlock()
 			}
 			d.metrics.reportsTotal.Add(uint64(len(env.Reports)))
-			d.metrics.rpcMetrics.Observe(time.Since(start).Seconds())
+			d.metrics.rpcMetrics.Observe(time.Since(start).Seconds()) //geomancy:nondeterministic telemetry timestamp for the RPC-latency histogram
 			if err := enc.Encode(Envelope{Type: TypeMetricsAck, ID: env.ID, N: len(env.Reports)}); err != nil {
 				d.metrics.errorsTotal.Inc()
 				d.logf("ack to %s: %v", conn.RemoteAddr(), err)
@@ -270,7 +271,7 @@ func (d *Daemon) serve(conn net.Conn) {
 			for _, rec := range recs {
 				reply.Reports = append(reply.Reports, ReportFromRecord(rec))
 			}
-			d.metrics.rpcRecent.Observe(time.Since(start).Seconds())
+			d.metrics.rpcRecent.Observe(time.Since(start).Seconds()) //geomancy:nondeterministic telemetry timestamp for the RPC-latency histogram
 			if err := enc.Encode(reply); err != nil {
 				d.metrics.errorsTotal.Inc()
 				d.logf("recent reply to %s: %v", conn.RemoteAddr(), err)
@@ -320,8 +321,9 @@ func (d *Daemon) PushLayout(layout map[int64]string) (int, error) {
 }
 
 // PushLayoutOutcomes is PushLayout with the per-agent outcomes exposed.
+//geomancy:allow ctxflow push I/O is deadline-bounded by AckTimeout and replays idempotently via PushLayoutRetry
 func (d *Daemon) PushLayoutOutcomes(layout map[int64]string) (int, []PushOutcome, error) {
-	start := time.Now()
+	start := time.Now() //geomancy:nondeterministic telemetry timestamp for the RPC-latency histogram
 	entries := make([]LayoutEntry, 0, len(layout))
 	for id, dev := range layout {
 		entries = append(entries, LayoutEntry{FileID: id, Device: dev})
@@ -351,7 +353,7 @@ func (d *Daemon) PushLayoutOutcomes(layout map[int64]string) (int, []PushOutcome
 	outcomes := make([]PushOutcome, len(targets))
 	for i, cc := range targets {
 		outcomes[i].Agent = ids[i]
-		cc.conn.SetWriteDeadline(time.Now().Add(d.AckTimeout))
+		cc.conn.SetWriteDeadline(time.Now().Add(d.AckTimeout)) //geomancy:nondeterministic I/O deadline computation; never reaches wire or layout output
 		if err := cc.enc.Encode(env); err != nil {
 			d.metrics.errorsTotal.Inc()
 			d.logf("layout push to %s: %v", cc.conn.RemoteAddr(), err)
@@ -402,7 +404,7 @@ func (d *Daemon) PushLayoutOutcomes(layout map[int64]string) (int, []PushOutcome
 		return moved, outcomes, errors.Join(errs...)
 	}
 	d.metrics.layoutPushes.Inc()
-	d.metrics.rpcPush.Observe(time.Since(start).Seconds())
+	d.metrics.rpcPush.Observe(time.Since(start).Seconds()) //geomancy:nondeterministic telemetry timestamp for the RPC-latency histogram
 	d.logf("pushed layout of %d files to %d control agents (%d moved)", len(entries), len(targets), moved)
 	return moved, outcomes, nil
 }
@@ -442,6 +444,7 @@ func (d *Daemon) Close() error {
 	d.closed = true
 	ln := d.ln
 	conns := make([]net.Conn, 0, len(d.conns))
+	//geomancy:nondeterministic shutdown path: every connection is closed, so close order cannot reach wire or layout output
 	for c := range d.conns {
 		conns = append(conns, c)
 	}

@@ -74,6 +74,7 @@ func (m *Monitor) ensureConnLocked() error {
 	if m.conn != nil {
 		return nil
 	}
+	//geomancy:allow locksafe connection-serialization lock; the dial is deadline-bounded by RetryPolicy.IOTimeout
 	conn, err := m.opts.dial("tcp", m.addr)
 	if err != nil {
 		return err
@@ -182,14 +183,16 @@ func isFatalAck(err error) bool {
 // shipLocked performs one write-batch/read-ack round trip under the
 // policy's I/O deadline.
 func (m *Monitor) shipLocked(env Envelope) error {
-	deadline := time.Now().Add(m.opts.policy.IOTimeout)
+	deadline := time.Now().Add(m.opts.policy.IOTimeout) //geomancy:nondeterministic I/O deadline computation; never reaches wire or layout output
 	if err := m.conn.SetDeadline(deadline); err != nil {
 		return err
 	}
-	start := time.Now()
+	start := time.Now() //geomancy:nondeterministic telemetry timestamp for the ack-latency histogram
+	//geomancy:allow locksafe connection-serialization lock; the round trip is deadline-bounded by RetryPolicy.IOTimeout
 	if err := m.enc.Encode(env); err != nil {
 		return fmt.Errorf("write batch: %w", err)
 	}
+	//geomancy:allow locksafe connection-serialization lock; the round trip is deadline-bounded by RetryPolicy.IOTimeout
 	if err := m.bw.Flush(); err != nil {
 		return fmt.Errorf("write batch: %w", err)
 	}
@@ -199,6 +202,7 @@ func (m *Monitor) shipLocked(env Envelope) error {
 	// are drained, never treated as answers to this batch.
 	for {
 		var ack Envelope
+		//geomancy:allow locksafe connection-serialization lock; the round trip is deadline-bounded by RetryPolicy.IOTimeout
 		if err := m.dec.Decode(&ack); err != nil {
 			return fmt.Errorf("read ack: %w", err)
 		}
@@ -210,7 +214,7 @@ func (m *Monitor) shipLocked(env Envelope) error {
 		case ack.Type != TypeMetricsAck || ack.ID != env.ID:
 			return fmt.Errorf("unexpected ack %q (id %d, want %d)", ack.Type, ack.ID, env.ID)
 		}
-		m.met.ackLatency.Observe(time.Since(start).Seconds())
+		m.met.ackLatency.Observe(time.Since(start).Seconds()) //geomancy:nondeterministic telemetry timestamp for the ack-latency histogram
 		return nil
 	}
 }

@@ -1,0 +1,350 @@
+// Package analysis is Geomancy's static-analysis suite: five custom
+// analyzers that mechanically enforce the repo's determinism, context,
+// metric-naming, error-handling, and lock-safety invariants, plus the
+// tiny framework they run on.
+//
+// The framework mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer, Pass, Diagnostic) but is self-contained on the standard
+// library: packages are loaded through `go list -export` (see load.go),
+// type-checked with go/types against compiler export data, and each
+// analyzer walks the typed ASTs. If the module ever takes x/tools as a
+// dependency, each analyzer's Run is a mechanical port.
+//
+// # Escape hatches
+//
+// Two comment directives suppress a diagnostic on the same line or the
+// line immediately below them, and both require a reason:
+//
+//	//geomancy:nondeterministic <reason>   (determinism analyzer only)
+//	//geomancy:allow <analyzer> <reason>   (any analyzer, by name)
+//
+// A directive without a reason does not count: the framework reports the
+// bare directive instead, so allowlists stay self-documenting.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer checks one invariant over a package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //geomancy:allow directives.
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Filter restricts the analyzer to packages for which it returns
+	// true; nil runs everywhere. The analysistest runner bypasses it so
+	// fixtures need not live under the production import paths.
+	Filter func(pkgPath string) bool
+	// Run analyzes one package, reporting through pass.Reportf. The
+	// returned value is handed to Flush after every package ran.
+	Run func(pass *Pass) (any, error)
+	// Flush, if non-nil, runs once after every package: module-wide
+	// checks (e.g. "every declared metric name is used somewhere") that
+	// no single package can decide.
+	Flush func(results []Result) []Diagnostic
+}
+
+// Result pairs a package with the value its Run returned.
+type Result struct {
+	Pkg   *Package
+	Value any
+}
+
+// Diagnostic is one finding, positioned and attributed.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Directive is one parsed //geomancy:... comment.
+type Directive struct {
+	Line     int    // line the comment sits on
+	File     string // file name (full path)
+	Kind     string // "nondeterministic" or "allow"
+	Analyzer string // target analyzer ("" for nondeterministic = determinism)
+	Reason   string
+	Pos      token.Position
+}
+
+// suppresses reports whether the directive covers analyzer a at line.
+// A directive covers its own line and the line immediately below it.
+func (d *Directive) suppresses(analyzer string, file string, line int) bool {
+	if d.File != file || (d.Line != line && d.Line != line-1) {
+		return false
+	}
+	switch d.Kind {
+	case "nondeterministic":
+		return analyzer == "determinism"
+	case "allow":
+		return d.Analyzer == analyzer
+	}
+	return false
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	pkg   *Package
+	diags *[]Diagnostic
+	// bareReported dedupes "directive missing reason" per directive.
+	bareReported map[*Directive]bool
+}
+
+// Reportf records a diagnostic at pos unless a directive allowlists the
+// site. A matching directive with no reason suppresses the original
+// diagnostic but is itself reported once, so it cannot hide findings
+// silently.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	for i := range p.pkg.Directives {
+		d := &p.pkg.Directives[i]
+		if !d.suppresses(p.Analyzer.Name, position.Filename, position.Line) {
+			continue
+		}
+		if d.Reason == "" && !p.bareReported[d] {
+			p.bareReported[d] = true
+			*p.diags = append(*p.diags, Diagnostic{
+				Pos:      d.Pos,
+				Analyzer: p.Analyzer.Name,
+				Message:  fmt.Sprintf("//geomancy:%s directive is missing a reason", d.Kind),
+			})
+		}
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full Geomancy analyzer suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		DeterminismAnalyzer,
+		CtxflowAnalyzer,
+		MetricNamesAnalyzer,
+		ErrCompareAnalyzer,
+		LockSafeAnalyzer,
+	}
+}
+
+// Run applies every analyzer to every package (honoring Filters), then
+// the module-wide Flush passes, and returns the diagnostics sorted by
+// position. The error reports analyzer crashes, not findings.
+func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	return run(analyzers, pkgs, true)
+}
+
+// RunUnfiltered is Run with every Filter bypassed — the analysistest
+// entry point, so fixture packages need not mimic production paths.
+func RunUnfiltered(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	return run(analyzers, pkgs, false)
+}
+
+func run(analyzers []*Analyzer, pkgs []*Package, useFilter bool) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	results := make(map[*Analyzer][]Result)
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if useFilter && a.Filter != nil && !a.Filter(pkg.PkgPath) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:     a,
+				Fset:         pkg.Fset,
+				Files:        pkg.Files,
+				Pkg:          pkg.Types,
+				TypesInfo:    pkg.TypesInfo,
+				pkg:          pkg,
+				diags:        &diags,
+				bareReported: make(map[*Directive]bool),
+			}
+			value, err := a.Run(pass)
+			if err != nil {
+				return diags, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+			results[a] = append(results[a], Result{Pkg: pkg, Value: value})
+		}
+	}
+	for _, a := range analyzers {
+		if a.Flush != nil {
+			diags = append(diags, a.Flush(results[a])...)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// parseDirectives extracts //geomancy:... comments from a parsed file.
+func parseDirectives(fset *token.FileSet, f *ast.File) []Directive {
+	var out []Directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//geomancy:")
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			// Fixtures may carry a trailing "// want ..." expectation in
+			// the same comment; it is not part of the directive.
+			if i := strings.Index(text, "// want"); i >= 0 {
+				text = text[:i]
+			}
+			kind, rest, _ := strings.Cut(text, " ")
+			d := Directive{
+				Line: pos.Line,
+				File: pos.Filename,
+				Kind: kind,
+				Pos:  pos,
+			}
+			switch kind {
+			case "nondeterministic":
+				d.Reason = strings.TrimSpace(rest)
+			case "allow":
+				d.Analyzer, d.Reason, _ = strings.Cut(strings.TrimSpace(rest), " ")
+				d.Reason = strings.TrimSpace(d.Reason)
+			default:
+				continue // unknown directive family; not ours to police
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// --- shared type-resolution helpers used by several analyzers ---
+
+// calleeFunc resolves the *types.Func a call expression invokes, or nil
+// for dynamic calls, conversions, and builtins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isPkgLevelFunc reports whether fn is the package-level function
+// pkgPath.name (not a method).
+func isPkgLevelFunc(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Name() != name || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	return sig != nil && sig.Recv() == nil
+}
+
+// receiverType returns the receiver type of a method, or nil.
+func receiverType(fn *types.Func) types.Type {
+	if fn == nil {
+		return nil
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return nil
+	}
+	return sig.Recv().Type()
+}
+
+// namedOf unwraps pointers and aliases down to a *types.Named, or nil.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Alias:
+			t = types.Unalias(tt)
+		case *types.Named:
+			return tt
+		default:
+			return nil
+		}
+	}
+}
+
+// typeIsFromPkg reports whether t (after unwrapping pointers) is a named
+// type declared in package pkgPath, optionally with one of the names.
+func typeIsFromPkg(t types.Type, pkgPath string, names ...string) bool {
+	n := namedOf(t)
+	if n == nil || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != pkgPath {
+		return false
+	}
+	if len(names) == 0 {
+		return true
+	}
+	for _, name := range names {
+		if n.Obj().Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// isErrorType reports whether t is the error interface or implements it.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if t.String() == "error" {
+		return true
+	}
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, errType) || types.Implements(types.NewPointer(t), errType)
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	return typeIsFromPkg(t, "context", "Context")
+}
+
+// enclosingFuncName formats a FuncDecl's name as Recv.Name or Name.
+func enclosingFuncName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	recv := fd.Recv.List[0].Type
+	var b strings.Builder
+	if star, ok := recv.(*ast.StarExpr); ok {
+		recv = star.X
+	}
+	if id, ok := recv.(*ast.Ident); ok {
+		b.WriteString(id.Name)
+		b.WriteByte('.')
+	}
+	b.WriteString(fd.Name.Name)
+	return b.String()
+}

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// RunTest is the suite's analysistest harness: it loads the fixture
+// packages under testdata/src/<pkg>, runs the analyzer over them with
+// Filters bypassed, and reconciles the diagnostics against the
+// fixtures' expectation comments.
+//
+// Expectations use the x/tools analysistest convention:
+//
+//	time.Now() // want `wall-clock`
+//
+// Each `backquoted` (or "quoted") string after `// want` is a regular
+// expression that must match the message of one diagnostic reported on
+// that line; several patterns expect several diagnostics. Every
+// diagnostic must be expected and every expectation must fire.
+func RunTest(t *testing.T, a *Analyzer, fixturePkgs ...string) {
+	t.Helper()
+	patterns := make([]string, len(fixturePkgs))
+	for i, p := range fixturePkgs {
+		patterns[i] = "./testdata/src/" + p
+	}
+	pkgs, err := Load("", patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures %v: %v", fixturePkgs, err)
+	}
+	diags, err := RunUnfiltered([]*Analyzer{a}, pkgs)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, pkgs)
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		matched := false
+		for i, w := range wants[key] {
+			if w != nil && w.MatchString(d.Message) {
+				wants[key][i] = nil
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", d.Pos.Filename, d.Pos.Line, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if w != nil {
+				t.Errorf("expected diagnostic matching %q at %s, got none", w, key)
+			}
+		}
+	}
+}
+
+// wantRx extracts the quoted patterns of a // want comment.
+var wantRx = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+// collectWants parses every fixture file's // want comments into
+// per-line compiled expectations.
+func collectWants(t *testing.T, pkgs []*Package) map[string][]*regexp.Regexp {
+	t.Helper()
+	wants := make(map[string][]*regexp.Regexp)
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					text, ok := cutWant(c.Text)
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					for _, m := range wantRx.FindAllStringSubmatch(text, -1) {
+						pat := m[1]
+						if pat == "" {
+							pat = m[2]
+						}
+						rx, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", key, pat, err)
+						}
+						wants[key] = append(wants[key], rx)
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// cutWant returns the expectation part of a comment: the text after a
+// "// want" marker, which may open the comment or follow other text
+// (e.g. a //geomancy: directive under test).
+func cutWant(comment string) (string, bool) {
+	if body, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(comment, "//")), "want "); ok {
+		return body, true
+	}
+	if i := strings.Index(comment, "// want "); i >= 0 {
+		return comment[i+len("// want "):], true
+	}
+	return "", false
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestCtxflow(t *testing.T) {
+	RunTest(t, CtxflowAnalyzer, "ctxflow")
+}

@@ -1,0 +1,236 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DeterminismAnalyzer enforces the closed loop's reproducibility
+// contract inside the deterministic core: same-seed runs must produce
+// identical layouts, so wall-clock reads, the global math/rand stream,
+// and map-iteration order must never reach layout, wire, or
+// serialization output. Legitimate sites (telemetry timestamps, I/O
+// deadlines, jittered retry backoff) carry //geomancy:nondeterministic
+// with a reason.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc: "flags time.Now/time.Since/time.Until, global math/rand functions, and " +
+		"order-escaping iteration over maps inside the deterministic core packages",
+	Filter: inDeterministicCore,
+	Run:    runDeterminism,
+}
+
+// deterministicCorePkgs are the internal packages whose outputs feed
+// layouts, wire frames, or serialized model state.
+var deterministicCorePkgs = []string{
+	"core", "nn", "mat", "policy", "storagesim", "agents",
+}
+
+func inDeterministicCore(pkgPath string) bool {
+	i := strings.Index(pkgPath, "internal/")
+	if i < 0 {
+		return false
+	}
+	rest := pkgPath[i+len("internal/"):]
+	for _, p := range deterministicCorePkgs {
+		if rest == p || strings.HasPrefix(rest, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// seededRandConstructors are the math/rand entry points that do NOT
+// consume the shared global stream and so stay legal everywhere.
+var seededRandConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runDeterminism(pass *Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					checkDeterministicCall(pass, n)
+				case *ast.RangeStmt:
+					checkMapRange(pass, fd, n)
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+func checkDeterministicCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() != nil {
+		return // methods (e.g. (*rand.Rand).Intn, time.Time.Sub) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			pass.Reportf(call.Pos(), "time.%s in the deterministic core: wall-clock reads break same-seed reproducibility", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !seededRandConstructors[fn.Name()] {
+			pass.Reportf(call.Pos(), "global %s.%s in the deterministic core: use a seeded *rand.Rand instead", pathBase(fn.Pkg().Path()), fn.Name())
+		}
+	}
+}
+
+func pathBase(p string) string {
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}
+
+// checkMapRange flags `range m` over a map whose iteration order escapes
+// the loop — into an appended slice that is never sorted afterwards, a
+// channel send, or a write/encode/print call — because that order then
+// reaches wire, layout, or serialization output nondeterministically.
+func checkMapRange(pass *Pass, fd *ast.FuncDecl, rng *ast.RangeStmt) {
+	t := pass.TypesInfo.Types[rng.X].Type
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	if escape := orderEscape(pass, fd, rng); escape != "" {
+		pass.Reportf(rng.Pos(), "iteration over map has nondeterministic order and the order escapes via %s; sort the keys first", escape)
+	}
+}
+
+// orderEscape reports how (if at all) the loop body publishes iteration
+// order: "" means it does not.
+func orderEscape(pass *Pass, fd *ast.FuncDecl, rng *ast.RangeStmt) string {
+	escape := ""
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if escape != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			escape = "a channel send"
+		case *ast.CallExpr:
+			if name := emitCallName(pass, n); name != "" {
+				escape = "a call to " + name
+			}
+		case *ast.AssignStmt:
+			if target := appendToOuter(pass, rng, n); target != nil && !sortedAfter(pass, fd, rng, target) {
+				escape = "append to " + target.Name + " (never sorted afterwards)"
+			}
+		}
+		return true
+	})
+	return escape
+}
+
+// emitCallName matches calls that serialize or emit data in order:
+// Write*/Encode*/Marshal*/Fprint*/Print* functions and methods.
+func emitCallName(pass *Pass, call *ast.CallExpr) string {
+	var name string
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return ""
+	}
+	for _, prefix := range []string{"Write", "Encode", "Marshal", "Fprint", "Print"} {
+		if strings.HasPrefix(name, prefix) {
+			return name
+		}
+	}
+	return ""
+}
+
+// appendToOuter returns the identifier x of `x = append(x, ...)` when x
+// is declared outside the range statement, else nil.
+func appendToOuter(pass *Pass, rng *ast.RangeStmt, assign *ast.AssignStmt) *ast.Ident {
+	for i, rhs := range assign.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" || pass.TypesInfo.Uses[id] != types.Universe.Lookup("append") {
+			continue
+		}
+		if i >= len(assign.Lhs) {
+			continue
+		}
+		target, ok := ast.Unparen(assign.Lhs[i]).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := pass.TypesInfo.Uses[target]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[target]
+		}
+		if obj == nil || obj.Pos() == 0 {
+			continue
+		}
+		// Declared outside the loop?
+		if obj.Pos() < rng.Pos() || obj.Pos() > rng.End() {
+			return target
+		}
+	}
+	return nil
+}
+
+// sortedAfter reports whether, after the range statement, the enclosing
+// function passes ident's object to a sort.* or slices.Sort* call —
+// which restores a deterministic order before the slice is consumed.
+func sortedAfter(pass *Pass, fd *ast.FuncDecl, rng *ast.RangeStmt, target *ast.Ident) bool {
+	obj := pass.TypesInfo.Uses[target]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[target]
+	}
+	if obj == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		pkg := fn.Pkg().Path()
+		if pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					sorted = true
+					return false
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return sorted
+}

@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ErrCompareAnalyzer keeps the typed-error API honest: sentinel errors
+// (package-level `var ErrX = errors.New(...)` values such as
+// geomancy.ErrClosed, core.ErrNoTelemetry, core.ErrNotTrained,
+// core.ErrUnavailable) travel through wrapped chains, so comparing them
+// with == / != or a switch silently breaks once any layer wraps — and
+// fmt.Errorf that swallows an error without %w severs the chain that
+// errors.Is depends on.
+var ErrCompareAnalyzer = &Analyzer{
+	Name: "errcompare",
+	Doc: "sentinel errors must be matched with errors.Is, and errors passed to " +
+		"fmt.Errorf must be wrapped with %w",
+	Run: runErrCompare,
+}
+
+func runErrCompare(pass *Pass) (any, error) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if name := sentinelName(pass, n.X); name != "" {
+					pass.Reportf(n.Pos(), "sentinel %s compared with %s: use errors.Is so wrapped chains still match", name, n.Op)
+				} else if name := sentinelName(pass, n.Y); name != "" {
+					pass.Reportf(n.Pos(), "sentinel %s compared with %s: use errors.Is so wrapped chains still match", name, n.Op)
+				}
+			case *ast.SwitchStmt:
+				checkErrSwitch(pass, n)
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// sentinelName returns "pkg.ErrX" when e references a package-level
+// error variable whose name starts with "Err", else "".
+func sentinelName(pass *Pass, e ast.Expr) string {
+	var obj types.Object
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[e]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[e.Sel]
+	default:
+		return ""
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || !strings.HasPrefix(v.Name(), "Err") || !isErrorType(v.Type()) {
+		return ""
+	}
+	// Package-level variables only: locals named Err* are not sentinels.
+	if v.Parent() != v.Pkg().Scope() {
+		return ""
+	}
+	return v.Pkg().Name() + "." + v.Name()
+}
+
+// checkErrSwitch flags `switch err { case ErrX: }` over sentinels.
+func checkErrSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil || !isErrorType(pass.TypesInfo.Types[sw.Tag].Type) {
+		return
+	}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if name := sentinelName(pass, e); name != "" {
+				pass.Reportf(e.Pos(), "sentinel %s matched by switch case: use errors.Is so wrapped chains still match", name)
+			}
+		}
+	}
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that interpolate an error value
+// without a %w verb in a constant format string.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if !isPkgLevelFunc(fn, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+	if strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		t := pass.TypesInfo.Types[arg].Type
+		if t != nil && isErrorInterface(t) {
+			pass.Reportf(arg.Pos(), "error passed to fmt.Errorf without %%w: the chain is severed and errors.Is callers cannot match it")
+			return
+		}
+	}
+}
+
+// isErrorInterface matches only values statically typed as `error` (or
+// a concrete type implementing it whose name says error) — so stringly
+// fields named Error stay exempt.
+func isErrorInterface(t types.Type) bool {
+	if t.String() == "error" {
+		return true
+	}
+	n := namedOf(t)
+	if n == nil {
+		return false
+	}
+	return isErrorType(t) && n.Obj().Pkg() != nil
+}

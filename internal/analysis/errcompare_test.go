@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestErrCompare(t *testing.T) {
+	RunTest(t, ErrCompareAnalyzer, "errcompare")
+}

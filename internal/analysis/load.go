@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, type-checked package of the module under
+// analysis.
+type Package struct {
+	PkgPath    string
+	Name       string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+	Directives []Directive
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load enumerates the packages matching patterns (relative to dir; "" =
+// current directory), parses their sources with comments, and
+// type-checks them against compiler export data produced by
+// `go list -export`. Dependencies — including the standard library —
+// are imported from export data, so loading needs no network and no
+// pre-installed artifacts beyond the Go toolchain's build cache.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	for _, lp := range listed {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+	var out []*Package
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Standard {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("analysis: load %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		pkg, err := typeCheck(fset, imp, lp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// goList runs `go list -export -deps -json` and decodes the stream.
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %w\n%s", patterns, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(stdout))
+	var out []listedPackage
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}
+
+// typeCheck parses and checks one target package.
+func typeCheck(fset *token.FileSet, imp types.Importer, lp listedPackage) (*Package, error) {
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	var directives []Directive
+	for _, name := range lp.GoFiles {
+		path := filepath.Join(lp.Dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %w", path, err)
+		}
+		files = append(files, f)
+		directives = append(directives, parseDirectives(fset, f)...)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", lp.ImportPath, err)
+	}
+	return &Package{
+		PkgPath:    lp.ImportPath,
+		Name:       lp.Name,
+		Dir:        lp.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+		Directives: directives,
+	}, nil
+}
+
+// newExportImporter builds a gc-export-data importer whose lookup
+// resolves import paths through the Export files `go list` reported.
+func newExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}

@@ -1,0 +1,222 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockSafeAnalyzer guards the concurrency invariants the agents plane
+// depends on: a sync.Mutex/RWMutex must not be held across blocking
+// network I/O or a channel send (a slow peer then stalls every other
+// path into the lock), and goroutines launched in library code must
+// have a join — a WaitGroup or a done channel — so Close can prove
+// quiescence (the "no goroutine leaks" acceptance test of the fault
+// plane). Functions whose name ends in "Locked" are, by repo
+// convention, called with the lock held and are checked the same way.
+var LockSafeAnalyzer = &Analyzer{
+	Name: "locksafe",
+	Doc: "no mutex held across network I/O or channel sends; no goroutine in " +
+		"library code without a WaitGroup or done-channel join",
+	Run: runLockSafe,
+}
+
+func runLockSafe(pass *Pass) (any, error) {
+	isMain := pass.Pkg.Name() == "main"
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			held := make(map[string]bool)
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				held["<caller>"] = true
+			}
+			checkLockedStmts(pass, fd.Body.List, held)
+			if !isMain {
+				checkGoroutineJoins(pass, fd)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// exprString renders the receiver expression of a Lock/Unlock call so
+// matching Lock/Unlock pairs can be correlated textually.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var b bytes.Buffer
+	printer.Fprint(&b, fset, e)
+	return b.String()
+}
+
+// mutexMethod classifies x.Lock()/x.Unlock()-style calls on
+// sync.Mutex/sync.RWMutex, returning the receiver key and whether the
+// call acquires (true) or releases (false); ok=false otherwise.
+func mutexMethod(pass *Pass, call *ast.CallExpr) (key string, acquire, ok bool) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || !typeIsFromPkg(receiverType(fn), "sync", "Mutex", "RWMutex") {
+		return "", false, false
+	}
+	sel, selOK := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !selOK {
+		return "", false, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return exprString(pass.Fset, sel.X), true, true
+	case "Unlock", "RUnlock":
+		return exprString(pass.Fset, sel.X), false, true
+	}
+	return "", false, false
+}
+
+// checkLockedStmts walks a statement list in order, tracking which
+// mutexes are held, and reports blocking operations executed while any
+// lock is held. Nested control flow shares the held set — precise
+// branch-sensitive tracking is not needed for the invariant.
+func checkLockedStmts(pass *Pass, stmts []ast.Stmt, held map[string]bool) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if key, acquire, ok := mutexMethod(pass, call); ok {
+					if acquire {
+						held[key] = true
+					} else {
+						delete(held, key)
+					}
+					continue
+				}
+			}
+		case *ast.DeferStmt:
+			if _, _, ok := mutexMethod(pass, s.Call); ok {
+				// defer mu.Unlock(): the lock stays held to function end;
+				// leave the held set untouched and keep scanning.
+				continue
+			}
+		case *ast.BlockStmt:
+			checkLockedStmts(pass, s.List, held)
+			continue
+		case *ast.IfStmt:
+			checkStmtWhileHeld(pass, s.Init, held)
+			checkExprWhileHeld(pass, s.Cond, held)
+			checkLockedStmts(pass, s.Body.List, held)
+			if s.Else != nil {
+				checkLockedStmts(pass, []ast.Stmt{s.Else}, held)
+			}
+			continue
+		case *ast.ForStmt:
+			checkLockedStmts(pass, s.Body.List, held)
+			continue
+		case *ast.RangeStmt:
+			checkLockedStmts(pass, s.Body.List, held)
+			continue
+		}
+		checkStmtWhileHeld(pass, stmt, held)
+	}
+}
+
+// checkStmtWhileHeld reports blocking operations inside stmt when a
+// lock is held.
+func checkStmtWhileHeld(pass *Pass, stmt ast.Stmt, held map[string]bool) {
+	if stmt == nil || len(held) == 0 {
+		return
+	}
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // its body runs later, not under this lock
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send while %s is held: a blocked receiver stalls every path into the lock", heldName(held))
+		case *ast.CallExpr:
+			if desc := ioCallDesc(pass.TypesInfo, n); desc != "" {
+				pass.Reportf(n.Pos(), "network I/O (%s) while %s is held: a slow peer stalls every path into the lock", desc, heldName(held))
+			}
+		}
+		return true
+	})
+}
+
+func checkExprWhileHeld(pass *Pass, e ast.Expr, held map[string]bool) {
+	if e == nil || len(held) == 0 {
+		return
+	}
+	checkStmtWhileHeld(pass, &ast.ExprStmt{X: e}, held)
+}
+
+// heldName names one held lock for the diagnostic, "<caller>" meaning
+// the lock the *Locked naming convention documents.
+func heldName(held map[string]bool) string {
+	name := ""
+	for k := range held {
+		if name == "" || k < name {
+			name = k
+		}
+	}
+	if name == "<caller>" {
+		return "the caller's lock (function is *Locked)"
+	}
+	return name
+}
+
+// checkGoroutineJoins flags `go` statements in library code with no
+// visible join: neither the enclosing function nor the goroutine body
+// shows a WaitGroup, a done-channel close/send, or a channel being
+// constructed to coordinate shutdown.
+func checkGoroutineJoins(pass *Pass, fd *ast.FuncDecl) {
+	var gos []*ast.GoStmt
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			gos = append(gos, g)
+		}
+		return true
+	})
+	if len(gos) == 0 {
+		return
+	}
+	if funcShowsJoin(pass, fd.Body) {
+		return
+	}
+	for _, g := range gos {
+		pass.Reportf(g.Pos(), "goroutine launched without a join: add a sync.WaitGroup or done channel so Close can prove quiescence")
+	}
+}
+
+// funcShowsJoin reports whether body references a sync.WaitGroup,
+// constructs a channel, closes one, or sends on one — the joinable
+// shutdown patterns.
+func funcShowsJoin(pass *Pass, body *ast.BlockStmt) bool {
+	join := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if join {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			join = true
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" &&
+				pass.TypesInfo.Uses[id] == types.Universe.Lookup("close") {
+				join = true
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "make" &&
+				pass.TypesInfo.Uses[id] == types.Universe.Lookup("make") && len(n.Args) > 0 {
+				if _, isChan := n.Args[0].(*ast.ChanType); isChan {
+					join = true
+				}
+			}
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[n]; obj != nil {
+				if typeIsFromPkg(obj.Type(), "sync", "WaitGroup") {
+					join = true
+				}
+			}
+		}
+		return true
+	})
+	return join
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestLockSafe(t *testing.T) {
+	RunTest(t, LockSafeAnalyzer, "locksafe")
+}

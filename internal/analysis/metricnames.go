@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// MetricNamesAnalyzer keeps the telemetry schema closed in both
+// directions: every metric name handed to the telemetry registry
+// (Registry.Counter/Gauge/Histogram/Help) must be one of the Metric*
+// constants declared in internal/telemetry/names.go, and every declared
+// constant must be referenced somewhere outside names.go — so names can
+// neither drift in ad hoc nor rot unused.
+var MetricNamesAnalyzer = &Analyzer{
+	Name: "metricnames",
+	Doc: "metric names passed to the telemetry registry must be telemetry.Metric* " +
+		"constants, and every declared constant must be used",
+	Run:   runMetricNames,
+	Flush: flushMetricNames,
+}
+
+// metricNamesResult is one package's contribution to the module-wide
+// declared/used reconciliation.
+type metricNamesResult struct {
+	used  map[string]bool      // Metric* constants referenced outside names.go
+	decls map[string]token.Pos // Metric* constants declared in a names.go
+}
+
+// namesFile is the canonical home of the metric-name constants.
+const namesFile = "names.go"
+
+func runMetricNames(pass *Pass) (any, error) {
+	res := &metricNamesResult{
+		used:  make(map[string]bool),
+		decls: make(map[string]token.Pos),
+	}
+	ownRegistry := declaresRegistry(pass)
+	for _, file := range pass.Files {
+		inNamesFile := filepath.Base(pass.Fset.Position(file.Pos()).Filename) == namesFile
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				if obj, ok := pass.TypesInfo.Uses[n].(*types.Const); ok && isMetricConst(obj) && !inNamesFile {
+					res.used[obj.Name()] = true
+				}
+				if obj, ok := pass.TypesInfo.Defs[n].(*types.Const); ok && isMetricConst(obj) && inNamesFile {
+					res.decls[obj.Name()] = n.Pos()
+				}
+			case *ast.CallExpr:
+				// The telemetry package itself may route names through
+				// variables (RegisterHelp's map range); consumers may not.
+				if !ownRegistry {
+					checkRegistryCall(pass, n)
+				}
+			}
+			return true
+		})
+	}
+	return res, nil
+}
+
+// registryMethods take a metric name as their first argument.
+var registryMethods = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true, "Help": true,
+}
+
+// checkRegistryCall flags registry calls whose name argument is not a
+// telemetry Metric* constant.
+func checkRegistryCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || !registryMethods[fn.Name()] || len(call.Args) == 0 {
+		return
+	}
+	recv := receiverType(fn)
+	if !isTelemetryRegistry(recv) {
+		return
+	}
+	arg := ast.Unparen(call.Args[0])
+	var obj types.Object
+	switch a := arg.(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[a]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[a.Sel]
+	}
+	if c, ok := obj.(*types.Const); ok && isMetricConst(c) {
+		return
+	}
+	pass.Reportf(call.Args[0].Pos(), "metric name passed to Registry.%s must be a Metric* constant from the telemetry package's %s", fn.Name(), namesFile)
+}
+
+// isTelemetryRegistry matches *telemetry.Registry receivers by package
+// name + type name, so fixture registries exercise the same code path
+// as the real internal/telemetry package.
+func isTelemetryRegistry(t types.Type) bool {
+	n := namedOf(t)
+	return n != nil && n.Obj().Name() == "Registry" &&
+		n.Obj().Pkg() != nil && n.Obj().Pkg().Name() == "telemetry"
+}
+
+// isMetricConst matches the Metric*-prefixed constants of a telemetry
+// package.
+func isMetricConst(obj *types.Const) bool {
+	return obj.Pkg() != nil && obj.Pkg().Name() == "telemetry" &&
+		strings.HasPrefix(obj.Name(), "Metric")
+}
+
+// declaresRegistry reports whether this package is a telemetry package
+// (declares the Registry type the suite polices).
+func declaresRegistry(pass *Pass) bool {
+	if pass.Pkg.Name() != "telemetry" {
+		return false
+	}
+	obj := pass.Pkg.Scope().Lookup("Registry")
+	_, ok := obj.(*types.TypeName)
+	return ok
+}
+
+// flushMetricNames reconciles declarations against uses module-wide.
+func flushMetricNames(results []Result) []Diagnostic {
+	used := make(map[string]bool)
+	type decl struct {
+		pkg  *Package
+		pos  token.Pos
+		name string
+	}
+	var decls []decl
+	for _, r := range results {
+		res, ok := r.Value.(*metricNamesResult)
+		if !ok {
+			continue
+		}
+		for name := range res.used {
+			used[name] = true
+		}
+		for name, pos := range res.decls {
+			decls = append(decls, decl{pkg: r.Pkg, pos: pos, name: name})
+		}
+	}
+	var out []Diagnostic
+	for _, d := range decls {
+		if !used[d.name] {
+			out = append(out, Diagnostic{
+				Pos:      d.pkg.Fset.Position(d.pos),
+				Analyzer: "metricnames",
+				Message:  d.name + " is declared in " + namesFile + " but never used: delete it or wire the metric",
+			})
+		}
+	}
+	return out
+}

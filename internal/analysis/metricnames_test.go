@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestMetricNames(t *testing.T) {
+	RunTest(t, MetricNamesAnalyzer, "metricnames/telemetry", "metricnames/use")
+}

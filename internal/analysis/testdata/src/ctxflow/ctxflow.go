@@ -1,0 +1,56 @@
+// Package ctxflow seeds violations and clean sites for the ctxflow
+// analyzer's fixture suite.
+package ctxflow
+
+import (
+	"context"
+	"net"
+)
+
+type Server struct{ conn net.Conn }
+
+func (s *Server) Push(b []byte) error { // want `exported Server\.Push performs I/O \(net\.Conn\.Write\)`
+	_, err := s.conn.Write(b)
+	return err
+}
+
+func (s *Server) PushWithCtx(ctx context.Context, b []byte) error { // clean: accepts a context
+	_ = ctx
+	_, err := s.conn.Write(b)
+	return err
+}
+
+func (s *Server) Send(b []byte) error { // clean: SendContext sibling exists
+	_, err := s.conn.Write(b)
+	return err
+}
+
+func (s *Server) SendContext(ctx context.Context, b []byte) error {
+	_ = ctx
+	_, err := s.conn.Write(b)
+	return err
+}
+
+func Dial(addr string) (net.Conn, error) { // want `exported Dial performs I/O \(net\.Dial\)`
+	return net.Dial("tcp", addr)
+}
+
+//geomancy:allow ctxflow fixture: setup call returns immediately
+func Exempt(addr string) (net.Conn, error) { // clean: allowlisted with reason
+	return net.Dial("tcp", addr)
+}
+
+func (s *Server) Run() error { // clean: convenience wrapper of RunContext
+	return s.RunContext(context.Background())
+}
+
+func (s *Server) RunContext(ctx context.Context) error {
+	_ = ctx
+	return nil
+}
+
+func synthesize() context.Context {
+	return context.Background() // want `context\.Background synthesized in library code`
+}
+
+var _ = []any{Dial, Exempt, synthesize}

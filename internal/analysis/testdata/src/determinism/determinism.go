@@ -1,0 +1,76 @@
+// Package determinism seeds violations and clean sites for the
+// determinism analyzer's fixture suite.
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func clock() time.Time {
+	return time.Now() // want `time\.Now in the deterministic core`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since in the deterministic core`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global rand\.Intn in the deterministic core`
+}
+
+func seededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // clean: seeded private stream
+	return rng.Intn(10)
+}
+
+func allowedClock() time.Time {
+	return time.Now() //geomancy:nondeterministic fixture: telemetry timestamp
+}
+
+func bareDirective() time.Time {
+	//geomancy:nondeterministic // want `directive is missing a reason`
+	return time.Now()
+}
+
+func encodeOrder(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `iteration over map has nondeterministic order`
+		out = append(out, k)
+	}
+	return out
+}
+
+func sortedOrder(m map[string]int) []string {
+	var out []string
+	for k := range m { // clean: sorted before the order can be observed
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func aggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m { // clean: order-insensitive reduction
+		total += v
+	}
+	return total
+}
+
+func printOrder(m map[string]int) {
+	for k := range m { // want `iteration over map has nondeterministic order`
+		fmt.Println(k)
+	}
+}
+
+func sendOrder(m map[string]int, ch chan string) {
+	for k := range m { // want `iteration over map has nondeterministic order`
+		ch <- k
+	}
+}
+
+var _ = []any{clock, elapsed, globalRand, seededRand, allowedClock,
+	bareDirective, encodeOrder, sortedOrder, aggregate, printOrder, sendOrder}

@@ -1,0 +1,57 @@
+// Package errcompare seeds violations and clean sites for the
+// errcompare analyzer's fixture suite.
+package errcompare
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrClosed is a sentinel in the repo's convention: package-level,
+// Err-prefixed, error-typed.
+var ErrClosed = errors.New("closed")
+
+func compareEq(err error) bool {
+	return err == ErrClosed // want `sentinel errcompare\.ErrClosed compared with ==`
+}
+
+func compareNeq(err error) bool {
+	return ErrClosed != err // want `sentinel errcompare\.ErrClosed compared with !=`
+}
+
+func compareIs(err error) bool {
+	return errors.Is(err, ErrClosed) // clean: errors.Is
+}
+
+func compareNil(err error) bool {
+	return err == nil // clean: nil check, not a sentinel match
+}
+
+func switchCase(err error) string {
+	switch err {
+	case ErrClosed: // want `sentinel errcompare\.ErrClosed matched by switch case`
+		return "closed"
+	default:
+		return ""
+	}
+}
+
+func wrapBad(err error) error {
+	return fmt.Errorf("op failed: %v", err) // want `without %w`
+}
+
+func wrapGood(err error) error {
+	return fmt.Errorf("op failed: %w", err) // clean: %w keeps the chain
+}
+
+func formatValue(s string) error {
+	return fmt.Errorf("bad value %q", s) // clean: no error interpolated
+}
+
+func allowComparison(err error) bool {
+	//geomancy:allow errcompare fixture: identity check is intentional
+	return err == ErrClosed // clean: allowlisted with reason
+}
+
+var _ = []any{compareEq, compareNeq, compareIs, compareNil, switchCase,
+	wrapBad, wrapGood, formatValue, allowComparison}

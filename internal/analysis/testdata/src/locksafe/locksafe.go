@@ -1,0 +1,79 @@
+// Package locksafe seeds violations and clean sites for the locksafe
+// analyzer's fixture suite.
+package locksafe
+
+import (
+	"net"
+	"sync"
+)
+
+// Pool owns one connection serialized by a mutex.
+type Pool struct {
+	mu   sync.Mutex
+	conn net.Conn
+	wg   sync.WaitGroup
+}
+
+func (p *Pool) BadWrite(b []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, err := p.conn.Write(b) // want `network I/O \(net\.Conn\.Write\) while p\.mu is held`
+	return err
+}
+
+func (p *Pool) GoodWrite(b []byte) error {
+	p.mu.Lock()
+	conn := p.conn
+	p.mu.Unlock()
+	_, err := conn.Write(b) // clean: lock released before the write
+	return err
+}
+
+func (p *Pool) badSend(ch chan int) {
+	p.mu.Lock()
+	ch <- 1 // want `channel send while p\.mu is held`
+	p.mu.Unlock()
+}
+
+func (p *Pool) writeLocked(b []byte) error {
+	_, err := p.conn.Write(b) // want `while the caller's lock \(function is \*Locked\) is held`
+	return err
+}
+
+func (p *Pool) allowedWrite(b []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	//geomancy:allow locksafe fixture: deadline-bounded serialization lock
+	_, err := p.conn.Write(b) // clean: allowlisted with reason
+	return err
+}
+
+func (p *Pool) Spawn() {
+	go p.drain() // want `goroutine launched without a join`
+}
+
+func (p *Pool) SpawnJoined() {
+	p.wg.Add(1)
+	go func() { // clean: WaitGroup join
+		defer p.wg.Done()
+		p.drain()
+	}()
+}
+
+func (p *Pool) SpawnDone() chan struct{} {
+	done := make(chan struct{})
+	go func() { // clean: done-channel join
+		defer close(done)
+		p.drain()
+	}()
+	return done
+}
+
+func (p *Pool) allowedSpawn() {
+	//geomancy:allow locksafe fixture: fire-and-forget by design
+	go p.drain() // clean: allowlisted with reason
+}
+
+func (p *Pool) drain() {}
+
+var _ = []any{(*Pool).badSend, (*Pool).writeLocked, (*Pool).allowedSpawn, (*Pool).allowedWrite}

@@ -1,0 +1,7 @@
+package telemetry
+
+// Canonical metric names of the fixture schema.
+const (
+	MetricUsed   = "fixture_used_total"
+	MetricUnused = "fixture_unused_total" // want `MetricUnused is declared in names\.go but never used`
+)

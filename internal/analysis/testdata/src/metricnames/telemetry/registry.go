@@ -1,0 +1,22 @@
+// Package telemetry is a miniature stand-in for internal/telemetry: the
+// metricnames analyzer recognizes any package named telemetry that
+// declares a Registry type, so the fixture exercises the production
+// code path without importing the real registry.
+package telemetry
+
+// Label is one key=value metric dimension.
+type Label struct{ Key, Value string }
+
+// Counter is a stub metric handle.
+type Counter struct{}
+
+// Registry is the stub registry the analyzer polices.
+type Registry struct{}
+
+func (r *Registry) Counter(name string, labels ...Label) *Counter { return nil }
+
+func (r *Registry) Gauge(name string, labels ...Label) *Counter { return nil }
+
+func (r *Registry) Histogram(name string, buckets []float64, labels ...Label) *Counter { return nil }
+
+func (r *Registry) Help(name, text string) {}

@@ -1,0 +1,15 @@
+// Package use consumes the fixture telemetry registry with both legal
+// and ad hoc metric names.
+package use
+
+import "geomancy/internal/analysis/testdata/src/metricnames/telemetry"
+
+// Wire creates metrics with a declared constant (clean), a string
+// literal, and a local variable (both flagged).
+func Wire(reg *telemetry.Registry) {
+	reg.Counter(telemetry.MetricUsed)  // clean: declared constant
+	reg.Counter("fixture_adhoc_total") // want `must be a Metric\* constant`
+	name := "fixture_var_total"
+	reg.Gauge(name)                                       // want `must be a Metric\* constant`
+	reg.Histogram(telemetry.MetricUsed, []float64{1, 10}) // clean: declared constant
+}

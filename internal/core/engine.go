@@ -513,7 +513,7 @@ func (e *Engine) train(ctx context.Context) (TrainReport, error) {
 		return TrainReport{}, fmt.Errorf("core: unknown optimizer %q", e.cfg.Optimizer)
 	}
 
-	start := time.Now()
+	start := time.Now() //geomancy:nondeterministic telemetry timestamp: training duration is reported, never fed back into decisions
 	loss, err := e.net.Fit(train, nn.FitConfig{
 		Epochs:      e.cfg.Epochs,
 		BatchSize:   e.cfg.BatchSize,
@@ -528,7 +528,7 @@ func (e *Engine) train(ctx context.Context) (TrainReport, error) {
 	rep := TrainReport{
 		Samples:   ds.Len(),
 		FinalLoss: loss,
-		Duration:  time.Since(start),
+		Duration:  time.Since(start), //geomancy:nondeterministic telemetry timestamp: training duration is reported, never fed back into decisions
 	}
 	rep.Validation = e.evaluateDenorm(val)
 	rep.Test = e.evaluateDenorm(test)
@@ -787,10 +787,10 @@ func (e *Engine) candidateScores(ctx context.Context, files []FileMeta) ([][]flo
 	}
 
 	// One batched forward pass over every candidate row.
-	start := time.Now()
+	start := time.Now() //geomancy:nondeterministic telemetry timestamp: inference duration is reported, never fed back into decisions
 	e.scratch.Parallelism = e.cfg.Parallelism
 	out := e.net.ForwardBatch(flat, seq, &e.scratch)
-	e.metrics.inferSeconds.Set(time.Since(start).Seconds())
+	e.metrics.inferSeconds.Set(time.Since(start).Seconds()) //geomancy:nondeterministic telemetry timestamp: inference duration is reported, never fed back into decisions
 	e.metrics.inferBatch.Observe(float64(total))
 
 	// Denormalize and MAE-adjust every prediction.

@@ -107,7 +107,7 @@ func (db *DB) replay(f *os.File) (int64, error) {
 	r := bufio.NewReader(f)
 	hdr := make([]byte, len(magic))
 	n, err := io.ReadFull(r, hdr)
-	if err == io.EOF || (err == io.ErrUnexpectedEOF && n < len(magic)) {
+	if errors.Is(err, io.EOF) || (errors.Is(err, io.ErrUnexpectedEOF) && n < len(magic)) {
 		return 0, nil // empty or stub file: start fresh
 	}
 	if err != nil {
@@ -366,6 +366,7 @@ func (db *DB) Sync() error {
 	if db.w == nil {
 		return nil
 	}
+	//geomancy:allow locksafe db.w wraps the local WAL file, not a socket; disk flush latency is bounded
 	if err := db.w.Flush(); err != nil {
 		return err
 	}
@@ -384,6 +385,7 @@ func (db *DB) Close() error {
 	if db.w == nil {
 		return nil
 	}
+	//geomancy:allow locksafe db.w wraps the local WAL file, not a socket; disk flush latency is bounded
 	if err := db.w.Flush(); err != nil {
 		db.file.Close()
 		return err

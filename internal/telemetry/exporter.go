@@ -168,6 +168,7 @@ func (r *Registry) Handler() http.Handler {
 type Server struct {
 	ln   net.Listener
 	srv  *http.Server
+	done chan struct{}
 	once sync.Once
 }
 
@@ -185,17 +186,24 @@ func (r *Registry) Serve(addr string) (*Server, error) {
 		w.Header().Set("Content-Type", "application/json")
 		r.WriteJSON(w)
 	})
-	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
-	go s.srv.Serve(ln)
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}, done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		s.srv.Serve(ln)
+	}()
 	return s, nil
 }
 
 // Addr returns the bound listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the endpoint down.
+// Close shuts the endpoint down and waits for the serve goroutine to
+// exit, so callers observe full quiescence.
 func (s *Server) Close() error {
 	var err error
-	s.once.Do(func() { err = s.srv.Close() })
+	s.once.Do(func() {
+		err = s.srv.Close()
+		<-s.done
+	})
 	return err
 }
