@@ -1,0 +1,263 @@
+package geomancy
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// ckptOptions is the configuration shared by every leg of the resume
+// tests: small enough to be fast, with cooldown/bootstrap tuned so the
+// run window crosses several training and layout decisions.
+func ckptOptions(parallelism int, extra ...Option) []Option {
+	opts := []Option{
+		WithSeed(11),
+		WithParallelism(parallelism),
+		WithEpochs(4),
+		WithTrainingWindow(300),
+		WithCooldown(2),
+		WithBootstrapRuns(2),
+	}
+	return append(opts, extra...)
+}
+
+// trajectory captures everything the resume-equivalence assertions
+// compare: the layout, per-run stats, movement history, and replay-DB
+// record counts.
+type trajectory struct {
+	Layout    map[int64]string
+	Stats     []RunStats
+	Movements []MovementEvent
+	Telemetry int
+	MoveCount int
+	Mean      float64
+}
+
+func capture(t *testing.T, sys *System) trajectory {
+	t.Helper()
+	return trajectory{
+		Layout:    sys.Layout(),
+		Stats:     sys.Stats(),
+		Movements: sys.Movements(),
+		Telemetry: sys.Telemetry(),
+		MoveCount: len(sys.Movements()),
+		Mean:      sys.MeanThroughput(),
+	}
+}
+
+func assertSameTrajectory(t *testing.T, got, want trajectory, label string) {
+	t.Helper()
+	gj, _ := json.Marshal(got)
+	wj, _ := json.Marshal(want)
+	if string(gj) != string(wj) {
+		t.Errorf("%s: trajectories diverged\n  resumed:       %s\n  uninterrupted: %s", label, gj, wj)
+	}
+}
+
+// TestResumeEquivalence is the tentpole acceptance test: a run
+// checkpointed at run N and restored must produce a byte-identical
+// trajectory (layouts, stats, movements, replay counts) to the same-seed
+// uninterrupted run — at Parallelism 1 and 4, over both the memory and
+// file-backed replay databases.
+func TestResumeEquivalence(t *testing.T) {
+	const checkpointAt, total = 5, 12
+
+	for _, p := range []int{1, 4} {
+		for _, fileBacked := range []bool{false, true} {
+			name := map[bool]string{false: "memdb", true: "waldb"}[fileBacked]
+			t.Run(name+"/parallelism="+string(rune('0'+p)), func(t *testing.T) {
+				dir := t.TempDir()
+				var refOpts, legOpts []Option
+				if fileBacked {
+					refOpts = ckptOptions(p, WithReplayDB(filepath.Join(dir, "ref.wal")))
+					legOpts = ckptOptions(p, WithReplayDB(filepath.Join(dir, "leg.wal")))
+				} else {
+					refOpts = ckptOptions(p)
+					legOpts = ckptOptions(p)
+				}
+
+				// Uninterrupted reference run.
+				ref, err := New(refOpts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer ref.Close()
+				if _, err := ref.RunN(total); err != nil {
+					t.Fatal(err)
+				}
+				want := capture(t, ref)
+
+				// Interrupted run: checkpoint at run N, throw the system
+				// away, restore, and finish.
+				first, err := New(legOpts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := first.RunN(checkpointAt); err != nil {
+					t.Fatal(err)
+				}
+				ckpt := filepath.Join(dir, "snap.ckpt")
+				if err := first.Checkpoint(ckpt); err != nil {
+					t.Fatal(err)
+				}
+				if err := first.Close(); err != nil {
+					t.Fatal(err)
+				}
+
+				resumed, err := Restore(ckpt, legOpts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer resumed.Close()
+				if got := len(resumed.Stats()); got != checkpointAt {
+					t.Fatalf("restored system reports %d completed runs, want %d", got, checkpointAt)
+				}
+				if _, err := resumed.RunN(total - checkpointAt); err != nil {
+					t.Fatal(err)
+				}
+				assertSameTrajectory(t, capture(t, resumed), want, name)
+			})
+		}
+	}
+}
+
+// TestResumeEquivalenceDistributed runs the same invariant through the
+// TCP agents plane: telemetry batches, layout pushes, and the remote
+// store must not break resume determinism.
+func TestResumeEquivalenceDistributed(t *testing.T) {
+	const checkpointAt, total = 4, 8
+
+	run := func(t *testing.T, upTo int, resumeFrom string, dir string) (*System, trajectory) {
+		t.Helper()
+		opts := ckptOptions(1, WithDistributed())
+		var sys *System
+		var err error
+		if resumeFrom != "" {
+			sys, err = Restore(resumeFrom, opts...)
+		} else {
+			sys, err = New(opts...)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.RunN(upTo - len(sys.Stats())); err != nil {
+			sys.Close()
+			t.Fatal(err)
+		}
+		return sys, capture(t, sys)
+	}
+
+	ref, want := run(t, total, "", "")
+	defer ref.Close()
+
+	dir := t.TempDir()
+	first, _ := run(t, checkpointAt, "", dir)
+	ckpt := filepath.Join(dir, "snap.ckpt")
+	if err := first.Checkpoint(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	if err := first.Close(); err != nil {
+		t.Fatal(err)
+	}
+	resumed, got := run(t, total, ckpt, dir)
+	defer resumed.Close()
+	assertSameTrajectory(t, got, want, "distributed")
+}
+
+// TestCloseWritesFinalSnapshot: with a checkpoint directory configured,
+// Close flushes a snapshot, and a second Close neither rewrites nor
+// corrupts it.
+func TestCloseWritesFinalSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	sys, err := New(ckptOptions(1, WithCheckpointDir(dir))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RunN(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("checkpoint dir has %d entries after Close, want 1", len(entries))
+	}
+	info, _ := entries[0].Info()
+	mtime := info.ModTime()
+	size := info.Size()
+
+	if err := sys.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	entries, _ = os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Fatalf("second Close changed the snapshot count to %d", len(entries))
+	}
+	info2, _ := entries[0].Info()
+	if !info2.ModTime().Equal(mtime) || info2.Size() != size {
+		t.Error("second Close rewrote the final snapshot")
+	}
+
+	// The final snapshot is usable.
+	resumed, err := RestoreLatest(dir, ckptOptions(1, WithCheckpointDir(dir))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumed.Close()
+	if got := len(resumed.Stats()); got != 3 {
+		t.Errorf("resumed from final snapshot at %d runs, want 3", got)
+	}
+	if _, err := resumed.Run(); err != nil {
+		t.Errorf("run after resume: %v", err)
+	}
+}
+
+// TestRestoreLatestEmptyDir: no snapshots yet means ErrNoCheckpoint, the
+// signal to fall back to a fresh New.
+func TestRestoreLatestEmptyDir(t *testing.T) {
+	_, err := RestoreLatest(t.TempDir(), ckptOptions(1)...)
+	if !errors.Is(err, ErrNoCheckpoint) {
+		t.Errorf("err = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+// TestRestoreSeedMismatch: resuming a snapshot under a different seed is
+// a configuration error, not a silent divergence.
+func TestRestoreSeedMismatch(t *testing.T) {
+	dir := t.TempDir()
+	sys, err := New(ckptOptions(1)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RunN(2); err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(dir, "snap.ckpt")
+	if err := sys.Checkpoint(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	sys.Close()
+
+	if _, err := Restore(ckpt, WithSeed(99)); err == nil {
+		t.Error("Restore with a different seed should fail")
+	}
+}
+
+// TestCheckpointAfterClose: capturing a closed system must fail with
+// ErrClosed instead of snapshotting torn state.
+func TestCheckpointAfterClose(t *testing.T) {
+	sys, err := New(ckptOptions(1)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Close()
+	if err := sys.Checkpoint(filepath.Join(t.TempDir(), "x.ckpt")); !errors.Is(err, ErrClosed) {
+		t.Errorf("Checkpoint after Close: err = %v, want ErrClosed", err)
+	}
+}

@@ -8,11 +8,19 @@
 // the target system:
 //
 //	geomancy [-listen 127.0.0.1:0] [-runs 25] [-seed 1] [-epochs 40]
-//	         [-cooldown 5] [-db replay.wal] [-model 1] [-epsilon 0.1]
-//	         [-target throughput|latency] [-parallel 0]
+//	         [-cooldown 5] [-bootstrap 5] [-db replay.wal] [-model 1]
+//	         [-epsilon 0.1] [-target throughput|latency] [-parallel 0]
+//	         [-checkpoint-dir state/] [-checkpoint-every 5]
 //	         [-retry-attempts 4] [-retry-base 5ms] [-io-timeout 5s]
 //	         [-fail-open] [-fault-drop 0] [-fault-delay 0] [-fault-partial 0]
 //	         [-metrics-addr 127.0.0.1:9090] [-metrics-json metrics.json] [-v]
+//
+// With -checkpoint-dir the process is crash-safe: rotating snapshots are
+// written every -checkpoint-every runs and on graceful shutdown, and a
+// restart with the same flags resumes from the newest intact snapshot,
+// continuing the interrupted trajectory bit-for-bit. The first
+// SIGINT/SIGTERM finishes the current run, snapshots, and exits; a second
+// signal aborts immediately (no snapshot is taken of the torn run).
 package main
 
 import (
@@ -21,29 +29,15 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
 	"os"
 	"os/signal"
 	"runtime"
+	"sync/atomic"
 	"syscall"
 	"time"
 
-	"geomancy/internal/agents"
-	"geomancy/internal/core"
-	"geomancy/internal/faultnet"
-	"geomancy/internal/replaydb"
-	"geomancy/internal/storagesim"
-	"geomancy/internal/telemetry"
-	"geomancy/internal/trace"
-	"geomancy/internal/workload"
+	"geomancy"
 )
-
-// deployOptions carries the fault-tolerance knobs into run.
-type deployOptions struct {
-	retry    agents.RetryPolicy
-	failOpen bool
-	faults   *faultnet.Config
-}
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "Interface Daemon listen address")
@@ -51,13 +45,16 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	epochs := flag.Int("epochs", 40, "training epochs per decision")
 	cooldown := flag.Int("cooldown", 5, "runs between layout decisions")
+	bootstrap := flag.Int("bootstrap", 5, "telemetry-only warm-up runs before the first decision")
 	windowX := flag.Int("window", 1000, "per-device ReplayDB training window")
 	dbPath := flag.String("db", "", "ReplayDB WAL path (empty = in-memory)")
-	verbose := flag.Bool("v", false, "log every layout decision")
+	verbose := flag.Bool("v", false, "log layout decisions and checkpoint writes")
 	model := flag.Int("model", 1, "Table I architecture number (1-23)")
 	epsilon := flag.Float64("epsilon", 0.1, "exploration rate")
 	target := flag.String("target", "throughput", "modeling target: throughput or latency")
 	parallel := flag.Int("parallel", 0, "engine worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	ckptDir := flag.String("checkpoint-dir", "", "snapshot directory: resume from it on start, checkpoint into it while running (empty = disabled)")
+	ckptEvery := flag.Int("checkpoint-every", 5, "runs between rotating snapshots (0 = only on shutdown)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics on this address (empty = disabled)")
 	metricsJSON := flag.String("metrics-json", "", "write a JSON metrics snapshot to this file on exit")
 	retryAttempts := flag.Int("retry-attempts", 0, "agent RPC retry budget (0 = default 4)")
@@ -70,54 +67,99 @@ func main() {
 	faultPartial := flag.Float64("fault-partial", 0, "inject: probability a write is truncated mid-stream")
 	flag.Parse()
 
-	cfg := core.Config{
-		ModelNumber:  *model,
-		Epsilon:      *epsilon,
-		Target:       *target,
-		Epochs:       *epochs,
-		CooldownRuns: *cooldown,
-		WindowX:      *windowX,
-		Seed:         *seed,
-		Parallelism:  *parallel,
+	if *parallel <= 0 {
+		*parallel = runtime.GOMAXPROCS(0)
 	}
-	if cfg.Parallelism == 0 {
-		cfg.Parallelism = runtime.GOMAXPROCS(0)
-	}
-	opts := deployOptions{
-		retry: agents.RetryPolicy{
+	reg := geomancy.NewMetrics()
+	opts := []geomancy.Option{
+		geomancy.WithDistributed(),
+		geomancy.WithListenAddr(*listen),
+		geomancy.WithSeed(*seed),
+		geomancy.WithModel(*model),
+		geomancy.WithEpsilon(*epsilon),
+		geomancy.WithEpochs(*epochs),
+		geomancy.WithCooldown(*cooldown),
+		geomancy.WithBootstrapRuns(*bootstrap),
+		geomancy.WithTrainingWindow(*windowX),
+		geomancy.WithParallelism(*parallel),
+		geomancy.WithTelemetry(reg),
+		geomancy.WithFailOpen(*failOpen),
+		geomancy.WithRetryPolicy(geomancy.RetryPolicy{
 			MaxAttempts: *retryAttempts,
 			BaseDelay:   *retryBase,
 			IOTimeout:   *ioTimeout,
-		},
-		failOpen: *failOpen,
+		}),
 	}
-	if *faultDrop > 0 || *faultDelay > 0 || *faultPartial > 0 {
-		opts.faults = &faultnet.Config{
+	if *dbPath != "" {
+		opts = append(opts, geomancy.WithReplayDB(*dbPath))
+	}
+	if *target == "latency" {
+		opts = append(opts, geomancy.WithLatencyTarget())
+	}
+	faults := *faultDrop > 0 || *faultDelay > 0 || *faultPartial > 0
+	if faults {
+		opts = append(opts, geomancy.WithFaultInjection(geomancy.FaultConfig{
 			Seed:             *seed,
 			DropRate:         *faultDrop,
 			DelayRate:        *faultDelay,
 			Delay:            *faultDelayDur,
 			PartialWriteRate: *faultPartial,
-		}
+		}))
 	}
-	// SIGINT/SIGTERM cancel the run between accesses, epochs, and scoring
-	// batches, so an interrupted deployment exits cleanly mid-cycle.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	if err := run(ctx, *listen, *runs, *seed, cfg, *dbPath, *verbose, *metricsAddr, *metricsJSON, opts); err != nil {
-		if errors.Is(err, context.Canceled) {
-			fmt.Fprintln(os.Stderr, "geomancy: interrupted")
-			os.Exit(130)
-		}
+	if *ckptDir != "" {
+		opts = append(opts, geomancy.WithCheckpointDir(*ckptDir))
+	}
+
+	// The first signal requests a graceful stop: the current run finishes,
+	// Close flushes a boundary snapshot, and the process exits. A second
+	// signal cancels the run context and aborts mid-run without a snapshot.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var stopping atomic.Bool
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	go func() {
+		<-sigCh
+		stopping.Store(true)
+		fmt.Fprintln(os.Stderr, "geomancy: signal received; finishing current run (repeat to abort)")
+		<-sigCh
+		cancel()
+	}()
+
+	err := run(ctx, &stopping, *runs, *ckptDir, *ckptEvery, *verbose, *metricsAddr, *metricsJSON, faults, reg, opts)
+	switch {
+	case errors.Is(err, context.Canceled):
+		fmt.Fprintln(os.Stderr, "geomancy: interrupted")
+		os.Exit(130)
+	case err != nil:
 		log.SetFlags(0)
 		log.Fatalf("geomancy: %v", err)
 	}
 }
 
-func run(ctx context.Context, listen string, runs int, seed int64, cfg core.Config, dbPath string, verbose bool, metricsAddr, metricsJSON string, opts deployOptions) error {
-	// Observability: one registry shared by every layer of the deployment.
-	reg := telemetry.NewRegistry()
-	telemetry.RegisterHelp(reg)
+// open resumes from the checkpoint directory when one is configured and
+// holds a usable snapshot, otherwise starts a fresh system. A store whose
+// every snapshot is corrupt is a hard error rather than a silent restart.
+func open(ckptDir string, opts []geomancy.Option) (*geomancy.System, error) {
+	if ckptDir == "" {
+		return geomancy.New(opts...)
+	}
+	sys, err := geomancy.RestoreLatest(ckptDir, opts...)
+	switch {
+	case err == nil:
+		fmt.Printf("resumed from %s: %d runs completed\n", ckptDir, len(sys.Stats()))
+		return sys, nil
+	case errors.Is(err, geomancy.ErrNoCheckpoint):
+		return geomancy.New(opts...)
+	case errors.Is(err, geomancy.ErrCorrupt):
+		return nil, fmt.Errorf("every snapshot in %s is corrupt: %w (clear the directory to start fresh)", ckptDir, err)
+	default:
+		return nil, err
+	}
+}
+
+func run(ctx context.Context, stopping *atomic.Bool, runs int, ckptDir string, ckptEvery int, verbose bool, metricsAddr, metricsJSON string, faults bool, reg *geomancy.Metrics, opts []geomancy.Option) error {
 	if metricsAddr != "" {
 		srv, err := reg.Serve(metricsAddr)
 		if err != nil {
@@ -126,183 +168,90 @@ func run(ctx context.Context, listen string, runs int, seed int64, cfg core.Conf
 		defer srv.Close()
 		fmt.Printf("metrics on http://%s/metrics\n", srv.Addr())
 	}
-	// Pre-register the decision counters so they export at zero before the
-	// first layout push.
-	movesCtr := reg.Counter(telemetry.MetricMovementsTotal)
-	movedBytes := reg.Counter(telemetry.MetricMovedBytesTotal)
 
-	// Target system.
-	cluster := storagesim.NewBluesky(seed)
-	files := trace.BelleFileSet(seed)
-	runner := workload.NewRunner(cluster, files, 1, seed)
-	if err := runner.SpreadEvenly(cluster.DeviceNames()); err != nil {
-		return err
-	}
-
-	// Geomancy side: ReplayDB + Interface Daemon.
-	db, err := replaydb.Open(replaydb.Options{Path: dbPath, SyncEvery: 256})
+	sys, err := open(ckptDir, opts)
 	if err != nil {
 		return err
 	}
-	defer db.Close()
-	db.SetMetrics(reg)
-	daemon := agents.NewDaemon(db)
-	daemon.SetMetrics(reg)
-	daemon.Verbose = verbose
-	if opts.faults != nil {
-		fn := faultnet.New(*opts.faults)
-		daemon.WrapListener = fn.Listener
-		defer func() {
-			st := fn.Stats()
-			fmt.Printf("fault injection: %d drops, %d delays, %d partial writes\n",
-				st.Drops, st.Delays, st.PartialWrites)
-		}()
-	}
-	addr, err := daemon.Start(listen)
-	if err != nil {
-		return err
-	}
-	defer daemon.Close()
-	fmt.Printf("interface daemon listening on %s\n", addr)
-
-	agentOpts := []agents.Option{
-		agents.WithRetryPolicy(opts.retry),
-		agents.WithMetrics(reg),
-	}
-	degradedCtr := reg.Counter(telemetry.MetricAgentDegradedTotal)
-	// degrade reports (and logs) err as a tolerated outage when running
-	// fail-open; otherwise the caller propagates it.
-	degrade := func(stage string, err error) bool {
-		if !opts.failOpen || !(errors.Is(err, agents.ErrUnavailable) || errors.Is(err, core.ErrNoTelemetry)) {
-			return false
+	closed := false
+	defer func() {
+		if !closed {
+			sys.Close()
 		}
-		degradedCtr.Inc()
-		fmt.Fprintf(os.Stderr, "degraded (%s): %v\n", stage, err)
-		return true
-	}
+	}()
+	fmt.Printf("interface daemon listening on %s\n", sys.ListenAddr())
 
-	// Target-system side: monitoring agents (one per mount) + control agent.
-	monitors, err := agents.NewMonitorSet(addr, cluster.DeviceNames(), 32, agentOpts...)
-	if err != nil {
-		return err
-	}
-	defer monitors.Close()
-	control, err := agents.NewControl(addr, func(id int64, dev string) (bool, error) {
-		mv, err := cluster.Move(id, dev)
-		if err != nil {
-			return false, err
-		}
-		return mv.From != mv.To, nil
-	}, agentOpts...)
-	if err != nil {
-		return err
-	}
-	defer control.Close()
-
-	// DRL engine. Training data flows through the Interface Daemon (the
-	// paper's Fig. 2 path), not by touching the database directly.
-	store, err := agents.DialRemoteStore(addr, agentOpts...)
-	if err != nil {
-		return err
-	}
-	defer store.Close()
-	engine, err := core.NewEngine(store, cluster.DeviceNames(), cfg)
-	if err != nil {
-		return err
-	}
-	engine.SetMetrics(reg)
-	checker := agents.NewActionChecker(rand.New(rand.NewSource(seed+17)), cluster.DeviceNames())
-	pushRng := rand.New(rand.NewSource(seed + 101))
-
-	accessObs := workload.MetricsObserver(reg)
-	var tpSum float64
-	var tpN int64
-	for r := 0; r < runs; r++ {
-		stats, err := runner.RunOnceContext(ctx, func(res storagesim.AccessResult, wl, run int) {
-			if err := monitors.Observe(res, wl, run); err != nil {
-				fmt.Fprintf(os.Stderr, "monitor: %v\n", err)
-			}
-			accessObs(res, wl, run)
-			tpSum += res.Throughput
-			tpN++
-		})
+	trained := len(sys.TrainLog())
+	moved := len(sys.Movements())
+	skipped := len(sys.Skipped())
+	for len(sys.Stats()) < runs && !stopping.Load() {
+		stats, err := sys.RunContext(ctx)
 		if err != nil {
 			return err
-		}
-		if err := monitors.Flush(); err != nil {
-			// The unacked batch stays queued and replays on a later flush.
-			if !degrade("telemetry flush", err) {
-				return err
-			}
 		}
 		fmt.Printf("run %2d: %4d accesses, mean %.2f GB/s, p50/p95/p99 latency %.1f/%.1f/%.1f ms\n",
-			r, stats.Accesses, stats.MeanThroughput/1e9,
+			stats.Run, stats.Accesses, stats.MeanThroughput/1e9,
 			stats.LatencyP50*1e3, stats.LatencyP95*1e3, stats.LatencyP99*1e3)
 
-		if !engine.ShouldAct(stats.Run) {
-			continue
-		}
-		rep, err := engine.TrainContext(ctx)
-		if err != nil {
-			if degrade("training", err) {
-				continue
+		if log := sys.TrainLog(); len(log) > trained {
+			rep := log[len(log)-1]
+			trained = len(log)
+			movedFiles := 0
+			events := sys.Movements()
+			for _, ev := range events[moved:] {
+				movedFiles += ev.Moved
 			}
-			return err
-		}
-		layout := cluster.Layout()
-		metas := make([]core.FileMeta, 0, len(files))
-		for _, f := range files {
-			metas = append(metas, core.FileMeta{ID: f.ID, Path: f.Path, Size: f.Size, Device: layout[f.ID]})
-		}
-		proposal, decisions, err := engine.ProposeLayoutContext(ctx, metas, checker, agents.ClusterValidator(cluster))
-		if err != nil {
-			if degrade("proposing layout", err) {
-				continue
-			}
-			return err
-		}
-		before := cluster.Layout()
-		moved, err := daemon.PushLayoutRetry(proposal, opts.retry, pushRng)
-		if err != nil {
-			if degrade("layout push", err) {
-				continue
-			}
-			return err
-		}
-		// Persist the layout change the way the paper detects it: a file
-		// whose location differs between ReplayDB entries has moved.
-		after := cluster.Layout()
-		for _, f := range files {
-			if before[f.ID] != after[f.ID] {
-				movesCtr.Inc()
-				movedBytes.Add(uint64(f.Size))
-				if _, err := db.AppendMovement(replaydb.MovementRecord{
-					Time:        cluster.Now(),
-					FileID:      f.ID,
-					From:        before[f.ID],
-					To:          after[f.ID],
-					Bytes:       f.Size,
-					AccessIndex: tpN,
-				}); err != nil {
-					return err
+			moved = len(events)
+			fmt.Printf("  tuned: trained on %d samples in %v (val MARE %s), moved %d files\n",
+				rep.Samples, rep.Duration.Round(time.Millisecond), rep.Validation.String(), movedFiles)
+			if verbose {
+				for _, ev := range events[len(events)-1:] {
+					fmt.Printf("    layout push at access %d: %d moved, %d explored\n",
+						ev.AccessIndex, ev.Moved, ev.Random)
 				}
 			}
 		}
-		fmt.Printf("  tuned: trained on %d samples in %v (val MARE %s), moved %d files\n",
-			rep.Samples, rep.Duration.Round(1e6), rep.Validation.String(), moved)
-		if verbose {
-			for _, d := range decisions {
-				if d.Chosen != d.Current {
-					fmt.Printf("    file %2d: %s -> %s (predicted %.2f GB/s, random=%v)\n",
-						d.FileID, d.Current, d.Chosen, d.Predictions[d.Chosen]/1e9, d.Random)
-				}
+		if sk := sys.Skipped(); len(sk) > skipped {
+			for _, d := range sk[skipped:] {
+				fmt.Fprintf(os.Stderr, "degraded (run %d): %s\n", d.Run, d.Reason)
+			}
+			skipped = len(sk)
+		}
+		if ckptDir != "" && ckptEvery > 0 && len(sys.Stats())%ckptEvery == 0 {
+			path, err := sys.SaveCheckpoint()
+			if err != nil {
+				return fmt.Errorf("checkpointing: %w", err)
+			}
+			if verbose {
+				fmt.Printf("  checkpoint: %s\n", path)
 			}
 		}
 	}
-	if tpN > 0 {
-		fmt.Printf("overall mean throughput: %.2f GB/s over %d accesses (%d telemetry records, %d movements)\n",
-			tpSum/float64(tpN)/1e9, tpN, db.Len(), db.MovementCount())
+
+	if n := sys.Telemetry(); n > 0 {
+		movedFiles := 0
+		for _, ev := range sys.Movements() {
+			movedFiles += ev.Moved
+		}
+		fmt.Printf("overall mean throughput: %.2f GB/s over %d runs (%d telemetry records, %d movements)\n",
+			sys.MeanThroughput()/1e9, len(sys.Stats()), n, movedFiles)
 	}
+	if faults {
+		st := sys.FaultStats()
+		fmt.Printf("fault injection: %d drops, %d delays, %d partial writes\n",
+			st.Drops, st.Delays, st.PartialWrites)
+	}
+
+	// Close before writing the JSON snapshot so the final checkpoint (and
+	// its replay-log sync) is included in the run's teardown path.
+	closed = true
+	if err := sys.Close(); err != nil {
+		return err
+	}
+	if ckptDir != "" && stopping.Load() {
+		fmt.Fprintf(os.Stderr, "geomancy: snapshot flushed to %s\n", ckptDir)
+	}
+
 	if metricsJSON != "" {
 		f, err := os.Create(metricsJSON)
 		if err != nil {

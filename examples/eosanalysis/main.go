@@ -8,9 +8,9 @@ package main
 
 import (
 	"fmt"
+	"geomancy/internal/rng"
 	"log"
 	"math"
-	"math/rand"
 	"sort"
 
 	"geomancy/internal/features"
@@ -69,7 +69,7 @@ func main() {
 		ds.Len(), train.Len(), val.Len(), test.Len(), x.Cols, trace.ChosenFeatureNames)
 
 	// 4. Train model 1 and report the Table II-style metrics.
-	rng := rand.New(rand.NewSource(3))
+	rng := rng.NewRand(3)
 	net := nn.MustBuildModel(1, x.Cols, rng)
 	fmt.Printf("model 1: %s (%d parameters)\n", net, net.ParamCount())
 	loss, err := net.Fit(train, nn.FitConfig{

@@ -1,0 +1,94 @@
+// Checkpoint and resume: run half a deployment, snapshot it, throw the
+// system away (standing in for a crash or restart), restore from the
+// snapshot, and finish — then prove the stitched-together run is
+// bit-identical to an uninterrupted run of the same seed.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"reflect"
+
+	"geomancy"
+)
+
+const (
+	totalRuns    = 12
+	checkpointAt = 6
+)
+
+func options(dir string) []geomancy.Option {
+	return []geomancy.Option{
+		geomancy.WithSeed(7),
+		geomancy.WithCooldown(2),
+		geomancy.WithBootstrapRuns(2),
+		geomancy.WithEpochs(5),
+		geomancy.WithTrainingWindow(400),
+		geomancy.WithCheckpointDir(dir),
+	}
+}
+
+func main() {
+	dir, err := os.MkdirTemp("", "geomancy-resume-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Reference: the same seed, uninterrupted.
+	ref, err := geomancy.New(options(filepath.Join(dir, "ref"))...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := ref.RunN(totalRuns); err != nil {
+		log.Fatal(err)
+	}
+	refLayout := ref.Layout()
+	refMean := ref.MeanThroughput()
+	ref.Close()
+
+	// Leg 1: run to the checkpoint, then "crash" (Close flushes a final
+	// snapshot into the checkpoint directory).
+	ckptDir := filepath.Join(dir, "live")
+	sys, err := geomancy.New(options(ckptDir)...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.RunN(checkpointAt); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ran %d/%d runs, snapshotting and shutting down\n", checkpointAt, totalRuns)
+	if err := sys.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Leg 2: a fresh process resumes from the newest snapshot. The
+	// options must repeat the original configuration — only dynamic
+	// state lives in the snapshot.
+	sys, err = geomancy.RestoreLatest(ckptDir, options(ckptDir)...)
+	if errors.Is(err, geomancy.ErrNoCheckpoint) {
+		log.Fatal("no snapshot to resume from (unexpected here)")
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+	fmt.Printf("resumed at run %d\n", len(sys.Stats()))
+	if _, err := sys.RunN(totalRuns - checkpointAt); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("uninterrupted: mean %.3f GB/s over %d runs\n", refMean/1e9, totalRuns)
+	fmt.Printf("resumed:       mean %.3f GB/s over %d runs\n", sys.MeanThroughput()/1e9, len(sys.Stats()))
+	switch {
+	case !reflect.DeepEqual(sys.Layout(), refLayout):
+		fmt.Println("FAIL: final layouts differ")
+	case sys.MeanThroughput() != refMean:
+		fmt.Println("FAIL: throughput trajectories differ")
+	default:
+		fmt.Println("resume is bit-identical to the uninterrupted run")
+	}
+}

@@ -31,13 +31,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"runtime"
 
 	"geomancy/internal/agents"
+	"geomancy/internal/checkpoint"
 	"geomancy/internal/core"
 	"geomancy/internal/faultnet"
 	"geomancy/internal/replaydb"
+	"geomancy/internal/rng"
 	"geomancy/internal/storagesim"
 	"geomancy/internal/telemetry"
 	"geomancy/internal/trace"
@@ -65,6 +66,13 @@ func NewMetrics() *Metrics {
 var (
 	// ErrClosed reports a Run (or RunN) issued after Close.
 	ErrClosed = errors.New("geomancy: system closed")
+	// ErrCorrupt reports a checkpoint that failed validation (bad magic,
+	// truncated frame, CRC mismatch). Restore from an older snapshot or
+	// start fresh.
+	ErrCorrupt = checkpoint.ErrCorrupt
+	// ErrNoCheckpoint reports a Restore (or RestoreLatest) with no usable
+	// snapshot to resume from.
+	ErrNoCheckpoint = checkpoint.ErrNoCheckpoint
 )
 
 // RunStats re-exports the per-run workload summary.
@@ -128,6 +136,9 @@ type config struct {
 	distributed   bool
 	retry         *agents.RetryPolicy
 	faults        *faultnet.Config
+	checkpointDir string
+	listenAddr    string
+	failOpen      *bool
 }
 
 // Option customizes New.
@@ -222,6 +233,30 @@ func WithFaultInjection(fc FaultConfig) Option {
 	return func(c *config) { c.faults = &fc }
 }
 
+// WithCheckpointDir enables checkpointing into dir: SaveCheckpoint writes
+// rotating numbered snapshots there, Close flushes a final one, and
+// RestoreLatest resumes from the newest intact snapshot. The directory is
+// created if needed.
+func WithCheckpointDir(dir string) Option {
+	return func(c *config) { c.checkpointDir = dir }
+}
+
+// WithListenAddr sets the distributed deployment's Interface Daemon
+// listen address; default "127.0.0.1:0" (loopback, ephemeral port). Only
+// meaningful with WithDistributed.
+func WithListenAddr(addr string) Option {
+	return func(c *config) { c.listenAddr = addr }
+}
+
+// WithFailOpen controls the distributed loop's degraded mode. Fail-open
+// (the default with WithDistributed) keeps serving the last-known layout
+// when the agents plane is unreachable, recording the skipped cycle;
+// fail-closed surfaces the outage as a Run error instead. Only meaningful
+// with WithDistributed.
+func WithFailOpen(on bool) Option {
+	return func(c *config) { c.failOpen = &on }
+}
+
 // System is a fully wired Geomancy deployment over a simulated target
 // system. It is not safe for concurrent use.
 type System struct {
@@ -231,17 +266,23 @@ type System struct {
 	loop    *core.Loop
 
 	// distributed plane (nil without WithDistributed)
-	daemon   *agents.Daemon
-	monitors *agents.MonitorSet
-	control  *agents.Control
-	store    *agents.RemoteStore
-	fnet     *faultnet.Network
+	daemon     *agents.Daemon
+	daemonAddr string
+	monitors   *agents.MonitorSet
+	control    *agents.Control
+	store      *agents.RemoteStore
+	fnet       *faultnet.Network
 
 	bootstrapLeft int
 	closed        bool
+	midRun        bool
 	stats         []RunStats
 	tpSum         float64
 	tpCount       int64
+
+	seed       int64
+	replayPath string
+	ckptStore  *checkpoint.Store
 
 	metrics    *telemetry.Registry
 	metricsObs workload.Observer
@@ -288,8 +329,18 @@ func New(opts ...Option) (*System, error) {
 		db:            db,
 		runner:        runner,
 		bootstrapLeft: cfg.bootstrapRun,
+		seed:          cfg.seed,
+		replayPath:    cfg.replayPath,
 		metrics:       cfg.metrics,
 		metricsObs:    workload.MetricsObserver(cfg.metrics),
+	}
+	if cfg.checkpointDir != "" {
+		store, err := checkpoint.NewStore(cfg.checkpointDir)
+		if err != nil {
+			db.Close()
+			return nil, fmt.Errorf("geomancy: opening checkpoint store: %w", err)
+		}
+		sys.ckptStore = store
 	}
 	var store core.TelemetryStore = db
 	if cfg.distributed {
@@ -326,9 +377,12 @@ func New(opts ...Option) (*System, error) {
 		loop.Pusher = pushRetrier{
 			d:      sys.daemon,
 			policy: rp,
-			rng:    rand.New(rand.NewSource(cfg.seed + 101)),
+			rng:    rng.New(cfg.seed + 101),
 		}
 		loop.FailOpen = true
+		if cfg.failOpen != nil {
+			loop.FailOpen = *cfg.failOpen
+		}
 	}
 	if cfg.gapScheduling {
 		loop.EnableGapScheduling()
@@ -359,11 +413,16 @@ func (s *System) startAgents(cfg *config) error {
 		s.fnet = faultnet.New(*cfg.faults)
 		daemon.WrapListener = s.fnet.Listener
 	}
-	addr, err := daemon.Start("127.0.0.1:0")
+	listen := cfg.listenAddr
+	if listen == "" {
+		listen = "127.0.0.1:0"
+	}
+	addr, err := daemon.Start(listen)
 	if err != nil {
 		return fmt.Errorf("geomancy: starting interface daemon: %w", err)
 	}
 	s.daemon = daemon
+	s.daemonAddr = addr
 	var aopts []agents.Option
 	if cfg.retry != nil {
 		aopts = append(aopts, agents.WithRetryPolicy(*cfg.retry))
@@ -405,7 +464,7 @@ const monitorBatchSize = 32
 type pushRetrier struct {
 	d      *agents.Daemon
 	policy agents.RetryPolicy
-	rng    *rand.Rand
+	rng    *rng.RNG
 }
 
 func (p pushRetrier) PushLayout(layout map[int64]string) (int, error) {
@@ -454,6 +513,7 @@ func (s *System) RunContext(ctx context.Context) (RunStats, error) {
 	if err := ctx.Err(); err != nil {
 		return RunStats{}, err
 	}
+	s.midRun = true
 	var stats RunStats
 	var err error
 	if s.bootstrapLeft > 0 {
@@ -489,6 +549,7 @@ func (s *System) RunContext(ctx context.Context) (RunStats, error) {
 	if err != nil {
 		return stats, err
 	}
+	s.midRun = false
 	s.stats = append(s.stats, stats)
 	return stats, nil
 }
@@ -566,6 +627,11 @@ func (s *System) Metrics() *Metrics { return s.metrics }
 // Always empty without WithDistributed.
 func (s *System) Skipped() []SkippedDecision { return s.loop.Skipped() }
 
+// ListenAddr returns the Interface Daemon's bound address ("" without
+// WithDistributed) — useful with WithListenAddr("127.0.0.1:0") to learn
+// the ephemeral port.
+func (s *System) ListenAddr() string { return s.daemonAddr }
+
 // FaultStats returns the faults injected so far; zero without
 // WithFaultInjection.
 func (s *System) FaultStats() FaultStats {
@@ -575,17 +641,182 @@ func (s *System) FaultStats() FaultStats {
 	return s.fnet.Stats()
 }
 
+// buildSnapshot captures the complete dynamic state of the system. The
+// replay WAL is synced first so the recorded watermark only covers
+// durable records; memory databases embed their records in the snapshot
+// instead.
+func (s *System) buildSnapshot() (*checkpoint.Snapshot, error) {
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if s.midRun {
+		return nil, fmt.Errorf("geomancy: cannot snapshot mid-run state (last run was aborted)")
+	}
+	engine, err := s.loop.Engine.State()
+	if err != nil {
+		return nil, fmt.Errorf("geomancy: capturing engine state: %w", err)
+	}
+	if s.replayPath != "" {
+		if err := s.db.Sync(); err != nil {
+			return nil, fmt.Errorf("geomancy: syncing replay log: %w", err)
+		}
+	}
+	snap := &checkpoint.Snapshot{
+		Seed:            s.seed,
+		Runs:            len(s.stats),
+		BootstrapLeft:   s.bootstrapLeft,
+		TpSum:           s.tpSum,
+		TpCount:         s.tpCount,
+		Stats:           append([]RunStats(nil), s.stats...),
+		Engine:          engine,
+		Loop:            s.loop.State(),
+		Cluster:         s.cluster.State(),
+		Runner:          s.runner.State(),
+		ReplayWatermark: s.db.Watermark(),
+	}
+	if s.replayPath == "" {
+		snap.Accesses = s.db.All()
+		snap.Movements = s.db.Movements()
+	}
+	return snap, nil
+}
+
+// Checkpoint writes a snapshot of the running system to path, atomically
+// (write-rename-fsync): a crash mid-checkpoint leaves either the previous
+// file or the new one, never a torn state. The system keeps running; a
+// later Restore with the same options resumes from this point
+// bit-for-bit.
+func (s *System) Checkpoint(path string) error {
+	snap, err := s.buildSnapshot()
+	if err != nil {
+		return err
+	}
+	return checkpoint.Save(path, snap)
+}
+
+// SaveCheckpoint writes the next rotating snapshot into the directory
+// configured with WithCheckpointDir, pruning old ones, and returns the
+// path written. Without a configured directory it returns an error; use
+// Checkpoint for an explicit path instead.
+func (s *System) SaveCheckpoint() (string, error) {
+	if s.ckptStore == nil {
+		return "", fmt.Errorf("geomancy: no checkpoint directory configured (use WithCheckpointDir)")
+	}
+	snap, err := s.buildSnapshot()
+	if err != nil {
+		return "", err
+	}
+	return s.ckptStore.Save(snap)
+}
+
+// Restore rebuilds a system from the snapshot at path. opts must repeat
+// the configuration of the checkpointed run (same seed, devices, files,
+// model, parallelism, replay path, ...): the system is first assembled
+// from them, then every piece of dynamic state — RNG streams, trained
+// model and normalization, cluster clock and layout, workload cursor,
+// loop counters — is overwritten from the snapshot, after which Run
+// continues the trajectory of the interrupted system exactly. A snapshot
+// whose seed disagrees with the options is rejected.
+func Restore(path string, opts ...Option) (*System, error) {
+	snap, err := checkpoint.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return restoreSystem(snap, opts)
+}
+
+// RestoreLatest resumes from the newest intact snapshot in dir, falling
+// back to the previous one when the latest is corrupt (errors.Is(err,
+// ErrCorrupt) only surfaces when every snapshot fails validation).
+// An empty directory returns ErrNoCheckpoint — callers typically fall
+// back to New.
+func RestoreLatest(dir string, opts ...Option) (*System, error) {
+	store, err := checkpoint.NewStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	snap, _, err := store.Latest()
+	if err != nil {
+		return nil, err
+	}
+	return restoreSystem(snap, opts)
+}
+
+func restoreSystem(snap *checkpoint.Snapshot, opts []Option) (*System, error) {
+	sys, err := New(opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.applySnapshot(snap); err != nil {
+		sys.closed = true // skip the Close-time snapshot of half-restored state
+		sys.teardownAgents()
+		sys.db.Close()
+		return nil, err
+	}
+	return sys, nil
+}
+
+// applySnapshot overwrites the freshly built system's dynamic state.
+func (s *System) applySnapshot(snap *checkpoint.Snapshot) error {
+	if snap.Seed != s.seed {
+		return fmt.Errorf("geomancy: snapshot was taken with seed %d, options configure seed %d", snap.Seed, s.seed)
+	}
+	if s.replayPath == "" {
+		if err := s.db.Bulkload(snap.Accesses, snap.Movements); err != nil {
+			return fmt.Errorf("geomancy: restoring replay records: %w", err)
+		}
+	} else {
+		// Drop WAL records written after the snapshot; the resumed run
+		// regenerates them with identical sequence numbers.
+		if err := s.db.TruncateTo(snap.ReplayWatermark); err != nil {
+			return fmt.Errorf("geomancy: truncating replay log: %w", err)
+		}
+	}
+	if err := s.cluster.RestoreState(snap.Cluster); err != nil {
+		return fmt.Errorf("geomancy: restoring cluster: %w", err)
+	}
+	s.runner.RestoreState(snap.Runner)
+	if err := s.loop.Engine.RestoreState(snap.Engine); err != nil {
+		return fmt.Errorf("geomancy: restoring engine: %w", err)
+	}
+	s.loop.RestoreState(snap.Loop)
+	s.bootstrapLeft = snap.BootstrapLeft
+	s.tpSum = snap.TpSum
+	s.tpCount = snap.TpCount
+	s.stats = append([]RunStats(nil), snap.Stats...)
+	return nil
+}
+
 // Close flushes and stops the distributed agents (when running) and
-// releases the replay database. Close is idempotent: the second and later
-// calls are no-ops returning nil. Run after Close returns ErrClosed.
+// releases the replay database; with a checkpoint directory configured it
+// first flushes a final snapshot, so a clean shutdown is always
+// resumable. Close is idempotent: the second and later calls are no-ops
+// returning nil — in particular they never rewrite the final snapshot.
+// Run after Close returns ErrClosed.
 func (s *System) Close() error {
 	if s.closed {
 		return nil
+	}
+	var ckptErr error
+	// midRun guards against snapshotting torn state: a run aborted by
+	// cancellation (or an error) leaves the RNG streams and virtual clock
+	// mid-stride, and a snapshot of that point would resume a different
+	// trajectory than the uninterrupted run. Only run boundaries are
+	// snapshotted.
+	if s.ckptStore != nil && !s.midRun {
+		if snap, err := s.buildSnapshot(); err != nil {
+			ckptErr = err
+		} else if _, err := s.ckptStore.Save(snap); err != nil {
+			ckptErr = err
+		}
 	}
 	s.closed = true
 	err := s.teardownAgents()
 	if dbErr := s.db.Close(); dbErr != nil && err == nil {
 		err = dbErr
+	}
+	if err == nil {
+		err = ckptErr
 	}
 	return err
 }

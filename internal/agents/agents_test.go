@@ -2,12 +2,12 @@ package agents
 
 import (
 	"fmt"
-	"math/rand"
 	"sync"
 	"testing"
 	"time"
 
 	"geomancy/internal/replaydb"
+	"geomancy/internal/rng"
 	"geomancy/internal/storagesim"
 	"geomancy/internal/trace"
 )
@@ -283,7 +283,7 @@ func TestDaemonRejectsUnknownType(t *testing.T) {
 }
 
 func TestActionCheckerChoosesBest(t *testing.T) {
-	ac := NewActionChecker(rand.New(rand.NewSource(1)), []string{"a", "b", "c"})
+	ac := NewActionChecker(rng.New(1), []string{"a", "b", "c"})
 	cands := []Candidate{{"a", 1}, {"b", 5}, {"c", 3}}
 	dev, random, ok := ac.Choose(cands, 0, nil)
 	if !ok || random || dev != "b" {
@@ -292,7 +292,7 @@ func TestActionCheckerChoosesBest(t *testing.T) {
 }
 
 func TestActionCheckerFiltersInvalid(t *testing.T) {
-	ac := NewActionChecker(rand.New(rand.NewSource(2)), []string{"a", "b"})
+	ac := NewActionChecker(rng.New(2), []string{"a", "b"})
 	valid := func(dev string, size int64) error {
 		if dev == "b" {
 			return fmt.Errorf("b is read-only")
@@ -311,7 +311,7 @@ func TestActionCheckerFiltersInvalid(t *testing.T) {
 }
 
 func TestActionCheckerRandomFallback(t *testing.T) {
-	ac := NewActionChecker(rand.New(rand.NewSource(3)), []string{"x", "y", "z"})
+	ac := NewActionChecker(rng.New(3), []string{"x", "y", "z"})
 	invalid := func(string, int64) error { return fmt.Errorf("nope") }
 	seen := map[string]bool{}
 	for i := 0; i < 60; i++ {
@@ -327,7 +327,7 @@ func TestActionCheckerRandomFallback(t *testing.T) {
 }
 
 func TestActionCheckerNowhereToGo(t *testing.T) {
-	ac := NewActionChecker(rand.New(rand.NewSource(4)), nil)
+	ac := NewActionChecker(rng.New(4), nil)
 	if _, _, ok := ac.Choose(nil, 0, nil); ok {
 		t.Error("no candidates and no devices should report !ok")
 	}

@@ -1,8 +1,7 @@
 package agents
 
 import (
-	"math/rand"
-
+	"geomancy/internal/rng"
 	"geomancy/internal/storagesim"
 )
 
@@ -25,14 +24,14 @@ type Validator func(device string, size int64) error
 // keeping the availability picture fresh and continuing to learn.
 type ActionChecker struct {
 	// Rng drives the random fallback (and must be non-nil).
-	Rng *rand.Rand
+	Rng *rng.RNG
 	// AllDevices is the universe the random fallback draws from.
 	AllDevices []string
 }
 
 // NewActionChecker returns a checker drawing random fallbacks from devices.
-func NewActionChecker(rng *rand.Rand, devices []string) *ActionChecker {
-	return &ActionChecker{Rng: rng, AllDevices: devices}
+func NewActionChecker(r *rng.RNG, devices []string) *ActionChecker {
+	return &ActionChecker{Rng: r, AllDevices: devices}
 }
 
 // Filter returns the candidates that pass validation for a file of size

@@ -4,11 +4,11 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
-	"math/rand"
 	"net"
 	"sync"
 	"time"
 
+	"geomancy/internal/rng"
 	"geomancy/internal/telemetry"
 )
 
@@ -25,7 +25,7 @@ type Client struct {
 	addr string
 	opts options
 	met  agentMetrics
-	rng  *rand.Rand // backoff jitter only
+	rng  *rng.RNG // backoff jitter only
 
 	mu        sync.Mutex
 	conn      net.Conn
@@ -43,7 +43,7 @@ func NewClient(addr string, opts ...Option) (*Client, error) {
 		addr: addr,
 		opts: o,
 		met:  metricsFor(o.reg, "client"),
-		rng:  rand.New(rand.NewSource(1009)),
+		rng:  rng.New(1009),
 	}
 	if err := c.ensureConnLocked(); err != nil {
 		return nil, fmt.Errorf("agents: client dial: %w", err)

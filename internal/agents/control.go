@@ -5,10 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"math/rand"
 	"net"
 	"sync"
 	"time"
+
+	"geomancy/internal/rng"
 )
 
 // Mover executes one file movement on the target system. It reports
@@ -32,7 +33,7 @@ type Control struct {
 	addr  string
 	opts  options
 	met   agentMetrics
-	rng   *rand.Rand // backoff jitter only
+	rng   *rng.RNG // backoff jitter only
 
 	mu      sync.Mutex
 	conn    net.Conn
@@ -57,7 +58,7 @@ func NewControl(addr string, mover Mover, opts ...Option) (*Control, error) {
 		addr:  addr,
 		opts:  o,
 		met:   metricsFor(o.reg, "control"),
-		rng:   rand.New(rand.NewSource(2027)),
+		rng:   rng.New(2027),
 		stop:  make(chan struct{}),
 		done:  make(chan struct{}),
 	}

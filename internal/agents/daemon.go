@@ -7,13 +7,13 @@ import (
 	"fmt"
 	"io"
 	"log"
-	"math/rand"
 	"net"
 	"sort"
 	"sync"
 	"time"
 
 	"geomancy/internal/replaydb"
+	"geomancy/internal/rng"
 	"geomancy/internal/telemetry"
 )
 
@@ -118,6 +118,7 @@ func (d *Daemon) logf(format string, args ...any) {
 
 // Start listens on addr (e.g. "127.0.0.1:0") and serves connections until
 // Close. It returns the bound address.
+//
 //geomancy:allow ctxflow Listen binds and returns immediately; the daemon's lifetime is owned by Close
 func (d *Daemon) Start(addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
@@ -321,6 +322,7 @@ func (d *Daemon) PushLayout(layout map[int64]string) (int, error) {
 }
 
 // PushLayoutOutcomes is PushLayout with the per-agent outcomes exposed.
+//
 //geomancy:allow ctxflow push I/O is deadline-bounded by AckTimeout and replays idempotently via PushLayoutRetry
 func (d *Daemon) PushLayoutOutcomes(layout map[int64]string) (int, []PushOutcome, error) {
 	start := time.Now() //geomancy:nondeterministic telemetry timestamp for the RPC-latency histogram
@@ -415,12 +417,12 @@ func (d *Daemon) PushLayoutOutcomes(layout map[int64]string) (int, []PushOutcome
 // transient transport fault need not cost the caller a decision cycle.
 // Mover failures (the target system refusing a move) are not retried:
 // repeating the request would not change the answer.
-func (d *Daemon) PushLayoutRetry(layout map[int64]string, policy RetryPolicy, rng *rand.Rand) (int, error) {
+func (d *Daemon) PushLayoutRetry(layout map[int64]string, policy RetryPolicy, jitter *rng.RNG) (int, error) {
 	policy = policy.withDefaults()
 	var lastErr error
 	for attempt := 1; attempt <= policy.MaxAttempts; attempt++ {
 		if attempt > 1 {
-			time.Sleep(policy.backoff(attempt-1, rng))
+			time.Sleep(policy.backoff(attempt-1, jitter))
 		}
 		moved, _, err := d.PushLayoutOutcomes(layout)
 		if err == nil {

@@ -4,11 +4,11 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
-	"math/rand"
 	"net"
 	"sync"
 	"time"
 
+	"geomancy/internal/rng"
 	"geomancy/internal/storagesim"
 )
 
@@ -34,7 +34,7 @@ type Monitor struct {
 	addr string
 	opts options
 	met  agentMetrics
-	rng  *rand.Rand // backoff jitter only; never affects behaviour
+	rng  *rng.RNG // backoff jitter only; never affects behaviour
 
 	mu        sync.Mutex
 	conn      net.Conn
@@ -60,7 +60,7 @@ func NewMonitor(addr, device string, batchSize int, opts ...Option) (*Monitor, e
 		addr:      addr,
 		opts:      o,
 		met:       metricsFor(o.reg, "monitor"),
-		rng:       rand.New(rand.NewSource(int64(len(device)) + 42)),
+		rng:       rng.New(int64(len(device)) + 42),
 	}
 	if err := m.ensureConnLocked(); err != nil {
 		return nil, fmt.Errorf("agents: monitor dial: %w", err)

@@ -2,10 +2,10 @@ package agents
 
 import (
 	"errors"
-	"math/rand"
 	"net"
 	"time"
 
+	"geomancy/internal/rng"
 	"geomancy/internal/telemetry"
 )
 
@@ -79,7 +79,7 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 
 // backoff computes the sleep before retry attempt (1-based), with jitter
 // drawn from rng (nil rng = no jitter, for deterministic tests).
-func (p RetryPolicy) backoff(attempt int, rng *rand.Rand) time.Duration {
+func (p RetryPolicy) backoff(attempt int, jitter *rng.RNG) time.Duration {
 	d := p.BaseDelay
 	for i := 1; i < attempt && d < p.MaxDelay; i++ {
 		d *= 2
@@ -87,8 +87,8 @@ func (p RetryPolicy) backoff(attempt int, rng *rand.Rand) time.Duration {
 	if d > p.MaxDelay {
 		d = p.MaxDelay
 	}
-	if rng != nil && p.Jitter > 0 {
-		d += time.Duration(float64(d) * p.Jitter * rng.Float64())
+	if jitter != nil && p.Jitter > 0 {
+		d += time.Duration(float64(d) * p.Jitter * jitter.Float64())
 	}
 	return d
 }

@@ -139,6 +139,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 func All() []*Analyzer {
 	return []*Analyzer{
 		DeterminismAnalyzer,
+		RngSourceAnalyzer,
 		CtxflowAnalyzer,
 		MetricNamesAnalyzer,
 		ErrCompareAnalyzer,

@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// RngSourceAnalyzer enforces the checkpoint plane's ownership of random
+// streams: every stream in this module is constructed through
+// internal/rng — rng.New for checkpointable streams whose position is
+// captured and restored by snapshots, rng.NewRand for seeded throwaway
+// streams — so a direct rand.New/rand.NewSource call anywhere else
+// creates a stream the checkpoint subsystem cannot see. Such a stream
+// resumes from its seed instead of its position after a restore and
+// silently breaks bit-identical resume.
+var RngSourceAnalyzer = &Analyzer{
+	Name: "rngsource",
+	Doc: "flags direct math/rand (and math/rand/v2) source construction outside " +
+		"internal/rng; build streams with rng.New or rng.NewRand instead",
+	Filter: outsideRngPackage,
+	Run:    runRngSource,
+}
+
+func outsideRngPackage(pkgPath string) bool {
+	return pkgPath != "geomancy/internal/rng" && !strings.HasSuffix(pkgPath, "/internal/rng")
+}
+
+// randConstructors are the stream/source constructors whose state would
+// escape checkpointing, per math/rand package version.
+var randConstructors = map[string]map[string]bool{
+	"math/rand":    {"New": true, "NewSource": true, "NewZipf": true},
+	"math/rand/v2": {"New": true, "NewPCG": true, "NewChaCha8": true, "NewZipf": true},
+}
+
+func runRngSource(pass *Pass) (any, error) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if sig, _ := fn.Type().(*types.Signature); sig == nil || sig.Recv() != nil {
+				return true
+			}
+			if names := randConstructors[fn.Pkg().Path()]; names[fn.Name()] {
+				pass.Reportf(call.Pos(), "direct %s.%s outside internal/rng: streams built here escape checkpointing; use rng.New (checkpointable) or rng.NewRand (seeded throwaway)",
+					strings.TrimPrefix(fn.Pkg().Path(), "math/"), fn.Name())
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,21 @@
+package analysis
+
+import "testing"
+
+func TestRngSource(t *testing.T) {
+	RunTest(t, RngSourceAnalyzer, "rngsource")
+}
+
+func TestRngSourceFilter(t *testing.T) {
+	for path, want := range map[string]bool{
+		"geomancy/internal/rng":        false,
+		"geomancy/internal/core":       true,
+		"geomancy/internal/storagesim": true,
+		"geomancy":                     true,
+		"geomancy/cmd/geomancy":        true,
+	} {
+		if got := outsideRngPackage(path); got != want {
+			t.Errorf("outsideRngPackage(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+// Package rngsource seeds violations and clean sites for the rngsource
+// analyzer's fixture suite.
+package rngsource
+
+import (
+	"errors"
+	"math/rand"
+	v2 "math/rand/v2"
+)
+
+func directStream(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want `direct rand\.New outside internal/rng` `direct rand\.NewSource outside internal/rng`
+}
+
+func directSourceOnly(seed int64) rand.Source {
+	return rand.NewSource(seed) // want `direct rand\.NewSource outside internal/rng`
+}
+
+func directZipf(r *rand.Rand) *rand.Zipf {
+	return rand.NewZipf(r, 1.1, 1, 100) // want `direct rand\.NewZipf outside internal/rng`
+}
+
+func directV2() *v2.Rand {
+	return v2.New(v2.NewPCG(1, 2)) // want `direct rand/v2\.New outside internal/rng` `direct rand/v2\.NewPCG outside internal/rng`
+}
+
+func directChaCha(seed [32]byte) v2.Source {
+	return v2.NewChaCha8(seed) // want `direct rand/v2\.NewChaCha8 outside internal/rng`
+}
+
+func allowedLegacy(seed int64) rand.Source {
+	return rand.NewSource(seed) //geomancy:allow rngsource fixture: pre-checkpoint stream kept for trace replay
+}
+
+func bareDirective(seed int64) rand.Source {
+	//geomancy:allow rngsource // want `directive is missing a reason`
+	return rand.NewSource(seed)
+}
+
+func otherNewIsClean() error {
+	return errors.New("not a stream") // clean: unrelated constructor named New
+}
+
+func methodUseIsClean(r *rand.Rand) int {
+	return r.Intn(10) // clean: drawing from an existing stream is fine anywhere
+}
+
+var _ = []any{directStream, directSourceOnly, directZipf, directV2,
+	directChaCha, allowedLegacy, bareDirective, otherNewIsClean, methodUseIsClean}

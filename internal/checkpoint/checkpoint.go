@@ -1,0 +1,305 @@
+// Package checkpoint is Geomancy's snapshot format and on-disk store: the
+// whole closed loop — RNG streams, trained model and optimizer, fitted
+// normalization, simulated cluster, workload cursor, replay-log watermark,
+// and every loop counter — serialized as one versioned, CRC-framed blob,
+// so an interrupted run restores and continues bit-for-bit.
+//
+// A checkpoint file is the 8-byte magic "GCKP0001" (format version in the
+// magic, like the replay WAL's "GRDB0001") followed by one frame: a type
+// byte, a little-endian uint32 payload length, the gob-encoded Snapshot,
+// and a CRC-32 (IEEE) of the payload. Truncated or bit-flipped files fail
+// with ErrCorrupt, never with a partial state; Store.Latest then falls
+// back to the previous snapshot.
+//
+// Writes are atomic: Save encodes to a temporary file in the destination
+// directory, fsyncs it, renames it over the target, and fsyncs the
+// directory, so a crash mid-write leaves either the old snapshot or the
+// new one, never a torn file.
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"geomancy/internal/core"
+	"geomancy/internal/replaydb"
+	"geomancy/internal/storagesim"
+	"geomancy/internal/workload"
+)
+
+// magic identifies a checkpoint file and its format version.
+var magic = []byte("GCKP0001")
+
+// frameSnapshot is the type byte of a Snapshot frame. Future format
+// extensions get new type bytes; readers reject types they do not know.
+const frameSnapshot = 0x01
+
+// Sentinel errors. Match with errors.Is.
+var (
+	// ErrCorrupt reports a checkpoint that failed validation: bad magic,
+	// truncated frame, CRC mismatch, or an undecodable payload.
+	ErrCorrupt = errors.New("checkpoint: corrupt snapshot")
+	// ErrNoCheckpoint reports a store (or path) with no usable snapshot.
+	ErrNoCheckpoint = errors.New("checkpoint: no snapshot found")
+)
+
+// Snapshot is the complete serializable state of a running system. Static
+// configuration (device profiles, working set, engine config) is NOT
+// recorded: a restored run rebuilds the system from the same options and
+// then overwrites its dynamic state from the snapshot.
+type Snapshot struct {
+	// Seed echoes the configuration seed, as a cheap restore-time guard
+	// against resuming a snapshot under a different configuration.
+	Seed int64
+	// Runs is the number of completed Run calls when the snapshot was
+	// taken.
+	Runs int
+
+	// Facade counters.
+	BootstrapLeft int
+	TpSum         float64
+	TpCount       int64
+	Stats         []workload.RunStats
+
+	Engine  core.EngineState
+	Loop    core.LoopState
+	Cluster storagesim.ClusterState
+	Runner  workload.RunnerState
+
+	// ReplayWatermark is the highest replay-log sequence number covered
+	// by this snapshot. A file-backed database truncates its WAL to the
+	// watermark on restore (the discarded tail regenerates
+	// deterministically); a memory database reloads from the embedded
+	// records below instead.
+	ReplayWatermark uint64
+	Accesses        []replaydb.AccessRecord
+	Movements       []replaydb.MovementRecord
+}
+
+// Write serializes snap to w in the framed checkpoint format.
+func Write(w io.Writer, snap *Snapshot) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(snap); err != nil {
+		return fmt.Errorf("checkpoint: encoding snapshot: %w", err)
+	}
+	if _, err := w.Write(magic); err != nil {
+		return err
+	}
+	var hdr [5]byte
+	hdr[0] = frameSnapshot
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(payload.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload.Bytes()))
+	_, err := w.Write(crc[:])
+	return err
+}
+
+// Read parses a framed snapshot, returning ErrCorrupt for anything that
+// fails validation.
+func Read(r io.Reader) (*Snapshot, error) {
+	hdr := make([]byte, len(magic))
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("%w: short magic: %v", ErrCorrupt, err)
+	}
+	if !bytes.Equal(hdr, magic) {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, hdr)
+	}
+	var frame [5]byte
+	if _, err := io.ReadFull(r, frame[:]); err != nil {
+		return nil, fmt.Errorf("%w: short frame header: %v", ErrCorrupt, err)
+	}
+	if frame[0] != frameSnapshot {
+		return nil, fmt.Errorf("%w: unknown frame type 0x%02x", ErrCorrupt, frame[0])
+	}
+	plen := binary.LittleEndian.Uint32(frame[1:])
+	payload := make([]byte, int64(plen)+4)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: truncated payload: %v", ErrCorrupt, err)
+	}
+	body := payload[:plen]
+	want := binary.LittleEndian.Uint32(payload[plen:])
+	if crc32.ChecksumIEEE(body) != want {
+		return nil, fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
+	}
+	var snap Snapshot
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("%w: decoding payload: %v", ErrCorrupt, err)
+	}
+	return &snap, nil
+}
+
+// Save writes snap to path atomically: temp file in the same directory,
+// fsync, rename over the target, fsync the directory.
+func Save(path string, snap *Snapshot) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: creating temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := Write(tmp, snap); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: writing %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: syncing %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("checkpoint: publishing %s: %w", path, err)
+	}
+	return syncDir(dir)
+}
+
+// Load reads the snapshot at path. A missing file is ErrNoCheckpoint; a
+// damaged one is ErrCorrupt.
+func Load(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNoCheckpoint, path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil // directory fsync is best-effort on exotic filesystems
+	}
+	defer d.Close()
+	d.Sync()
+	return nil
+}
+
+// Store manages numbered snapshots (snap-NNNNNN.ckpt) in a directory,
+// keeping the newest keepCount so a corrupt or torn latest snapshot still
+// leaves a usable predecessor.
+type Store struct {
+	dir  string
+	next int
+}
+
+// keepCount is how many snapshots a Store retains.
+const keepCount = 2
+
+// NewStore opens (creating if necessary) a snapshot directory.
+func NewStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: creating store: %w", err)
+	}
+	s := &Store{dir: dir}
+	nums, err := s.indexes()
+	if err != nil {
+		return nil, err
+	}
+	if len(nums) > 0 {
+		s.next = nums[len(nums)-1] + 1
+	} else {
+		s.next = 1
+	}
+	return s, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Save writes snap as the next numbered snapshot and prunes old ones,
+// returning the path written.
+func (s *Store) Save(snap *Snapshot) (string, error) {
+	path := s.path(s.next)
+	if err := Save(path, snap); err != nil {
+		return "", err
+	}
+	s.next++
+	s.prune()
+	return path, nil
+}
+
+// Latest loads the newest readable snapshot, skipping (and reporting via
+// the returned path only) corrupt ones. With no usable snapshot it
+// returns ErrNoCheckpoint — or ErrCorrupt when snapshots exist but none
+// decode, so callers can distinguish "fresh start" from "damaged store".
+func (s *Store) Latest() (*Snapshot, string, error) {
+	nums, err := s.indexes()
+	if err != nil {
+		return nil, "", err
+	}
+	sawCorrupt := false
+	for i := len(nums) - 1; i >= 0; i-- {
+		path := s.path(nums[i])
+		snap, err := Load(path)
+		if err == nil {
+			return snap, path, nil
+		}
+		if errors.Is(err, ErrCorrupt) {
+			sawCorrupt = true
+			continue
+		}
+		return nil, "", err
+	}
+	if sawCorrupt {
+		return nil, "", fmt.Errorf("%w: every snapshot in %s failed validation", ErrCorrupt, s.dir)
+	}
+	return nil, "", fmt.Errorf("%w: %s is empty", ErrNoCheckpoint, s.dir)
+}
+
+func (s *Store) path(n int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("snap-%06d.ckpt", n))
+}
+
+// indexes returns the numbered snapshots present, ascending.
+func (s *Store) indexes() ([]int, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: reading store: %w", err)
+	}
+	var nums []int
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".ckpt") {
+			continue
+		}
+		n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".ckpt"))
+		if err != nil || n <= 0 {
+			continue
+		}
+		nums = append(nums, n)
+	}
+	sort.Ints(nums)
+	return nums, nil
+}
+
+// prune removes all but the newest keepCount snapshots.
+func (s *Store) prune() {
+	nums, err := s.indexes()
+	if err != nil {
+		return
+	}
+	for len(nums) > keepCount {
+		os.Remove(s.path(nums[0]))
+		nums = nums[1:]
+	}
+}

@@ -14,8 +14,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"geomancy/internal/rng"
 	"math"
-	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -189,7 +189,7 @@ type TelemetryStore interface {
 type Engine struct {
 	cfg Config
 	db  TelemetryStore
-	rng *rand.Rand
+	rng *rng.RNG
 
 	net      *nn.Network
 	devices  []string
@@ -252,8 +252,8 @@ func NewEngine(db TelemetryStore, devices []string, cfg Config) (*Engine, error)
 	if cfg.Target != TargetThroughput && cfg.Target != TargetLatency {
 		return nil, fmt.Errorf("core: unknown modeling target %q", cfg.Target)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	net, err := nn.BuildModel(cfg.ModelNumber, cfg.FeatureCount, rng)
+	r := rng.New(cfg.Seed)
+	net, err := nn.BuildModel(cfg.ModelNumber, cfg.FeatureCount, r.Rand)
 	if err != nil {
 		return nil, fmt.Errorf("core: building model: %w", err)
 	}
@@ -261,7 +261,7 @@ func NewEngine(db TelemetryStore, devices []string, cfg Config) (*Engine, error)
 	e := &Engine{
 		cfg:      cfg,
 		db:       db,
-		rng:      rng,
+		rng:      r,
 		net:      net,
 		devIndex: make(map[string]int),
 	}
@@ -518,7 +518,7 @@ func (e *Engine) train(ctx context.Context) (TrainReport, error) {
 		Epochs:      e.cfg.Epochs,
 		BatchSize:   e.cfg.BatchSize,
 		Optimizer:   opt,
-		Rng:         e.rng,
+		Rng:         e.rng.Rand,
 		Parallelism: e.cfg.Parallelism,
 		Ctx:         ctx,
 	})

@@ -1,11 +1,11 @@
 package core
 
 import (
-	"math/rand"
 	"testing"
 
 	"geomancy/internal/agents"
 	"geomancy/internal/replaydb"
+	"geomancy/internal/rng"
 	"geomancy/internal/storagesim"
 	"geomancy/internal/trace"
 	"geomancy/internal/workload"
@@ -22,7 +22,7 @@ func seedDB(t testing.TB, n int) *replaydb.DB {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { db.Close() })
-	rng := rand.New(rand.NewSource(9))
+	rng := rng.New(9)
 	speeds := []float64{8e9, 2e9, 1.7e9, 1.6e9, 1.3e9, 0.6e9}
 	for i := 0; i < n; i++ {
 		dev := rng.Intn(len(testDevices))
@@ -403,7 +403,7 @@ func TestCheckerIntegration(t *testing.T) {
 	for _, d := range cluster.DeviceNames() {
 		cluster.SetAvailable(d, false)
 	}
-	checker := agents.NewActionChecker(rand.New(rand.NewSource(3)), cluster.DeviceNames())
+	checker := agents.NewActionChecker(rng.New(3), cluster.DeviceNames())
 	files := []FileMeta{{ID: 1, Size: 1e6, Device: "pic"}}
 	_, decisions, err := e.ProposeLayout(files, checker, agents.ClusterValidator(cluster))
 	if err != nil {
@@ -421,7 +421,7 @@ func TestLatencyTarget(t *testing.T) {
 	}
 	defer db.Close()
 	// Device "fast" serves in 0.1s, "slow" in 2s, same bytes.
-	rng := rand.New(rand.NewSource(31))
+	rng := rng.New(31)
 	for i := 0; i < 900; i++ {
 		dev, dur := "fast", 0.08+0.04*rng.Float64()
 		if i%2 == 0 {

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"geomancy/internal/features"
+	"geomancy/internal/nn"
+)
+
+// EngineState is the serializable snapshot of a DRL engine: the decision
+// stream, the trained model, fitted normalization, and the reward log —
+// everything a restored engine needs to make the exact decisions the
+// interrupted one would have. The engine's Config and store binding are
+// reconstructed from configuration on restore.
+type EngineState struct {
+	RNG     uint64
+	Net     []byte // nn wire format (architecture + weights)
+	Devices []string
+
+	FeatScaler   features.MinMaxState
+	TargetScaler features.ScalarState
+	ValMetrics   nn.Metrics
+	Trained      bool
+
+	Rewards []float64
+}
+
+// State captures the engine mid-run.
+func (e *Engine) State() (EngineState, error) {
+	var buf bytes.Buffer
+	if err := e.net.Save(&buf); err != nil {
+		return EngineState{}, fmt.Errorf("core: serializing model: %w", err)
+	}
+	return EngineState{
+		RNG:          e.rng.State(),
+		Net:          buf.Bytes(),
+		Devices:      append([]string(nil), e.devices...),
+		FeatScaler:   e.featScaler.State(),
+		TargetScaler: e.targetScaler.State(),
+		ValMetrics:   e.valMetrics,
+		Trained:      e.trained,
+		Rewards:      append([]float64(nil), e.rewards...),
+	}, nil
+}
+
+// RestoreState overwrites the engine with a previously captured snapshot.
+// The RNG is rewound in place so aliases (the loop's Action Checker
+// shares the stream) observe the restored state too.
+func (e *Engine) RestoreState(st EngineState) error {
+	net, err := nn.Load(bytes.NewReader(st.Net))
+	if err != nil {
+		return fmt.Errorf("core: restoring model: %w", err)
+	}
+	e.rng.SetState(st.RNG)
+	e.net = net
+	e.SetDevices(st.Devices)
+	e.featScaler.RestoreState(st.FeatScaler)
+	e.targetScaler.RestoreState(st.TargetScaler)
+	e.valMetrics = st.ValMetrics
+	e.trained = st.Trained
+	e.rewards = append([]float64(nil), st.Rewards...)
+	return nil
+}
+
+// GapFileState is the serializable per-file estimate of a GapPredictor.
+type GapFileState struct {
+	FileID     int64
+	LastAccess float64
+	Mean       float64
+	Dev        float64
+	N          int64
+
+	ReleaseMean float64
+	ReleaseDev  float64
+	Releases    int64
+}
+
+// GapPredictorState is the serializable snapshot of a GapPredictor.
+type GapPredictorState struct {
+	Alpha float64
+	Files []GapFileState
+}
+
+// State captures the predictor's estimates, sorted by file ID for a
+// deterministic wire form.
+func (g *GapPredictor) State() GapPredictorState {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st := GapPredictorState{Alpha: g.Alpha}
+	for id, s := range g.stats {
+		st.Files = append(st.Files, GapFileState{
+			FileID:      id,
+			LastAccess:  s.lastAccess,
+			Mean:        s.mean,
+			Dev:         s.dev,
+			N:           s.n,
+			ReleaseMean: s.releaseMean,
+			ReleaseDev:  s.releaseDev,
+			Releases:    s.releases,
+		})
+	}
+	sort.Slice(st.Files, func(i, j int) bool { return st.Files[i].FileID < st.Files[j].FileID })
+	return st
+}
+
+// RestoreState overwrites the predictor with a previously captured
+// snapshot.
+func (g *GapPredictor) RestoreState(st GapPredictorState) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.Alpha = st.Alpha
+	g.stats = make(map[int64]*gapStats, len(st.Files))
+	for _, f := range st.Files {
+		g.stats[f.FileID] = &gapStats{
+			lastAccess:  f.LastAccess,
+			mean:        f.Mean,
+			dev:         f.Dev,
+			n:           f.N,
+			releaseMean: f.ReleaseMean,
+			releaseDev:  f.ReleaseDev,
+			releases:    f.Releases,
+		}
+	}
+}
+
+// LoopState is the serializable snapshot of a closed loop: decision-cycle
+// counters and logs, plus the gap predictor when gap scheduling is
+// enabled. The engine, runner, cluster, and replay DB snapshot
+// themselves; the loop state is what remains.
+type LoopState struct {
+	AccessCount int64
+	Movements   []MovementEvent
+	TrainLog    []TrainReport
+	Deferrals   []Deferral
+	Skipped     []SkippedDecision
+	Gaps        *GapPredictorState
+}
+
+// State captures the loop's counters and logs.
+func (l *Loop) State() LoopState {
+	st := LoopState{
+		AccessCount: l.accessCount,
+		Movements:   append([]MovementEvent(nil), l.movements...),
+		TrainLog:    append([]TrainReport(nil), l.trainLog...),
+		Deferrals:   append([]Deferral(nil), l.deferrals...),
+		Skipped:     append([]SkippedDecision(nil), l.skipped...),
+	}
+	if l.Scheduler != nil && l.Scheduler.Gaps != nil {
+		g := l.Scheduler.Gaps.State()
+		st.Gaps = &g
+	}
+	return st
+}
+
+// RestoreState overwrites the loop's counters and logs with a previously
+// captured snapshot. A snapshot carrying gap-predictor state enables gap
+// scheduling on the restored loop if it was not already enabled.
+func (l *Loop) RestoreState(st LoopState) {
+	l.accessCount = st.AccessCount
+	l.movements = append([]MovementEvent(nil), st.Movements...)
+	l.trainLog = append([]TrainReport(nil), st.TrainLog...)
+	l.deferrals = append([]Deferral(nil), st.Deferrals...)
+	l.skipped = append([]SkippedDecision(nil), st.Skipped...)
+	if st.Gaps != nil {
+		if l.Scheduler == nil || l.Scheduler.Gaps == nil {
+			l.EnableGapScheduling()
+		}
+		l.Scheduler.Gaps.RestoreState(*st.Gaps)
+	}
+}

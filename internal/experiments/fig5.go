@@ -2,7 +2,7 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
+	"geomancy/internal/rng"
 
 	"geomancy/internal/agents"
 	"geomancy/internal/core"
@@ -162,7 +162,7 @@ func geomancyStaticLayout(opts Options) (map[int64]string, error) {
 	for _, f := range tb.files {
 		metas = append(metas, core.FileMeta{ID: f.ID, Path: f.Path, Size: f.Size, Device: layout[f.ID]})
 	}
-	checker := agents.NewActionChecker(rand.New(rand.NewSource(opts.Seed+5)), tb.cluster.DeviceNames())
+	checker := agents.NewActionChecker(rng.New(opts.Seed+5), tb.cluster.DeviceNames())
 	proposed, _, err := engine.ProposeLayout(metas, checker, agents.ClusterValidator(tb.cluster))
 	return proposed, err
 }
@@ -206,7 +206,7 @@ func Fig5a(opts Options) (*ComparisonResult, error) {
 		policy.LRU{},
 		policy.MRU{},
 		policy.LFU{},
-		&policy.RandomDynamic{Rng: rand.New(rand.NewSource(opts.Seed + 2))},
+		&policy.RandomDynamic{Rng: rng.NewRand(opts.Seed + 2)},
 	}
 	for _, p := range basePolicies {
 		s, tb, err := runPolicy(p, opts)
@@ -232,7 +232,7 @@ func Fig5b(opts Options) (*ComparisonResult, error) {
 	opts = opts.withDefaults()
 	res := &ComparisonResult{}
 
-	rs := &policy.RandomStatic{Rng: rand.New(rand.NewSource(opts.Seed + 3))}
+	rs := &policy.RandomStatic{Rng: rng.NewRand(opts.Seed + 3)}
 	s, tb, err := runPolicy(rs, opts)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: random static: %w", err)

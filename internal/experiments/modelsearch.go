@@ -3,7 +3,7 @@ package experiments
 import (
 	"fmt"
 	"geomancy/internal/features"
-	"math/rand"
+	"geomancy/internal/rng"
 	"strings"
 	"time"
 
@@ -94,7 +94,7 @@ func Table2(opts Options) (*Table2Result, error) {
 // columns. Error percentages are computed on the denormalized throughput
 // scale via scaler.
 func evaluateModel(n int, ds *nn.Dataset, scaler *features.ScalarScaler, opts Options) (ModelResult, error) {
-	rng := rand.New(rand.NewSource(opts.Seed + int64(n)*101))
+	rng := rng.NewRand(opts.Seed + int64(n)*101)
 	net, err := nn.BuildModel(n, 6, rng)
 	if err != nil {
 		return ModelResult{}, err

@@ -2,7 +2,7 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
+	"geomancy/internal/rng"
 	"sort"
 	"time"
 
@@ -62,7 +62,7 @@ func overheadFor(recs []trace.EOSRecord, z int, opts Options) (OverheadRow, erro
 	if err != nil {
 		return OverheadRow{}, err
 	}
-	rng := rand.New(rand.NewSource(opts.Seed + int64(z)))
+	rng := rng.NewRand(opts.Seed + int64(z))
 	net, err := nn.BuildModel(1, z, rng)
 	if err != nil {
 		return OverheadRow{}, err

@@ -2,7 +2,7 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
+	"geomancy/internal/rng"
 	"sort"
 
 	"geomancy/internal/core"
@@ -109,7 +109,7 @@ func (tb *testbed) policyState() policy.State {
 // every device accumulates telemetry, mirroring the paper's pre-experiment
 // capture of 10,000 accesses per file set.
 func (tb *testbed) bootstrap(runs int, seed int64) error {
-	shuffler := &policy.RandomDynamic{Rng: rand.New(rand.NewSource(seed))}
+	shuffler := &policy.RandomDynamic{Rng: rng.NewRand(seed)}
 	for r := 0; r < runs; r++ {
 		var obsErr error
 		if _, err := tb.runner.RunOnce(func(res storagesim.AccessResult, wl, run int) {

@@ -17,11 +17,12 @@ package faultnet
 
 import (
 	"fmt"
-	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"geomancy/internal/rng"
 )
 
 // Config tunes a fault-injecting Network. All rates are probabilities in
@@ -110,7 +111,7 @@ func (n *Network) Wrap(c net.Conn) net.Conn {
 	return &conn{
 		Conn: c,
 		net:  n,
-		rng:  rand.New(rand.NewSource(seed)),
+		rng:  rng.New(seed),
 	}
 }
 
@@ -148,7 +149,7 @@ type conn struct {
 	net *Network
 
 	mu      sync.Mutex
-	rng     *rand.Rand
+	rng     *rng.RNG
 	dropped bool
 }
 

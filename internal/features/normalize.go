@@ -154,3 +154,42 @@ func (s *ScalarScaler) Inverse(v float64) float64 {
 	}
 	return s.Min + v*(s.Max-s.Min)
 }
+
+// MinMaxState is the serializable snapshot of a MinMaxScaler, used by the
+// checkpoint plane to carry fitted normalization across a restart.
+type MinMaxState struct {
+	Min, Max []float64
+	Fitted   bool
+}
+
+// State captures the scaler, including whether it has been fitted.
+func (s *MinMaxScaler) State() MinMaxState {
+	return MinMaxState{
+		Min:    append([]float64(nil), s.Min...),
+		Max:    append([]float64(nil), s.Max...),
+		Fitted: s.fitted,
+	}
+}
+
+// RestoreState overwrites the scaler with a previously captured state.
+func (s *MinMaxScaler) RestoreState(st MinMaxState) {
+	s.Min = append([]float64(nil), st.Min...)
+	s.Max = append([]float64(nil), st.Max...)
+	s.fitted = st.Fitted
+}
+
+// ScalarState is the serializable snapshot of a ScalarScaler.
+type ScalarState struct {
+	Min, Max float64
+	Fitted   bool
+}
+
+// State captures the scaler, including whether it has been fitted.
+func (s *ScalarScaler) State() ScalarState {
+	return ScalarState{Min: s.Min, Max: s.Max, Fitted: s.fitted}
+}
+
+// RestoreState overwrites the scaler with a previously captured state.
+func (s *ScalarScaler) RestoreState(st ScalarState) {
+	s.Min, s.Max, s.fitted = st.Min, st.Max, st.Fitted
+}

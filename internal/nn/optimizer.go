@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 
 	"geomancy/internal/mat"
@@ -82,5 +83,90 @@ func (a *Adam) Step(params, grads []*mat.Matrix) {
 			vHat := v[j] / c2
 			p.Data[j] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
 		}
+	}
+}
+
+// OptimizerState is the serializable snapshot of an optimizer. For SGD it
+// is just the hyperparameters; for Adam it additionally carries the step
+// counter and both moment buffers, whose loss would otherwise reset the
+// bias-corrected learning-rate schedule on resume (the moments rebuild in
+// a few steps, but the restarted warm-up measurably bends the loss curve).
+type OptimizerState struct {
+	Kind string // "SGD" or "Adam"
+
+	// SGD hyperparameters.
+	LR, Clip float64
+
+	// Adam hyperparameters and accumulated state.
+	Beta1, Beta2, Eps float64
+	T                 int
+	M, V              [][]float64
+}
+
+// State captures the optimizer's hyperparameters.
+func (s *SGD) State() OptimizerState {
+	return OptimizerState{Kind: "SGD", LR: s.LR, Clip: s.Clip}
+}
+
+// State captures the optimizer, including the step counter and moment
+// buffers, so a restored Adam continues its bias-correction schedule
+// exactly where it left off.
+func (a *Adam) State() OptimizerState {
+	return OptimizerState{
+		Kind:  "Adam",
+		LR:    a.LR,
+		Beta1: a.Beta1,
+		Beta2: a.Beta2,
+		Eps:   a.Eps,
+		T:     a.t,
+		M:     copyMoments(a.m),
+		V:     copyMoments(a.v),
+	}
+}
+
+func copyMoments(src [][]float64) [][]float64 {
+	if src == nil {
+		return nil
+	}
+	out := make([][]float64, len(src))
+	for i, s := range src {
+		out[i] = append([]float64(nil), s...)
+	}
+	return out
+}
+
+// OptimizerStateOf captures any optimizer this package knows how to
+// serialize; unknown implementations return an error so callers fail
+// loudly instead of silently dropping training state.
+func OptimizerStateOf(opt Optimizer) (OptimizerState, error) {
+	switch o := opt.(type) {
+	case *SGD:
+		return o.State(), nil
+	case *Adam:
+		return o.State(), nil
+	default:
+		return OptimizerState{}, fmt.Errorf("nn: cannot serialize optimizer %T", opt)
+	}
+}
+
+// OptimizerFromState reconstructs the optimizer a state was captured
+// from. An Adam resumes mid-schedule: its next Step continues from step
+// T+1 with the restored moments.
+func OptimizerFromState(st OptimizerState) (Optimizer, error) {
+	switch st.Kind {
+	case "SGD":
+		return &SGD{LR: st.LR, Clip: st.Clip}, nil
+	case "Adam":
+		return &Adam{
+			LR:    st.LR,
+			Beta1: st.Beta1,
+			Beta2: st.Beta2,
+			Eps:   st.Eps,
+			t:     st.T,
+			m:     copyMoments(st.M),
+			v:     copyMoments(st.V),
+		}, nil
+	default:
+		return nil, fmt.Errorf("nn: unknown optimizer kind %q", st.Kind)
 	}
 }

@@ -1,0 +1,189 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// fitLossCurve trains net for epochs and returns the per-epoch loss.
+func fitLossCurve(t *testing.T, net *Network, ds *Dataset, opt Optimizer, epochs int, seed int64) []float64 {
+	t.Helper()
+	var curve []float64
+	shuffle := rand.New(rand.NewSource(seed))
+	_, err := net.Fit(ds, FitConfig{
+		Epochs:    epochs,
+		Optimizer: opt,
+		Rng:       shuffle,
+		Verbose:   func(_ int, loss float64) { curve = append(curve, loss) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return curve
+}
+
+// TestAdamStateRoundTrip: an Adam rebuilt from State must continue the
+// parameter trajectory exactly — same step counter, same moments.
+func TestAdamStateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	net := NewNetwork(3).AddDense(6, ReLU, rng).AddDense(1, Linear, rng)
+	ds := synthDataset(rng, 80, 3)
+	opt := NewAdam(0.01)
+	if _, err := net.Fit(ds, FitConfig{Epochs: 2, Optimizer: opt}); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := OptimizerFromState(opt.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	twin := mustCloneNet(t, net)
+
+	for i := 0; i < 3; i++ {
+		grads := net.GradsRef()
+		for _, g := range grads {
+			g.Fill(0.01 * float64(i+1))
+		}
+		opt.Step(net.Params(), grads)
+		tg := twin.GradsRef()
+		for _, g := range tg {
+			g.Fill(0.01 * float64(i+1))
+		}
+		restored.Step(twin.Params(), tg)
+	}
+	assertSameParams(t, net, twin, "restored Adam diverged from original")
+}
+
+// TestSGDStateRoundTrip: SGD state is just hyperparameters; the round
+// trip must preserve them.
+func TestSGDStateRoundTrip(t *testing.T) {
+	opt := &SGD{LR: 0.05, Clip: 1.5}
+	restored, err := OptimizerFromState(opt.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := restored.(*SGD)
+	if !ok {
+		t.Fatalf("restored %T, want *SGD", restored)
+	}
+	if got.LR != opt.LR || got.Clip != opt.Clip {
+		t.Errorf("restored SGD %+v, want %+v", got, opt)
+	}
+}
+
+// TestSaveLoadWithOptimizerLossCurve is the regression test for the
+// zeroed-Adam-moments-on-load bug: a training run split across a
+// save/load boundary must produce the same loss curve as an
+// uninterrupted run. Before SaveWithOptimizer existed, the reloaded run
+// restarted Adam's bias-corrected warm-up with empty moment buffers and
+// the curves bent apart.
+func TestSaveLoadWithOptimizerLossCurve(t *testing.T) {
+	const firstLeg, secondLeg = 4, 6
+
+	// Uninterrupted reference run.
+	rng := rand.New(rand.NewSource(71))
+	ref := NewNetwork(3).AddDense(6, ReLU, rng).AddDense(1, Linear, rng)
+	ds := synthDataset(rng, 120, 3)
+	refOpt := NewAdam(0.01)
+	refCurve := fitLossCurve(t, ref, ds, refOpt, firstLeg, 900)
+	refCurve = append(refCurve, fitLossCurve(t, ref, ds, refOpt, secondLeg, 901)...)
+
+	// Interrupted run: identical first leg, then a full save/load of
+	// network + optimizer before the second leg.
+	rng = rand.New(rand.NewSource(71))
+	net := NewNetwork(3).AddDense(6, ReLU, rng).AddDense(1, Linear, rng)
+	ds2 := synthDataset(rng, 120, 3)
+	opt := NewAdam(0.01)
+	curve := fitLossCurve(t, net, ds2, opt, firstLeg, 900)
+
+	var buf bytes.Buffer
+	if err := net.SaveWithOptimizer(&buf, opt); err != nil {
+		t.Fatal(err)
+	}
+	loadedNet, loadedOpt, err := LoadWithOptimizer(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loadedOpt == nil {
+		t.Fatal("LoadWithOptimizer returned nil optimizer for a snapshot that has one")
+	}
+	curve = append(curve, fitLossCurve(t, loadedNet, ds2, loadedOpt, secondLeg, 901)...)
+
+	if len(curve) != len(refCurve) {
+		t.Fatalf("curve has %d epochs, reference %d", len(curve), len(refCurve))
+	}
+	for i := range refCurve {
+		if curve[i] != refCurve[i] {
+			t.Errorf("epoch %d: loss %v != reference %v (optimizer state lost across save/load?)",
+				i, curve[i], refCurve[i])
+		}
+	}
+
+	// And the bug the test guards against: dropping the optimizer state
+	// must visibly change the continued curve, or the assertion above is
+	// vacuous.
+	rng = rand.New(rand.NewSource(71))
+	stale := NewNetwork(3).AddDense(6, ReLU, rng).AddDense(1, Linear, rng)
+	ds3 := synthDataset(rng, 120, 3)
+	fitLossCurve(t, stale, ds3, NewAdam(0.01), firstLeg, 900)
+	staleCurve := fitLossCurve(t, stale, ds3, NewAdam(0.01), secondLeg, 901) // fresh moments
+	diverged := false
+	for i := range staleCurve {
+		if staleCurve[i] != refCurve[firstLeg+i] {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Error("fresh-optimizer run matched the reference; the round-trip assertion proves nothing")
+	}
+}
+
+// TestLoadWithoutOptimizer: plain Save snapshots must load with a nil
+// optimizer, not an error.
+func TestLoadWithoutOptimizer(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	net := NewNetwork(2).AddDense(1, Linear, rng)
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	_, opt, err := LoadWithOptimizer(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != nil {
+		t.Errorf("optimizer %T from a snapshot saved without one", opt)
+	}
+}
+
+// mustCloneNet round-trips a network through Save/Load to get an
+// identical, independent copy.
+func mustCloneNet(t *testing.T, net *Network) *Network {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	clone, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return clone
+}
+
+func assertSameParams(t *testing.T, a, b *Network, msg string) {
+	t.Helper()
+	pa, pb := a.Params(), b.Params()
+	if len(pa) != len(pb) {
+		t.Fatalf("%s: %d vs %d parameter blocks", msg, len(pa), len(pb))
+	}
+	for i := range pa {
+		for j := range pa[i].Data {
+			if pa[i].Data[j] != pb[i].Data[j] {
+				t.Fatalf("%s: param %d[%d]: %v != %v", msg, i, j, pa[i].Data[j], pb[i].Data[j])
+			}
+		}
+	}
+}

@@ -2,8 +2,8 @@ package nn
 
 import (
 	"fmt"
+	"geomancy/internal/rng"
 	"math"
-	"math/rand"
 	"sort"
 	"time"
 )
@@ -78,7 +78,7 @@ func Search(ds *Dataset, cfg SearchConfig) ([]SearchResult, error) {
 
 	var out []SearchResult
 	for _, n := range models {
-		rng := rand.New(rand.NewSource(cfg.Seed + int64(n)*977))
+		rng := rng.NewRand(cfg.Seed + int64(n)*977)
 		net, err := BuildModel(n, cfg.Z, rng)
 		if err != nil {
 			return nil, err

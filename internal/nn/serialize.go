@@ -4,7 +4,8 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
-	"math/rand"
+
+	"geomancy/internal/rng"
 )
 
 // snapshot is the gob wire form of a network: enough to rebuild the
@@ -17,10 +18,33 @@ type snapshot struct {
 	// Params holds the flattened data of every parameter matrix in
 	// Params() order.
 	Params [][]float64
+	// Opt, when non-nil, carries the optimizer mid-training (gob leaves
+	// it nil when decoding snapshots written before the field existed).
+	Opt *OptimizerState
 }
 
 // Save writes the network architecture and weights to w in gob format.
 func (n *Network) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(n.snapshot())
+}
+
+// SaveWithOptimizer writes the network together with its optimizer, so a
+// training run interrupted between epochs resumes with the optimizer's
+// accumulated state (step counter and moments for Adam) instead of
+// restarting its schedule. A nil optimizer is equivalent to Save.
+func (n *Network) SaveWithOptimizer(w io.Writer, opt Optimizer) error {
+	snap := n.snapshot()
+	if opt != nil {
+		st, err := OptimizerStateOf(opt)
+		if err != nil {
+			return err
+		}
+		snap.Opt = &st
+	}
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+func (n *Network) snapshot() snapshot {
 	snap := snapshot{
 		Desc:   n.String(),
 		InSize: n.InSize,
@@ -32,17 +56,25 @@ func (n *Network) Save(w io.Writer) error {
 		copy(data, p.Data)
 		snap.Params = append(snap.Params, data)
 	}
-	return gob.NewEncoder(w).Encode(snap)
+	return snap
 }
 
-// Load reads a network previously written with Save.
+// Load reads a network previously written with Save (or
+// SaveWithOptimizer, discarding the optimizer).
 func Load(r io.Reader) (*Network, error) {
+	net, _, err := LoadWithOptimizer(r)
+	return net, err
+}
+
+// LoadWithOptimizer reads a network and, when the snapshot carries one,
+// its optimizer. Snapshots written by plain Save return a nil Optimizer.
+func LoadWithOptimizer(r io.Reader) (*Network, Optimizer, error) {
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("nn: decoding network: %w", err)
+		return nil, nil, fmt.Errorf("nn: decoding network: %w", err)
 	}
 	// Build with a throwaway rng; weights are overwritten below.
-	rng := rand.New(rand.NewSource(0))
+	rng := rng.NewRand(0)
 	net := NewNetwork(snap.InSize)
 	net.Window = snap.Window
 	for i, spec := range snap.Layers {
@@ -55,37 +87,44 @@ func Load(r io.Reader) (*Network, error) {
 			net.AddDense(units, spec.Act, rng)
 		case "LSTM":
 			if i != 0 {
-				return nil, fmt.Errorf("nn: snapshot has non-leading LSTM layer")
+				return nil, nil, fmt.Errorf("nn: snapshot has non-leading LSTM layer")
 			}
 			net.AddLSTM(units, spec.Act, rng)
 		case "GRU":
 			if i != 0 {
-				return nil, fmt.Errorf("nn: snapshot has non-leading GRU layer")
+				return nil, nil, fmt.Errorf("nn: snapshot has non-leading GRU layer")
 			}
 			net.AddGRU(units, spec.Act, rng)
 		case "SimpleRNN":
 			if i != 0 {
-				return nil, fmt.Errorf("nn: snapshot has non-leading SimpleRNN layer")
+				return nil, nil, fmt.Errorf("nn: snapshot has non-leading SimpleRNN layer")
 			}
 			net.AddSimpleRNN(units, spec.Act, rng)
 		default:
-			return nil, fmt.Errorf("nn: snapshot has unknown layer kind %q", spec.Kind)
+			return nil, nil, fmt.Errorf("nn: snapshot has unknown layer kind %q", spec.Kind)
 		}
 	}
 	params := net.Params()
 	if len(params) != len(snap.Params) {
-		return nil, fmt.Errorf("nn: snapshot has %d parameter blocks, network needs %d",
+		return nil, nil, fmt.Errorf("nn: snapshot has %d parameter blocks, network needs %d",
 			len(snap.Params), len(params))
 	}
 	for i, p := range params {
 		if len(p.Data) != len(snap.Params[i]) {
-			return nil, fmt.Errorf("nn: snapshot parameter %d has %d values, want %d",
+			return nil, nil, fmt.Errorf("nn: snapshot parameter %d has %d values, want %d",
 				i, len(snap.Params[i]), len(p.Data))
 		}
 		copy(p.Data, snap.Params[i])
 	}
 	net.Desc = snap.Desc
-	return net, nil
+	if snap.Opt == nil {
+		return net, nil, nil
+	}
+	opt, err := OptimizerFromState(*snap.Opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return net, opt, nil
 }
 
 // layerSpecs reconstructs the LayerSpec list describing this network. All

@@ -42,6 +42,13 @@ type DB struct {
 	unsynced int
 	closed   bool
 
+	// marks are the (seq, end-offset) boundaries of replayed WAL frames;
+	// TruncateTo uses them to cut the file at a record boundary. appended
+	// flips on the first live write, after which the marks are stale and
+	// TruncateTo is refused.
+	marks    []frameMark
+	appended bool
+
 	// telemetry counters; nil handles no-op until SetMetrics installs a
 	// registry. Atomic, so they are safe to bump under either lock mode.
 	accessInserts   *telemetry.Counter
@@ -133,6 +140,7 @@ func (db *DB) replay(f *os.File) (int64, error) {
 		if crc32.Checksum(body, crcTable) != want {
 			break // corrupt frame: treat as torn tail
 		}
+		var seq uint64
 		switch typ {
 		case frameAccess:
 			rec, err := decodeAccess(body)
@@ -140,19 +148,28 @@ func (db *DB) replay(f *os.File) (int64, error) {
 				return valid, err
 			}
 			db.insertAccess(rec)
+			seq = rec.Seq
 		case frameMovement:
 			m, err := decodeMovement(body)
 			if err != nil {
 				return valid, err
 			}
 			db.insertMovement(m)
+			seq = m.Seq
 		default:
 			// Unknown frame type: future format. Stop replay here.
 			return valid, nil
 		}
 		valid += int64(5 + len(payload))
+		db.marks = append(db.marks, frameMark{seq: seq, end: valid})
 	}
 	return valid, nil
+}
+
+// frameMark records where a replayed frame ends in the WAL file.
+type frameMark struct {
+	seq uint64
+	end int64
 }
 
 func (db *DB) insertAccess(rec AccessRecord) {
@@ -216,6 +233,7 @@ func (db *DB) AppendAccess(rec AccessRecord) (AccessRecord, error) {
 	}
 	rec.Seq = db.nextSeq
 	db.nextSeq++
+	db.appended = true
 	if err := db.writeFrame(frameAccess, encodeAccess(&rec)); err != nil {
 		return rec, fmt.Errorf("replaydb: appending access: %w", err)
 	}
@@ -242,6 +260,7 @@ func (db *DB) AppendMovement(m MovementRecord) (MovementRecord, error) {
 	}
 	m.Seq = db.nextSeq
 	db.nextSeq++
+	db.appended = true
 	if err := db.writeFrame(frameMovement, encodeMovement(&m)); err != nil {
 		return m, fmt.Errorf("replaydb: appending movement: %w", err)
 	}

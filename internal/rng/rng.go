@@ -1,0 +1,115 @@
+// Package rng is Geomancy's serializable pseudo-random number generator.
+//
+// The checkpoint/restore plane (internal/checkpoint) needs to snapshot a
+// run mid-flight and resume it bit-for-bit, which means every random
+// stream that feeds layout decisions must be capturable. The standard
+// library's *rand.Rand over rand.NewSource cannot be: its lagged-Fibonacci
+// source hides 607 words of state behind an unexported struct. RNG solves
+// this by backing *rand.Rand with a splitmix64 source whose entire state
+// is one uint64 — State and SetState move a stream across a process
+// boundary losslessly.
+//
+// Every stream-consuming helper of *rand.Rand (Intn, Float64, Shuffle,
+// NormFloat64, ExpFloat64, Perm, ...) is a pure function of the underlying
+// Source64, so embedding *rand.Rand gives RNG the full method set with no
+// hidden state. The one exception is Read, which buffers; RNG overrides it
+// to draw whole words so the invariant holds.
+//
+// Construction of math/rand generators anywhere else in the module is a
+// determinism-analyzer violation: all seeded streams are built here, either
+// as a checkpointable *RNG (New/FromState) or, for streams whose state
+// never needs to survive a restart (jitter, throwaway initialization), as
+// a plain *rand.Rand via NewRand.
+package rng
+
+import "math/rand"
+
+// source is a splitmix64 generator: one 64-bit state advanced by a Weyl
+// sequence and finalized with a 2-round xor-shift-multiply mix (Steele,
+// Lea & Flood, OOPSLA 2014). It passes BigCrush, and its single-word
+// state is what makes RNG serializable.
+type source struct {
+	state uint64
+}
+
+var _ rand.Source64 = (*source)(nil)
+
+func (s *source) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (s *source) Int63() int64 {
+	return int64(s.Uint64() >> 1)
+}
+
+func (s *source) Seed(seed int64) {
+	s.state = uint64(seed)
+}
+
+// RNG is a seedable pseudo-random generator with fully extractable state.
+// It embeds a *rand.Rand over its own splitmix64 source, so it offers the
+// complete math/rand method set while State/SetState capture and restore
+// the stream exactly.
+//
+// An RNG must be shared by pointer: the embedded *rand.Rand points at the
+// struct's own source field, so copying the struct by value splits the
+// stream from its state. RNG is not safe for concurrent use, matching
+// *rand.Rand.
+type RNG struct {
+	src source
+	*rand.Rand
+}
+
+// New returns an RNG seeded with seed. Equal seeds yield identical
+// streams on every platform.
+func New(seed int64) *RNG {
+	r := &RNG{src: source{state: uint64(seed)}}
+	r.Rand = rand.New(&r.src)
+	return r
+}
+
+// FromState reconstructs an RNG whose next draw continues exactly where
+// the RNG that reported state (via State) left off.
+func FromState(state uint64) *RNG {
+	r := &RNG{src: source{state: state}}
+	r.Rand = rand.New(&r.src)
+	return r
+}
+
+// State returns the complete generator state. Restoring it with SetState
+// (or FromState) replays the remainder of the stream identically.
+func (r *RNG) State() uint64 { return r.src.state }
+
+// SetState rewinds or fast-forwards the generator to a previously
+// captured state, in place — aliases holding this RNG observe the
+// restored stream too.
+func (r *RNG) SetState(state uint64) { r.src.state = state }
+
+// Read fills p with random bytes, drawing one fresh 64-bit word per 8
+// bytes. Unlike (*rand.Rand).Read it never buffers residual bytes between
+// calls, so Read keeps the whole-state-in-one-word serialization
+// invariant (at the cost of discarding up to 7 bytes per call).
+func (r *RNG) Read(p []byte) (int, error) {
+	for i := range p {
+		if i%8 == 0 {
+			w := r.src.Uint64()
+			for j := 0; j < 8 && i+j < len(p); j++ {
+				p[i+j] = byte(w >> (8 * j))
+			}
+		}
+	}
+	return len(p), nil
+}
+
+// NewRand returns a plain seeded *rand.Rand for streams that never need
+// checkpointing — retry-backoff jitter, throwaway weight initialization,
+// experiment-harness shuffles. It uses the standard library source, whose
+// state cannot be extracted; any stream that feeds layout decisions or
+// must survive a restart needs New instead.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,150 @@
+package rng
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDeterministic: equal seeds must produce identical streams across
+// every consumption pattern the engine uses.
+func TestDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		switch i % 5 {
+		case 0:
+			if a.Uint64() != b.Uint64() {
+				t.Fatalf("Uint64 diverged at draw %d", i)
+			}
+		case 1:
+			if a.Float64() != b.Float64() {
+				t.Fatalf("Float64 diverged at draw %d", i)
+			}
+		case 2:
+			if a.Intn(97) != b.Intn(97) {
+				t.Fatalf("Intn diverged at draw %d", i)
+			}
+		case 3:
+			if a.NormFloat64() != b.NormFloat64() {
+				t.Fatalf("NormFloat64 diverged at draw %d", i)
+			}
+		case 4:
+			if a.ExpFloat64() != b.ExpFloat64() {
+				t.Fatalf("ExpFloat64 diverged at draw %d", i)
+			}
+		}
+	}
+}
+
+// TestSeedsDecorrelated: adjacent seeds must not produce overlapping
+// prefixes (splitmix64's mix function guarantees this).
+func TestSeedsDecorrelated(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("seeds 1 and 2 collided on %d of 100 draws", same)
+	}
+}
+
+// TestStateRoundTrip: capturing State mid-stream and restoring it must
+// replay the remainder of the stream identically — including through the
+// ziggurat (NormFloat64/ExpFloat64) and Shuffle paths the engine and
+// simulator use.
+func TestStateRoundTrip(t *testing.T) {
+	r := New(7)
+	// Burn an arbitrary prefix with mixed draw kinds.
+	for i := 0; i < 137; i++ {
+		r.Float64()
+		r.NormFloat64()
+		r.Intn(13)
+	}
+	state := r.State()
+
+	want := make([]float64, 0, 300)
+	wantPerm := r.Perm(24)
+	for i := 0; i < 100; i++ {
+		want = append(want, r.Float64(), r.NormFloat64(), r.ExpFloat64())
+	}
+
+	for name, restored := range map[string]*RNG{
+		"FromState": FromState(state),
+		"SetState":  func() *RNG { x := New(999); x.SetState(state); return x }(),
+	} {
+		gotPerm := restored.Perm(24)
+		for i := range wantPerm {
+			if gotPerm[i] != wantPerm[i] {
+				t.Fatalf("%s: Perm diverged at %d: got %v want %v", name, i, gotPerm, wantPerm)
+			}
+		}
+		for i := 0; i < 100; i++ {
+			if g, w := restored.Float64(), want[3*i]; g != w {
+				t.Fatalf("%s: Float64 draw %d: got %v want %v", name, i, g, w)
+			}
+			if g, w := restored.NormFloat64(), want[3*i+1]; g != w {
+				t.Fatalf("%s: NormFloat64 draw %d: got %v want %v", name, i, g, w)
+			}
+			if g, w := restored.ExpFloat64(), want[3*i+2]; g != w {
+				t.Fatalf("%s: ExpFloat64 draw %d: got %v want %v", name, i, g, w)
+			}
+		}
+	}
+}
+
+// TestReadKeepsStateExact: Read must not buffer residual bytes — after any
+// Read, State fully determines the future stream.
+func TestReadKeepsStateExact(t *testing.T) {
+	r := New(3)
+	buf := make([]byte, 13) // deliberately not a multiple of 8
+	if _, err := r.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	state := r.State()
+	next := r.Uint64()
+	if got := FromState(state).Uint64(); got != next {
+		t.Errorf("stream after Read not reproducible from State: got %d want %d", got, next)
+	}
+}
+
+// TestSourceInterface: the source must satisfy rand.Source64 so rand.Rand
+// draws 64-bit words directly instead of splicing Int63 pairs.
+func TestSourceInterface(t *testing.T) {
+	var s rand.Source = &source{state: 1}
+	if _, ok := s.(rand.Source64); !ok {
+		t.Fatal("source does not implement rand.Source64")
+	}
+	if v := s.Int63(); v < 0 {
+		t.Errorf("Int63 returned negative value %d", v)
+	}
+}
+
+// TestNewRandDeterministic: the non-serializable convenience constructor
+// must still be seed-deterministic.
+func TestNewRandDeterministic(t *testing.T) {
+	a, b := NewRand(5), NewRand(5)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatalf("NewRand streams diverged at draw %d", i)
+		}
+	}
+}
+
+// TestUniformity is a coarse sanity check that splitmix64 output is not
+// badly skewed: bucket counts of 100k draws stay within 5% of uniform.
+func TestUniformity(t *testing.T) {
+	r := New(11)
+	const buckets, draws = 16, 100000
+	var counts [buckets]int
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	want := draws / buckets
+	for b, c := range counts {
+		if c < want*95/100 || c > want*105/100 {
+			t.Errorf("bucket %d: %d draws, want ~%d", b, c, want)
+		}
+	}
+}

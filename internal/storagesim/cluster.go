@@ -3,9 +3,10 @@ package storagesim
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"sort"
 	"sync"
+
+	"geomancy/internal/rng"
 )
 
 // FileState tracks one placed file.
@@ -66,7 +67,7 @@ type Config struct {
 type Cluster struct {
 	mu      sync.Mutex
 	now     float64
-	rng     *rand.Rand
+	rng     *rng.RNG
 	cfg     Config
 	devices map[string]*Device
 	order   []string // device names in profile order
@@ -85,7 +86,7 @@ func NewCluster(profiles []DeviceProfile, cfg Config) (*Cluster, error) {
 	}
 	c := &Cluster{
 		now:     cfg.EpochOffset,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		rng:     rng.New(cfg.Seed),
 		cfg:     cfg,
 		devices: make(map[string]*Device),
 		files:   make(map[int64]*FileState),

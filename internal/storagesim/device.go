@@ -16,7 +16,8 @@ package storagesim
 import (
 	"fmt"
 	"math"
-	"math/rand"
+
+	"geomancy/internal/rng"
 )
 
 // ExternalLoad models contention from other users of a shared device as a
@@ -83,12 +84,12 @@ type Device struct {
 
 	// burst state: the current/next burst window, generated lazily.
 	burstStart, burstEnd float64
-	burstRNG             *rand.Rand
+	burstRNG             *rng.RNG
 
 	// era state: the current additive contention regime and when it ends.
 	eraLoad float64
 	eraEnd  float64
-	eraRNG  *rand.Rand
+	eraRNG  *rng.RNG
 
 	// accounting
 	accessCount int64
@@ -105,8 +106,8 @@ func newDevice(p DeviceProfile, seed int64) *Device {
 		Profile:       p,
 		Available:     true,
 		externalScale: 1,
-		burstRNG:      rand.New(rand.NewSource(seed)),
-		eraRNG:        rand.New(rand.NewSource(seed ^ 0x5eed)),
+		burstRNG:      rng.New(seed),
+		eraRNG:        rng.New(seed ^ 0x5eed),
 	}
 	d.scheduleBurst(0)
 	d.nextEra(0)

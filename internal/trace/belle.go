@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"geomancy/internal/rng"
 )
 
 // BelleFileCount is the number of ROOT files in the BELLE II Monte-Carlo
@@ -30,7 +32,7 @@ type BelleFile struct {
 // BelleFileSet generates the 24-file BELLE II working set with log-uniform
 // sizes across the paper's range, deterministically from seed.
 func BelleFileSet(seed int64) []BelleFile {
-	rng := rand.New(rand.NewSource(seed))
+	rng := rng.NewRand(seed)
 	files := make([]BelleFile, BelleFileCount)
 	logMin := math.Log(float64(BelleMinFileSize))
 	logMax := math.Log(float64(BelleMaxFileSize))

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"geomancy/internal/rng"
 )
 
 // GeneratorConfig parameterizes the synthetic EOS log generator.
@@ -82,7 +84,7 @@ func NewGenerator(cfg GeneratorConfig) *Generator {
 	}
 	g := &Generator{
 		cfg: cfg,
-		rng: rand.New(rand.NewSource(cfg.Seed)),
+		rng: rng.NewRand(cfg.Seed),
 		now: float64(cfg.StartTS),
 	}
 	g.fileSizes = make([]int64, cfg.Files)

@@ -13,9 +13,9 @@ package workload
 import (
 	"context"
 	"fmt"
-	"math/rand"
 	"sync"
 
+	"geomancy/internal/rng"
 	"geomancy/internal/storagesim"
 	"geomancy/internal/telemetry"
 	"geomancy/internal/trace"
@@ -71,7 +71,7 @@ type Runner struct {
 	Files []trace.BelleFile
 
 	cluster *storagesim.Cluster
-	rng     *rand.Rand
+	rng     *rng.RNG
 	runs    int
 }
 
@@ -81,7 +81,7 @@ func NewRunner(cluster *storagesim.Cluster, files []trace.BelleFile, id int, see
 		ID:      id,
 		Files:   files,
 		cluster: cluster,
-		rng:     rand.New(rand.NewSource(seed)),
+		rng:     rng.New(seed),
 	}
 }
 
@@ -154,7 +154,7 @@ func (r *Runner) RunOnce(obs Observer) (RunStats, error) {
 // access, and a cancelled run returns the partial statistics together with
 // ctx.Err() without counting as a completed run.
 func (r *Runner) RunOnceContext(ctx context.Context, obs Observer) (RunStats, error) {
-	seq := trace.BelleRun(r.rng, len(r.Files))
+	seq := trace.BelleRun(r.rng.Rand, len(r.Files))
 	start := r.cluster.Now()
 	stats := RunStats{Run: r.runs}
 	lat := telemetry.NewHistogram(telemetry.DefLatencyBuckets)
@@ -199,6 +199,26 @@ func (r *Runner) RunOnceContext(ctx context.Context, obs Observer) (RunStats, er
 
 // Runs returns the number of completed runs.
 func (r *Runner) Runs() int { return r.runs }
+
+// RunnerState is the serializable snapshot of a runner: the access-order
+// stream and the completed-run counter. The file set and cluster binding
+// are reconstructed from configuration on restore.
+type RunnerState struct {
+	RNG  uint64
+	Runs int
+}
+
+// State captures the runner mid-experiment.
+func (r *Runner) State() RunnerState {
+	return RunnerState{RNG: r.rng.State(), Runs: r.runs}
+}
+
+// RestoreState overwrites the runner's stream and counters with a
+// previously captured snapshot.
+func (r *Runner) RestoreState(st RunnerState) {
+	r.rng.SetState(st.RNG)
+	r.runs = st.Runs
+}
 
 // Cluster exposes the underlying cluster (examples and experiments use it
 // for instrumentation).
