@@ -9,9 +9,12 @@
 package geomancy
 
 import (
+	"encoding/json"
 	"math/rand"
+	"os"
 	"testing"
 
+	"geomancy/internal/agents"
 	"geomancy/internal/core"
 	"geomancy/internal/experiments"
 	"geomancy/internal/features"
@@ -167,6 +170,144 @@ func mustEOSDataset(b *testing.B, recs []trace.EOSRecord) *nn.Dataset {
 	var ts features.ScalarScaler
 	ts.Fit(targets)
 	return nn.NewDataset(x, ts.TransformAll(targets))
+}
+
+// --- Scoring and GEMM hot-path benches (BENCH_scoring.json baseline) ---
+
+// scoringLoop builds a trained engine over a warmed-up testbed: the
+// candidate-scoring benchmark's fixture.
+func scoringLoop(tb testing.TB) (*core.Loop, []core.FileMeta, *storagesim.Cluster, func()) {
+	tb.Helper()
+	const seed = 21
+	cluster := storagesim.NewBluesky(seed)
+	files := trace.BelleFileSet(seed)
+	runner := workload.NewRunner(cluster, files, 1, seed)
+	if err := runner.SpreadEvenly(cluster.DeviceNames()); err != nil {
+		tb.Fatal(err)
+	}
+	db, err := replaydb.Open(replaydb.Options{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	loop, err := core.NewLoop(db, cluster, runner, quickEngineCfg(seed))
+	if err != nil {
+		db.Close()
+		tb.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		if _, err := loop.RunOnce(); err != nil {
+			db.Close()
+			tb.Fatal(err)
+		}
+	}
+	if _, err := loop.Engine.Train(); err != nil {
+		db.Close()
+		tb.Fatal(err)
+	}
+	layout := cluster.Layout()
+	metas := make([]core.FileMeta, 0, len(files))
+	for _, f := range files {
+		metas = append(metas, core.FileMeta{ID: f.ID, Path: f.Path, Size: f.Size, Device: layout[f.ID]})
+	}
+	return loop, metas, cluster, func() { db.Close() }
+}
+
+// BenchmarkScoringProposeLayout measures the engine's decision hot path:
+// one full candidate-scoring pass (len(files)×len(devices) batched
+// inferences) plus Action Checker validation and layout assembly.
+func BenchmarkScoringProposeLayout(b *testing.B) {
+	loop, metas, cluster, closeDB := scoringLoop(b)
+	defer closeDB()
+	valid := agents.ClusterValidator(cluster)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := loop.Engine.ProposeLayout(metas, loop.Checker, valid); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// gemmFixture builds a GEMM triple shaped like batched candidate scoring:
+// (files×devices) stacked feature rows through a hidden layer.
+func gemmFixture(rows, inner, cols int) (dst, a, bm *mat.Matrix) {
+	rng := rand.New(rand.NewSource(3))
+	a = mat.New(rows, inner)
+	bm = mat.New(inner, cols)
+	for i := range a.Data {
+		a.Data[i] = rng.Float64()
+	}
+	for i := range bm.Data {
+		bm.Data[i] = rng.Float64()
+	}
+	return mat.New(rows, cols), a, bm
+}
+
+// BenchmarkScoringGEMM measures the serial matrix multiply underneath
+// every inference batch (144 candidate rows through a 64-wide layer).
+func BenchmarkScoringGEMM(b *testing.B) {
+	dst, x, w := gemmFixture(144, 64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mat.MulTo(dst, x, w)
+	}
+}
+
+// BenchmarkScoringGEMMParallel is the row-sharded variant the engine uses
+// with a worker pool.
+func BenchmarkScoringGEMMParallel(b *testing.B) {
+	dst, x, w := gemmFixture(144, 64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mat.ParallelMulTo(dst, x, w, 4)
+	}
+}
+
+// benchRecord is one BENCH_scoring.json entry.
+type benchRecord struct {
+	Name      string  `json:"name"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	Runs      int     `json:"runs"`
+}
+
+// TestBenchBaseline writes the scoring-path benchmark baseline as JSON to
+// the path in GEOMANCY_BENCH_JSON (skipped when unset, so the regular
+// test run stays fast). CI runs it with the env var set and uploads the
+// file as the BENCH_scoring.json artifact; the committed copy at the
+// repo root is the reference snapshot.
+func TestBenchBaseline(t *testing.T) {
+	path := os.Getenv("GEOMANCY_BENCH_JSON")
+	if path == "" {
+		t.Skip("GEOMANCY_BENCH_JSON not set")
+	}
+	var records []benchRecord
+	for _, bench := range []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"ScoringProposeLayout", BenchmarkScoringProposeLayout},
+		{"ScoringGEMM", BenchmarkScoringGEMM},
+		{"ScoringGEMMParallel", BenchmarkScoringGEMMParallel},
+	} {
+		res := testing.Benchmark(bench.fn)
+		if res.N == 0 {
+			t.Fatalf("benchmark %s did not run", bench.name)
+		}
+		ns := float64(res.NsPerOp())
+		rec := benchRecord{Name: bench.name, NsPerOp: ns, Runs: res.N}
+		if ns > 0 {
+			rec.OpsPerSec = 1e9 / ns
+		}
+		records = append(records, rec)
+		t.Logf("%s: %.0f ns/op (%.1f ops/s over %d runs)", rec.Name, rec.NsPerOp, rec.OpsPerSec, rec.Runs)
+	}
+	out, err := json.MarshalIndent(map[string]any{"benchmarks": records}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // --- Ablation benches (DESIGN.md §Key design decisions) ---

@@ -123,6 +123,78 @@ func TestResumeEquivalence(t *testing.T) {
 	}
 }
 
+// TestScenarioResumeEquivalence extends the resume invariant to the
+// workload plane: a hotspot-shift run checkpointed mid-flight — with the
+// hot set already rotated away from its initial position — must restore
+// the scenario's generator and RNG state bit-identically. The other
+// non-belle scenarios ride along cheaply as subtests.
+func TestScenarioResumeEquivalence(t *testing.T) {
+	const checkpointAt, total = 5, 12
+
+	for _, name := range []string{"hotspot-shift", "write-ingest", "diurnal-tenants"} {
+		t.Run(name, func(t *testing.T) {
+			opts := ckptOptions(1, WithScenario(name))
+
+			ref, err := New(opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ref.Close()
+			if _, err := ref.RunN(total); err != nil {
+				t.Fatal(err)
+			}
+			want := capture(t, ref)
+
+			first, err := New(opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := first.RunN(checkpointAt); err != nil {
+				t.Fatal(err)
+			}
+			ckpt := filepath.Join(t.TempDir(), "snap.ckpt")
+			if err := first.Checkpoint(ckpt); err != nil {
+				t.Fatal(err)
+			}
+			if err := first.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			resumed, err := Restore(ckpt, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resumed.Close()
+			if _, err := resumed.RunN(total - checkpointAt); err != nil {
+				t.Fatal(err)
+			}
+			assertSameTrajectory(t, capture(t, resumed), want, name)
+		})
+	}
+}
+
+// TestRestoreScenarioMismatch: a snapshot taken under one scenario must
+// not restore into a system configured for another — the workload state
+// blob would silently corrupt the run.
+func TestRestoreScenarioMismatch(t *testing.T) {
+	sys, err := New(ckptOptions(1, WithScenario("zipfian-hot"))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RunN(2); err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(t.TempDir(), "snap.ckpt")
+	if err := sys.Checkpoint(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	sys.Close()
+
+	if _, err := Restore(ckpt, ckptOptions(1, WithScenario("cold-scan"))...); err == nil {
+		t.Error("Restore under a different scenario should fail")
+	}
+}
+
 // TestResumeEquivalenceDistributed runs the same invariant through the
 // TCP agents plane: telemetry batches, layout pushes, and the remote
 // store must not break resume determinism.

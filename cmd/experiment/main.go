@@ -3,8 +3,11 @@
 //
 // Usage:
 //
-//	experiment -id fig4|table1|table2|table3|fig5a|fig5b|table4|fig6|overhead|all|ablations|ablation-<name>
+//	experiment -id fig4|table1|table2|table3|fig5a|fig5b|table4|fig6|overhead|all|ablations|ablation-<name>|matrix|weighted
 //	           [-scale quick|paper] [-seed N] [-csv]
+//
+// -id matrix runs the per-scenario policy matrix: every workload
+// scenario under every baseline policy plus the Geomancy loop.
 //
 // At -scale paper the model search (table2) trains all 23 architectures
 // for 200 epochs and takes minutes of CPU time; -scale quick (the default)
@@ -133,6 +136,12 @@ func runExperiment(id string, opts experiments.Options, csv bool) error {
 		return experiments.RenderSeries(os.Stdout, []experiments.Series{res.Tuned, res.Untuned})
 	case "overhead":
 		res, err := experiments.Overhead(opts)
+		if err != nil {
+			return err
+		}
+		return emit(res.Table(), csv)
+	case "matrix":
+		res, err := experiments.PolicyMatrix(opts, nil)
 		if err != nil {
 			return err
 		}

@@ -8,6 +8,7 @@
 // the target system:
 //
 //	geomancy [-listen 127.0.0.1:0] [-runs 25] [-seed 1] [-epochs 40]
+//	         [-scenario belle] [-list-scenarios]
 //	         [-cooldown 5] [-bootstrap 5] [-db replay.wal] [-model 1]
 //	         [-epsilon 0.1] [-target throughput|latency] [-parallel 0]
 //	         [-checkpoint-dir state/] [-checkpoint-every 5]
@@ -65,7 +66,16 @@ func main() {
 	faultDelay := flag.Float64("fault-delay", 0, "inject: probability an agent I/O is delayed")
 	faultDelayDur := flag.Duration("fault-delay-ms", 2*time.Millisecond, "inject: delay applied to delayed I/Os")
 	faultPartial := flag.Float64("fault-partial", 0, "inject: probability a write is truncated mid-stream")
+	scenarioName := flag.String("scenario", "belle", "workload scenario to drive (see -list-scenarios)")
+	listScenarios := flag.Bool("list-scenarios", false, "list the workload scenario catalogue and exit")
 	flag.Parse()
+
+	if *listScenarios {
+		for _, info := range geomancy.Scenarios() {
+			fmt.Printf("%-16s %s\n", info.Name, info.Description)
+		}
+		return
+	}
 
 	if *parallel <= 0 {
 		*parallel = runtime.GOMAXPROCS(0)
@@ -75,6 +85,7 @@ func main() {
 		geomancy.WithDistributed(),
 		geomancy.WithListenAddr(*listen),
 		geomancy.WithSeed(*seed),
+		geomancy.WithScenario(*scenarioName),
 		geomancy.WithModel(*model),
 		geomancy.WithEpsilon(*epsilon),
 		geomancy.WithEpochs(*epochs),

@@ -39,6 +39,7 @@ import (
 	"geomancy/internal/faultnet"
 	"geomancy/internal/replaydb"
 	"geomancy/internal/rng"
+	"geomancy/internal/scenario"
 	"geomancy/internal/storagesim"
 	"geomancy/internal/telemetry"
 	"geomancy/internal/trace"
@@ -116,6 +117,23 @@ type FaultConfig = faultnet.Config
 // FaultStats counts the faults injected so far.
 type FaultStats = faultnet.Stats
 
+// Workload is the scenario-plane contract a driven workload satisfies:
+// identity, working set, placement, runs, and checkpoint serialization.
+// See internal/scenario for the catalogue of implementations.
+type Workload = scenario.Workload
+
+// ScenarioInfo describes one registered scenario (name + description).
+type ScenarioInfo = scenario.Info
+
+// WorkloadBuilder constructs a custom workload over the system's cluster
+// during New. files is the configured working set (nil selects the
+// builder's default population) and seed is the configuration seed.
+type WorkloadBuilder func(cluster *storagesim.Cluster, files []File, seed int64) (Workload, error)
+
+// Scenarios lists every registered scenario, sorted by name — the
+// catalogue WithScenario accepts.
+func Scenarios() []ScenarioInfo { return scenario.List() }
+
 // config collects the options.
 type config struct {
 	seed          int64
@@ -139,6 +157,8 @@ type config struct {
 	checkpointDir string
 	listenAddr    string
 	failOpen      *bool
+	scenario      string
+	workload      WorkloadBuilder
 }
 
 // Option customizes New.
@@ -172,6 +192,17 @@ func WithReplayDB(path string) Option { return func(c *config) { c.replayPath = 
 func WithDevices(profiles []DeviceProfile) Option {
 	return func(c *config) { c.profiles = profiles }
 }
+
+// WithScenario selects a named workload from the scenario catalogue
+// (default "belle", the paper's BELLE II suite). See Scenarios for the
+// registered names; an unknown name fails New.
+func WithScenario(name string) Option { return func(c *config) { c.scenario = name } }
+
+// WithWorkload installs a custom workload built by fn over the system's
+// cluster, overriding WithScenario. The builder's workload must be
+// deterministic in (cluster, files, seed) for checkpoint/restore to
+// reproduce it.
+func WithWorkload(fn WorkloadBuilder) Option { return func(c *config) { c.workload = fn } }
 
 // WithFiles replaces the default BELLE II working set.
 func WithFiles(files []File) Option { return func(c *config) { c.files = files } }
@@ -262,7 +293,7 @@ func WithFailOpen(on bool) Option {
 type System struct {
 	cluster *storagesim.Cluster
 	db      *replaydb.DB
-	runner  *workload.Runner
+	runner  scenario.Workload
 	loop    *core.Loop
 
 	// distributed plane (nil without WithDistributed)
@@ -312,11 +343,25 @@ func New(opts ...Option) (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("geomancy: building cluster: %w", err)
 	}
-	files := cfg.files
-	if files == nil {
-		files = trace.BelleFileSet(cfg.seed)
+	scenarioName := cfg.scenario
+	if scenarioName == "" {
+		scenarioName = "belle"
 	}
-	runner := workload.NewRunner(cluster, files, 1, cfg.seed)
+	var runner scenario.Workload
+	if cfg.workload != nil {
+		runner, err = cfg.workload(cluster, cfg.files, cfg.seed)
+		if err != nil {
+			return nil, fmt.Errorf("geomancy: building custom workload: %w", err)
+		}
+		if runner == nil {
+			return nil, fmt.Errorf("geomancy: workload builder returned nil")
+		}
+	} else {
+		runner, err = scenario.New(scenarioName, cluster, cfg.files, cfg.seed)
+		if err != nil {
+			return nil, fmt.Errorf("geomancy: building workload: %w", err)
+		}
+	}
 	if err := runner.SpreadEvenly(cluster.DeviceNames()); err != nil {
 		return nil, fmt.Errorf("geomancy: placing working set: %w", err)
 	}
@@ -661,6 +706,10 @@ func (s *System) buildSnapshot() (*checkpoint.Snapshot, error) {
 			return nil, fmt.Errorf("geomancy: syncing replay log: %w", err)
 		}
 	}
+	wstate, err := s.runner.MarshalState()
+	if err != nil {
+		return nil, fmt.Errorf("geomancy: capturing workload state: %w", err)
+	}
 	snap := &checkpoint.Snapshot{
 		Seed:            s.seed,
 		Runs:            len(s.stats),
@@ -671,7 +720,8 @@ func (s *System) buildSnapshot() (*checkpoint.Snapshot, error) {
 		Engine:          engine,
 		Loop:            s.loop.State(),
 		Cluster:         s.cluster.State(),
-		Runner:          s.runner.State(),
+		WorkloadName:    s.runner.Name(),
+		Workload:        wstate,
 		ReplayWatermark: s.db.Watermark(),
 	}
 	if s.replayPath == "" {
@@ -775,7 +825,13 @@ func (s *System) applySnapshot(snap *checkpoint.Snapshot) error {
 	if err := s.cluster.RestoreState(snap.Cluster); err != nil {
 		return fmt.Errorf("geomancy: restoring cluster: %w", err)
 	}
-	s.runner.RestoreState(snap.Runner)
+	if snap.WorkloadName != s.runner.Name() {
+		return fmt.Errorf("geomancy: snapshot was taken under scenario %q, options configure %q",
+			snap.WorkloadName, s.runner.Name())
+	}
+	if err := s.runner.UnmarshalState(snap.Workload); err != nil {
+		return fmt.Errorf("geomancy: restoring workload: %w", err)
+	}
 	if err := s.loop.Engine.RestoreState(snap.Engine); err != nil {
 		return fmt.Errorf("geomancy: restoring engine: %w", err)
 	}

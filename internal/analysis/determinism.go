@@ -25,6 +25,7 @@ var DeterminismAnalyzer = &Analyzer{
 // layouts, wire frames, or serialized model state.
 var deterministicCorePkgs = []string{
 	"core", "nn", "mat", "policy", "storagesim", "agents",
+	"generator", "scenario",
 }
 
 func inDeterministicCore(pkgPath string) bool {

@@ -5,3 +5,26 @@ import "testing"
 func TestDeterminism(t *testing.T) {
 	RunTest(t, DeterminismAnalyzer, "determinism")
 }
+
+// The workload plane's packages are part of the deterministic core:
+// their draws feed layouts and checkpoints, so wall-clock reads and the
+// global rand stream are banned there too.
+func TestDeterminismScopeCoversWorkloadPlane(t *testing.T) {
+	for _, pkg := range []string{
+		"geomancy/internal/generator",
+		"geomancy/internal/scenario",
+		"geomancy/internal/core",
+	} {
+		if !inDeterministicCore(pkg) {
+			t.Errorf("%s not in the determinism analyzer's scope", pkg)
+		}
+	}
+	for _, pkg := range []string{
+		"geomancy/internal/telemetry",
+		"geomancy/internal/experiments",
+	} {
+		if inDeterministicCore(pkg) {
+			t.Errorf("%s unexpectedly in the determinism analyzer's scope", pkg)
+		}
+	}
+}

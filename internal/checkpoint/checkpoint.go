@@ -4,7 +4,7 @@
 // and every loop counter — serialized as one versioned, CRC-framed blob,
 // so an interrupted run restores and continues bit-for-bit.
 //
-// A checkpoint file is the 8-byte magic "GCKP0001" (format version in the
+// A checkpoint file is the 8-byte magic "GCKP0002" (format version in the
 // magic, like the replay WAL's "GRDB0001") followed by one frame: a type
 // byte, a little-endian uint32 payload length, the gob-encoded Snapshot,
 // and a CRC-32 (IEEE) of the payload. Truncated or bit-flipped files fail
@@ -38,7 +38,7 @@ import (
 )
 
 // magic identifies a checkpoint file and its format version.
-var magic = []byte("GCKP0001")
+var magic = []byte("GCKP0002")
 
 // frameSnapshot is the type byte of a Snapshot frame. Future format
 // extensions get new type bytes; readers reject types they do not know.
@@ -74,7 +74,14 @@ type Snapshot struct {
 	Engine  core.EngineState
 	Loop    core.LoopState
 	Cluster storagesim.ClusterState
-	Runner  workload.RunnerState
+
+	// WorkloadName names the scenario the snapshot was taken under
+	// ("belle" for the classic runner); restore refuses a snapshot whose
+	// scenario disagrees with the configured one. Workload is the
+	// scenario's opaque MarshalState blob — the RNG register, run
+	// counter, and generator registers.
+	WorkloadName string
+	Workload     []byte
 
 	// ReplayWatermark is the highest replay-log sequence number covered
 	// by this snapshot. A file-backed database truncates its WAL to the

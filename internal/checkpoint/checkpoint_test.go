@@ -30,7 +30,8 @@ func sampleSnapshot() *Snapshot {
 			},
 			Files: []storagesim.FileState{{ID: 1, Path: "/f1", Size: 1 << 20, Device: "file0"}},
 		},
-		Runner:          workload.RunnerState{RNG: 99, Runs: 7},
+		WorkloadName:    "belle",
+		Workload:        []byte{0x01, 0x02, 0x03},
 		ReplayWatermark: 4321,
 		Accesses:        []replaydb.AccessRecord{{Seq: 1, FileID: 1, Device: "file0", Throughput: 3e9}},
 		Movements:       []replaydb.MovementRecord{{Seq: 2, FileID: 1, From: "file0", To: "pic"}},

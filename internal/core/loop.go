@@ -9,6 +9,7 @@ import (
 	"geomancy/internal/replaydb"
 	"geomancy/internal/storagesim"
 	"geomancy/internal/telemetry"
+	"geomancy/internal/trace"
 	"geomancy/internal/workload"
 )
 
@@ -32,9 +33,24 @@ type SkippedDecision struct {
 
 // LayoutPusher applies a layout through the distributed control plane
 // (agents.Daemon.PushLayout); the loop falls back to the in-process
-// Runner.ApplyLayout when none is installed.
+// Workload.ApplyLayout when none is installed.
 type LayoutPusher interface {
 	PushLayout(layout map[int64]string) (int, error)
+}
+
+// Workload is the loop's view of the driven workload: the minimal
+// surface the decide-and-move cycle needs. *workload.Runner and every
+// scenario in internal/scenario satisfy it; the full scenario-plane
+// contract (naming, checkpoint marshaling) lives in scenario.Workload,
+// which embeds the same methods.
+type Workload interface {
+	// Files returns the working set the engine lays out.
+	Files() []trace.BelleFile
+	// ApplyLayout re-homes files per the layout, returning the moves.
+	ApplyLayout(layout map[int64]string) ([]storagesim.MoveResult, error)
+	// RunOnceContext executes one workload run, reporting every access
+	// to obs.
+	RunOnceContext(ctx context.Context, obs workload.Observer) (workload.RunStats, error)
 }
 
 // Loop wires the full Geomancy closed loop in-process: workload runs feed
@@ -46,11 +62,13 @@ type LayoutPusher interface {
 // package agents and cmd/geomancy; Loop is the direct-coupled equivalent
 // the experiments use, with identical decision logic.
 type Loop struct {
-	Engine  *Engine
-	Runner  *workload.Runner
-	DB      *replaydb.DB
-	Cluster *storagesim.Cluster
-	Checker *agents.ActionChecker
+	Engine *Engine
+	// Workload is the driven workload (the paper's BELLE II runner by
+	// default; any scenario.Workload otherwise).
+	Workload Workload
+	DB       *replaydb.DB
+	Cluster  *storagesim.Cluster
+	Checker  *agents.ActionChecker
 
 	accessCount int64
 	movements   []MovementEvent
@@ -107,7 +125,7 @@ func (l *Loop) SetMetrics(reg *telemetry.Registry) {
 }
 
 // NewLoop assembles a loop over an existing cluster/runner/db.
-func NewLoop(db *replaydb.DB, cluster *storagesim.Cluster, runner *workload.Runner, cfg Config) (*Loop, error) {
+func NewLoop(db *replaydb.DB, cluster *storagesim.Cluster, runner Workload, cfg Config) (*Loop, error) {
 	return NewLoopWithStore(db, db, cluster, runner, cfg)
 }
 
@@ -115,17 +133,17 @@ func NewLoop(db *replaydb.DB, cluster *storagesim.Cluster, runner *workload.Runn
 // e.g. an agents.RemoteStore, preserving the paper's decoupling where
 // "the DRL engine requests training data from the ReplayDB via the
 // Interface Daemon" (§V-E) — while movement records still persist to db.
-func NewLoopWithStore(store TelemetryStore, db *replaydb.DB, cluster *storagesim.Cluster, runner *workload.Runner, cfg Config) (*Loop, error) {
+func NewLoopWithStore(store TelemetryStore, db *replaydb.DB, cluster *storagesim.Cluster, runner Workload, cfg Config) (*Loop, error) {
 	engine, err := NewEngine(store, cluster.DeviceNames(), cfg)
 	if err != nil {
 		return nil, err
 	}
 	return &Loop{
-		Engine:  engine,
-		Runner:  runner,
-		DB:      db,
-		Cluster: cluster,
-		Checker: agents.NewActionChecker(engine.rng, cluster.DeviceNames()),
+		Engine:   engine,
+		Workload: runner,
+		DB:       db,
+		Cluster:  cluster,
+		Checker:  agents.NewActionChecker(engine.rng, cluster.DeviceNames()),
 	}, nil
 }
 
@@ -205,9 +223,9 @@ func (l *Loop) record(res storagesim.AccessResult, wl, run int) error {
 
 // fileMetas snapshots the runner's working set.
 func (l *Loop) fileMetas() []FileMeta {
-	metas := make([]FileMeta, 0, len(l.Runner.Files))
+	metas := make([]FileMeta, 0, len(l.Workload.Files()))
 	layout := l.Cluster.Layout()
-	for _, f := range l.Runner.Files {
+	for _, f := range l.Workload.Files() {
 		metas = append(metas, FileMeta{ID: f.ID, Path: f.Path, Size: f.Size, Device: layout[f.ID]})
 	}
 	return metas
@@ -218,7 +236,7 @@ func (l *Loop) fileMetas() []FileMeta {
 // the control agents' movers), via the Runner otherwise.
 func (l *Loop) applyLayout(layout map[int64]string) ([]storagesim.MoveResult, error) {
 	if l.Pusher == nil {
-		return l.Runner.ApplyLayout(layout)
+		return l.Workload.ApplyLayout(layout)
 	}
 	before := l.Cluster.Layout()
 	if _, err := l.Pusher.PushLayout(layout); err != nil {
@@ -228,7 +246,7 @@ func (l *Loop) applyLayout(layout map[int64]string) ([]storagesim.MoveResult, er
 	// records from the observable layout change.
 	after := l.Cluster.Layout()
 	var moves []storagesim.MoveResult
-	for _, f := range l.Runner.Files {
+	for _, f := range l.Workload.Files() {
 		if before[f.ID] != after[f.ID] {
 			moves = append(moves, storagesim.MoveResult{
 				FileID: f.ID,
@@ -254,7 +272,7 @@ func (l *Loop) RunOnce() (workload.RunStats, error) {
 // without applying a partial layout.
 func (l *Loop) RunOnceContext(ctx context.Context) (workload.RunStats, error) {
 	var obsErr error
-	stats, err := l.Runner.RunOnceContext(ctx, func(res storagesim.AccessResult, wl, run int) {
+	stats, err := l.Workload.RunOnceContext(ctx, func(res storagesim.AccessResult, wl, run int) {
 		if e := l.record(res, wl, run); e != nil && obsErr == nil {
 			obsErr = e
 		}
@@ -309,8 +327,8 @@ func (l *Loop) RunOnceContext(ctx context.Context) (workload.RunStats, error) {
 	}
 	if l.Scheduler != nil {
 		current := l.Cluster.Layout()
-		sizes := make(map[int64]int64, len(l.Runner.Files))
-		for _, f := range l.Runner.Files {
+		sizes := make(map[int64]int64, len(l.Workload.Files()))
+		for _, f := range l.Workload.Files() {
 			sizes[f.ID] = f.Size
 		}
 		readBW := make(map[string]float64)

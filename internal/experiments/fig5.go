@@ -15,7 +15,13 @@ import (
 // re-deciding the layout every CooldownRuns runs (static policies fire
 // once and return nil afterwards).
 func runPolicy(p policy.Policy, opts Options) (Series, *testbed, error) {
-	tb, err := newTestbed(opts.Seed)
+	return runPolicyScenario("belle", p, opts)
+}
+
+// runPolicyScenario is runPolicy over any scenario from the workload
+// plane's catalogue.
+func runPolicyScenario(scenarioName string, p policy.Policy, opts Options) (Series, *testbed, error) {
+	tb, err := newScenarioTestbed(scenarioName, opts.Seed)
 	if err != nil {
 		return Series{}, nil, err
 	}
@@ -81,7 +87,13 @@ func engineConfig(opts Options) core.Config {
 // runGeomancyDynamic executes the full closed loop and returns its series
 // plus the loop and testbed for utilization accounting.
 func runGeomancyDynamic(opts Options) (Series, *core.Loop, *testbed, error) {
-	tb, err := newTestbed(opts.Seed)
+	return runGeomancyScenario("belle", opts)
+}
+
+// runGeomancyScenario is runGeomancyDynamic over any scenario from the
+// workload plane's catalogue.
+func runGeomancyScenario(scenarioName string, opts Options) (Series, *core.Loop, *testbed, error) {
+	tb, err := newScenarioTestbed(scenarioName, opts.Seed)
 	if err != nil {
 		return Series{}, nil, nil, err
 	}

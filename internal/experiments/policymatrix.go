@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+
+	"geomancy/internal/policy"
+	"geomancy/internal/rng"
+	"geomancy/internal/scenario"
+)
+
+// GeomancyName is the engine's column label in the policy matrix.
+const GeomancyName = "Geomancy dynamic"
+
+// PolicyMatrixResult is the per-scenario policy comparison: mean
+// throughput of every placement policy on every workload scenario, with
+// the winner per scenario and Geomancy's win/loss tally. The matrix is
+// the paper's Fig. 5 comparison swept across the workload plane — it
+// answers where the learned policy's advantage holds and where a simple
+// heuristic matches it.
+type PolicyMatrixResult struct {
+	// Scenarios are the row labels, in the order run.
+	Scenarios []string
+	// Policies are the column labels; GeomancyName is always last.
+	Policies []string
+	// Mean[i][j] is policy j's mean per-access throughput (bytes/s) on
+	// scenario i.
+	Mean [][]float64
+	// Winner[i] is the policy with the highest mean on scenario i.
+	Winner []string
+	// GeomancyWins counts scenarios where the engine's mean is strictly
+	// highest; GeomancyLosses counts the rest.
+	GeomancyWins, GeomancyLosses int
+	// Gain[i] is Geomancy's percentage gain on scenario i over the best
+	// baseline (negative where a baseline wins).
+	Gain []float64
+}
+
+// matrixBaselines returns the baseline policy set of one scenario cell.
+// Stochastic baselines get fresh streams derived from the seed, so every
+// (scenario, policy) cell is independent and the whole matrix is a pure
+// function of the options.
+func matrixBaselines(seed int64) []policy.Policy {
+	return []policy.Policy{
+		policy.LRU{},
+		policy.MRU{},
+		policy.LFU{},
+		policy.Weighted{Base: policy.LFU{}},
+		&policy.RandomDynamic{Rng: rng.NewRand(seed + 2)},
+		&policy.RandomStatic{Rng: rng.NewRand(seed + 3)},
+	}
+}
+
+// PolicyMatrix runs every named scenario under every baseline policy and
+// the Geomancy closed loop. A nil scenarios slice selects the full
+// catalogue. Each cell runs on a fresh testbed with the same seed, so
+// columns of a row are comparable and the result is deterministic: equal
+// options yield an identical matrix.
+func PolicyMatrix(opts Options, scenarios []string) (*PolicyMatrixResult, error) {
+	opts = opts.withDefaults()
+	if scenarios == nil {
+		scenarios = scenario.Names()
+	}
+	res := &PolicyMatrixResult{Scenarios: scenarios}
+	for _, p := range matrixBaselines(opts.Seed) {
+		res.Policies = append(res.Policies, p.Name())
+	}
+	res.Policies = append(res.Policies, GeomancyName)
+
+	for _, name := range scenarios {
+		row := make([]float64, 0, len(res.Policies))
+		for _, p := range matrixBaselines(opts.Seed) {
+			s, tb, err := runPolicyScenario(name, p, opts)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: scenario %s under %s: %w", name, p.Name(), err)
+			}
+			tb.db.Close()
+			row = append(row, s.Mean)
+		}
+		s, _, tb, err := runGeomancyScenario(name, opts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scenario %s under Geomancy: %w", name, err)
+		}
+		tb.db.Close()
+		row = append(row, s.Mean)
+		res.Mean = append(res.Mean, row)
+
+		best, bestBaseline := 0, 0.0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+			if j < len(row)-1 && v > bestBaseline {
+				bestBaseline = v
+			}
+		}
+		res.Winner = append(res.Winner, res.Policies[best])
+		if res.Policies[best] == GeomancyName {
+			res.GeomancyWins++
+		} else {
+			res.GeomancyLosses++
+		}
+		gain := 0.0
+		if bestBaseline > 0 {
+			gain = (row[len(row)-1]/bestBaseline - 1) * 100
+		}
+		res.Gain = append(res.Gain, gain)
+	}
+	return res, nil
+}
+
+// Table renders the matrix: one row per scenario, one column per policy
+// (winner cell marked with *), plus Geomancy's gain over the best
+// baseline and the win/loss tally in the caption.
+func (r *PolicyMatrixResult) Table() *Table {
+	t := &Table{
+		Title:  "Policy matrix: mean throughput per scenario (winner marked *)",
+		Header: append(append([]string{"scenario"}, r.Policies...), "Geomancy vs best baseline"),
+	}
+	for i, name := range r.Scenarios {
+		row := []string{name}
+		for j, v := range r.Mean[i] {
+			cell := GBps(v)
+			if r.Policies[j] == r.Winner[i] {
+				cell += " *"
+			}
+			row = append(row, cell)
+		}
+		row = append(row, fmt.Sprintf("%+.1f%%", r.Gain[i]))
+		t.Rows = append(t.Rows, row)
+	}
+	t.Caption = fmt.Sprintf("Geomancy wins %d of %d scenarios", r.GeomancyWins, r.GeomancyWins+r.GeomancyLosses)
+	return t
+}

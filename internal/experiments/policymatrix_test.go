@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"geomancy/internal/scenario"
+)
+
+// The matrix must cover the whole scenario catalogue against every
+// baseline plus the engine, with a winner per scenario and a consistent
+// tally.
+func TestPolicyMatrixCoversCatalogue(t *testing.T) {
+	res, err := PolicyMatrix(Quick(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := scenario.Names(); !reflect.DeepEqual(res.Scenarios, want) {
+		t.Errorf("scenarios = %v, want %v", res.Scenarios, want)
+	}
+	if len(res.Policies) < 6 || res.Policies[len(res.Policies)-1] != GeomancyName {
+		t.Errorf("policies = %v, want ≥5 baselines then %q", res.Policies, GeomancyName)
+	}
+	if len(res.Mean) != len(res.Scenarios) || len(res.Winner) != len(res.Scenarios) {
+		t.Fatalf("ragged result: %d scenarios, %d rows, %d winners",
+			len(res.Scenarios), len(res.Mean), len(res.Winner))
+	}
+	for i, row := range res.Mean {
+		if len(row) != len(res.Policies) {
+			t.Fatalf("row %d has %d cells, want %d", i, len(row), len(res.Policies))
+		}
+		for j, v := range row {
+			if v <= 0 {
+				t.Errorf("scenario %s under %s: non-positive mean %v",
+					res.Scenarios[i], res.Policies[j], v)
+			}
+		}
+	}
+	if res.GeomancyWins+res.GeomancyLosses != len(res.Scenarios) {
+		t.Errorf("tally %d+%d does not cover %d scenarios",
+			res.GeomancyWins, res.GeomancyLosses, len(res.Scenarios))
+	}
+	var buf bytes.Buffer
+	if err := res.Table().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("empty rendered table")
+	}
+}
+
+// Equal options must yield an identical matrix — every cell, winner, and
+// the rendered table bit-for-bit.
+func TestPolicyMatrixDeterministic(t *testing.T) {
+	scenarios := []string{"zipfian-hot", "hotspot-shift"}
+	a, err := PolicyMatrix(Quick(7), scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PolicyMatrix(Quick(7), scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same-seed policy matrices diverged")
+	}
+	var ta, tb bytes.Buffer
+	if err := a.Table().Render(&ta); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Table().Render(&tb); err != nil {
+		t.Fatal(err)
+	}
+	if ta.String() != tb.String() {
+		t.Fatal("same-seed rendered tables diverged")
+	}
+}

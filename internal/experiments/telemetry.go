@@ -11,16 +11,16 @@ import (
 	"geomancy/internal/nn"
 	"geomancy/internal/policy"
 	"geomancy/internal/replaydb"
+	"geomancy/internal/scenario"
 	"geomancy/internal/storagesim"
 	"geomancy/internal/trace"
-	"geomancy/internal/workload"
 )
 
 // testbed bundles one fresh simulated system.
 type testbed struct {
 	cluster *storagesim.Cluster
 	files   []trace.BelleFile
-	runner  *workload.Runner
+	runner  scenario.Workload
 	db      *replaydb.DB
 	// bookkeeping for policy state
 	lastAccess map[int64]float64
@@ -28,11 +28,19 @@ type testbed struct {
 }
 
 // newTestbed builds a Bluesky cluster with the BELLE II working set spread
-// evenly — the starting state of every experiment.
+// evenly — the starting state of the paper's experiments.
 func newTestbed(seed int64) (*testbed, error) {
+	return newScenarioTestbed("belle", seed)
+}
+
+// newScenarioTestbed builds a Bluesky cluster driven by the named
+// scenario from the workload plane, its population spread evenly.
+func newScenarioTestbed(scenarioName string, seed int64) (*testbed, error) {
 	cluster := storagesim.NewBluesky(seed)
-	files := trace.BelleFileSet(seed)
-	runner := workload.NewRunner(cluster, files, 1, seed)
+	runner, err := scenario.New(scenarioName, cluster, nil, seed)
+	if err != nil {
+		return nil, err
+	}
 	if err := runner.SpreadEvenly(cluster.DeviceNames()); err != nil {
 		return nil, err
 	}
@@ -42,7 +50,7 @@ func newTestbed(seed int64) (*testbed, error) {
 	}
 	return &testbed{
 		cluster:    cluster,
-		files:      files,
+		files:      runner.Files(),
 		runner:     runner,
 		db:         db,
 		lastAccess: make(map[int64]float64),

@@ -1,0 +1,122 @@
+package generator
+
+import (
+	"math"
+
+	"geomancy/internal/rng"
+)
+
+// ZipfianTheta is the canonical skew constant (YCSB's 0.99): rank-1
+// draws roughly one in five operations over a few dozen items.
+const ZipfianTheta = 0.99
+
+// Zipfian draws ranks 0..items-1 with P(rank k) ∝ 1/(k+1)^θ, using
+// Gray et al.'s "Quickly Generating Billion-Record Synthetic Databases"
+// construction as popularized by YCSB. The generator supports growing
+// the item count mid-stream: the ζ(n, θ) normalizer is recomputed
+// incrementally from the last computed prefix instead of from scratch,
+// so appending items (an ingest workload) costs O(added) rather than
+// O(total) per growth step.
+//
+// Rank 0 is the most popular item. Scenarios that want hot items spread
+// across the keyspace should permute ranks themselves (deterministically)
+// rather than rely on hashing, which would leave the hot set opaque to
+// distribution assertions.
+type Zipfian struct {
+	items int64
+	theta float64
+
+	// Incremental ζ state: zetan = ζ(countForZeta, θ).
+	countForZeta int64
+	zetan        float64
+
+	// Derived constants (functions of theta only).
+	zeta2theta float64
+	alpha      float64
+}
+
+// NewZipfian returns a zipfian generator over ranks [0, items) with
+// skew theta in (0, 1); items must be ≥ 1.
+func NewZipfian(items int64, theta float64) *Zipfian {
+	if items < 1 {
+		items = 1
+	}
+	if theta <= 0 || theta >= 1 {
+		theta = ZipfianTheta
+	}
+	z := &Zipfian{items: items, theta: theta}
+	z.deriveConstants()
+	z.zetan = zetaRange(0, items, theta, 0)
+	z.countForZeta = items
+	return z
+}
+
+func (z *Zipfian) deriveConstants() {
+	z.zeta2theta = zetaRange(0, 2, z.theta, 0)
+	z.alpha = 1 / (1 - z.theta)
+}
+
+// zetaRange extends ζ from a computed prefix: given base = ζ(from, θ),
+// it returns ζ(to, θ) by summing only the new terms — Gray's
+// incremental-item-count construction.
+func zetaRange(from, to int64, theta, base float64) float64 {
+	sum := base
+	for i := from; i < to; i++ {
+		sum += 1 / math.Pow(float64(i+1), theta)
+	}
+	return sum
+}
+
+// Grow raises the item count (a shrink is ignored: ζ cannot be
+// incrementally unwound, and scenarios only append). The normalizer is
+// extended lazily on the next draw.
+func (z *Zipfian) Grow(items int64) {
+	if items > z.items {
+		z.items = items
+	}
+}
+
+// Items returns the current item count.
+func (z *Zipfian) Items() int64 { return z.items }
+
+// Next implements Generator, returning a rank in [0, items).
+func (z *Zipfian) Next(r *rng.RNG) int64 {
+	if z.items > z.countForZeta {
+		z.zetan = zetaRange(z.countForZeta, z.items, z.theta, z.zetan)
+		z.countForZeta = z.items
+	}
+	u := r.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	eta := (1 - math.Pow(2/float64(z.items), 1-z.theta)) / (1 - z.zeta2theta/z.zetan)
+	rank := int64(float64(z.items) * math.Pow(eta*u-eta+1, z.alpha))
+	if rank >= z.items {
+		rank = z.items - 1
+	}
+	return rank
+}
+
+// State implements Generator.
+func (z *Zipfian) State() State {
+	return State{
+		Kind: kindZipfian,
+		I:    []int64{z.items, z.countForZeta},
+		F:    []float64{z.theta, z.zetan},
+	}
+}
+
+// RestoreState implements Generator.
+func (z *Zipfian) RestoreState(s State) error {
+	if err := s.check(kindZipfian, 2, 2); err != nil {
+		return err
+	}
+	z.items, z.countForZeta = s.I[0], s.I[1]
+	z.theta, z.zetan = s.F[0], s.F[1]
+	z.deriveConstants()
+	return nil
+}

@@ -11,7 +11,9 @@
 package workload
 
 import (
+	"bytes"
 	"context"
+	"encoding/gob"
 	"fmt"
 	"sync"
 
@@ -63,13 +65,15 @@ func MetricsObserver(reg *telemetry.Registry) Observer {
 	}
 }
 
-// Runner executes BELLE II runs against a cluster.
+// Runner executes BELLE II runs against a cluster. It is the original
+// hardcoded workload of the reproduction and doubles as the "belle"
+// scenario of the workload plane (internal/scenario): every method the
+// scenario.Workload interface requires lives here.
 type Runner struct {
 	// ID distinguishes concurrent workloads (experiment 3 runs two).
 	ID int
-	// Files is the working set.
-	Files []trace.BelleFile
 
+	files   []trace.BelleFile
 	cluster *storagesim.Cluster
 	rng     *rng.RNG
 	runs    int
@@ -79,11 +83,17 @@ type Runner struct {
 func NewRunner(cluster *storagesim.Cluster, files []trace.BelleFile, id int, seed int64) *Runner {
 	return &Runner{
 		ID:      id,
-		Files:   files,
+		files:   files,
 		cluster: cluster,
 		rng:     rng.New(seed),
 	}
 }
+
+// Name identifies the workload in scenario registries and checkpoints.
+func (r *Runner) Name() string { return "belle" }
+
+// Files returns the working set.
+func (r *Runner) Files() []trace.BelleFile { return r.files }
 
 // SpreadEvenly places the working set round-robin across the given devices
 // — the paper's "basic spread policy (evenly across all available mounts)"
@@ -92,7 +102,7 @@ func (r *Runner) SpreadEvenly(devices []string) error {
 	if len(devices) == 0 {
 		return fmt.Errorf("workload: no devices to spread across")
 	}
-	for i, f := range r.Files {
+	for i, f := range r.files {
 		dev := devices[i%len(devices)]
 		if err := r.cluster.PlaceFile(f.ID, f.Path, f.Size, dev); err != nil {
 			return fmt.Errorf("workload: placing %s on %s: %w", f.Path, dev, err)
@@ -105,7 +115,7 @@ func (r *Runner) SpreadEvenly(devices []string) error {
 // the movements performed. Files absent from the layout stay put.
 func (r *Runner) ApplyLayout(layout map[int64]string) ([]storagesim.MoveResult, error) {
 	var moves []storagesim.MoveResult
-	for _, f := range r.Files {
+	for _, f := range r.files {
 		dst, ok := layout[f.ID]
 		if !ok {
 			continue
@@ -154,7 +164,7 @@ func (r *Runner) RunOnce(obs Observer) (RunStats, error) {
 // access, and a cancelled run returns the partial statistics together with
 // ctx.Err() without counting as a completed run.
 func (r *Runner) RunOnceContext(ctx context.Context, obs Observer) (RunStats, error) {
-	seq := trace.BelleRun(r.rng.Rand, len(r.Files))
+	seq := trace.BelleRun(r.rng.Rand, len(r.files))
 	start := r.cluster.Now()
 	stats := RunStats{Run: r.runs}
 	lat := telemetry.NewHistogram(telemetry.DefLatencyBuckets)
@@ -163,7 +173,7 @@ func (r *Runner) RunOnceContext(ctx context.Context, obs Observer) (RunStats, er
 		if err := ctx.Err(); err != nil {
 			return stats, err
 		}
-		f := r.Files[a.FileIndex]
+		f := r.files[a.FileIndex]
 		bytes := int64(float64(f.Size) * a.Fraction)
 		if bytes <= 0 {
 			bytes = 1
@@ -218,6 +228,27 @@ func (r *Runner) State() RunnerState {
 func (r *Runner) RestoreState(st RunnerState) {
 	r.rng.SetState(st.RNG)
 	r.runs = st.Runs
+}
+
+// MarshalState serializes the runner for checkpoints — the opaque
+// workload-state bytes the snapshot plane stores next to the scenario
+// name.
+func (r *Runner) MarshalState() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(r.State()); err != nil {
+		return nil, fmt.Errorf("workload: marshaling runner state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalState restores a runner from MarshalState output.
+func (r *Runner) UnmarshalState(data []byte) error {
+	var st RunnerState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("workload: unmarshaling runner state: %w", err)
+	}
+	r.RestoreState(st)
+	return nil
 }
 
 // Cluster exposes the underlying cluster (examples and experiments use it

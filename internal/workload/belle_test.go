@@ -90,7 +90,7 @@ func TestRunOnceProducesTelemetry(t *testing.T) {
 func TestApplyLayoutMovesFiles(t *testing.T) {
 	r := newTestRunner(t, 3)
 	layout := map[int64]string{}
-	for _, f := range r.Files {
+	for _, f := range r.Files() {
 		layout[f.ID] = "file0"
 	}
 	moves, err := r.ApplyLayout(layout)
@@ -119,7 +119,7 @@ func TestApplyLayoutMovesFiles(t *testing.T) {
 func TestApplyLayoutSkipsInvalidDestination(t *testing.T) {
 	r := newTestRunner(t, 4)
 	r.Cluster().SetAvailable("USBtmp", false)
-	layout := map[int64]string{r.Files[0].ID: "USBtmp", r.Files[1].ID: "file0"}
+	layout := map[int64]string{r.Files()[0].ID: "USBtmp", r.Files()[1].ID: "file0"}
 	moves, err := r.ApplyLayout(layout)
 	if err != nil {
 		t.Fatal(err)
