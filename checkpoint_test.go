@@ -333,3 +333,77 @@ func TestCheckpointAfterClose(t *testing.T) {
 		t.Errorf("Checkpoint after Close: err = %v, want ErrClosed", err)
 	}
 }
+
+// TestPolicyResumeEquivalence extends the resume invariant to the policy
+// plane: stateful policies (one-shot flags, RNG registers, online-update
+// counters) checkpointed mid-run must restore bit-identically. The
+// checkpoint lands after random-static's one-shot layout has fired (it
+// decides at run 3 with cooldown 2), so a restored done-flag that had
+// been dropped would re-fire the layout and diverge the trajectory.
+func TestPolicyResumeEquivalence(t *testing.T) {
+	const checkpointAt, total = 5, 12
+
+	for _, name := range []string{"random-static", "random-dynamic", "online-geomancy"} {
+		t.Run(name, func(t *testing.T) {
+			opts := ckptOptions(1, WithPolicy(name))
+
+			ref, err := New(opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ref.Close()
+			if _, err := ref.RunN(total); err != nil {
+				t.Fatal(err)
+			}
+			want := capture(t, ref)
+
+			first, err := New(opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := first.RunN(checkpointAt); err != nil {
+				t.Fatal(err)
+			}
+			ckpt := filepath.Join(t.TempDir(), "snap.ckpt")
+			if err := first.Checkpoint(ckpt); err != nil {
+				t.Fatal(err)
+			}
+			if err := first.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			resumed, err := Restore(ckpt, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resumed.Close()
+			if _, err := resumed.RunN(total - checkpointAt); err != nil {
+				t.Fatal(err)
+			}
+			assertSameTrajectory(t, capture(t, resumed), want, name)
+		})
+	}
+}
+
+// TestRestorePolicyMismatch: a snapshot taken under one placement policy
+// must not restore into a system configured for another — the policy
+// state blob (and the missing engine state for baselines) would silently
+// corrupt the run.
+func TestRestorePolicyMismatch(t *testing.T) {
+	sys, err := New(ckptOptions(1, WithPolicy("lru"))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RunN(2); err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(t.TempDir(), "snap.ckpt")
+	if err := sys.Checkpoint(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	sys.Close()
+
+	if _, err := Restore(ckpt, ckptOptions(1, WithPolicy("mru"))...); err == nil {
+		t.Error("Restore under a different policy should fail")
+	}
+}

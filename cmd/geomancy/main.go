@@ -9,6 +9,7 @@
 //
 //	geomancy [-listen 127.0.0.1:0] [-runs 25] [-seed 1] [-epochs 40]
 //	         [-scenario belle] [-list-scenarios]
+//	         [-policy geomancy] [-list-policies]
 //	         [-cooldown 5] [-bootstrap 5] [-db replay.wal] [-model 1]
 //	         [-epsilon 0.1] [-target throughput|latency] [-parallel 0]
 //	         [-checkpoint-dir state/] [-checkpoint-every 5]
@@ -68,10 +69,18 @@ func main() {
 	faultPartial := flag.Float64("fault-partial", 0, "inject: probability a write is truncated mid-stream")
 	scenarioName := flag.String("scenario", "belle", "workload scenario to drive (see -list-scenarios)")
 	listScenarios := flag.Bool("list-scenarios", false, "list the workload scenario catalogue and exit")
+	policyName := flag.String("policy", "geomancy", "placement policy to drive decisions (see -list-policies)")
+	listPolicies := flag.Bool("list-policies", false, "list the placement-policy catalogue and exit")
 	flag.Parse()
 
 	if *listScenarios {
 		for _, info := range geomancy.Scenarios() {
+			fmt.Printf("%-16s %s\n", info.Name, info.Description)
+		}
+		return
+	}
+	if *listPolicies {
+		for _, info := range geomancy.Policies() {
 			fmt.Printf("%-16s %s\n", info.Name, info.Description)
 		}
 		return
@@ -86,6 +95,7 @@ func main() {
 		geomancy.WithListenAddr(*listen),
 		geomancy.WithSeed(*seed),
 		geomancy.WithScenario(*scenarioName),
+		geomancy.WithPolicy(*policyName),
 		geomancy.WithModel(*model),
 		geomancy.WithEpsilon(*epsilon),
 		geomancy.WithEpochs(*epochs),

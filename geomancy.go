@@ -37,6 +37,7 @@ import (
 	"geomancy/internal/checkpoint"
 	"geomancy/internal/core"
 	"geomancy/internal/faultnet"
+	"geomancy/internal/policy"
 	"geomancy/internal/replaydb"
 	"geomancy/internal/rng"
 	"geomancy/internal/scenario"
@@ -74,6 +75,9 @@ var (
 	// ErrNoCheckpoint reports a Restore (or RestoreLatest) with no usable
 	// snapshot to resume from.
 	ErrNoCheckpoint = checkpoint.ErrNoCheckpoint
+	// ErrUnknownPolicy reports a WithPolicy name outside the catalogue
+	// (see Policies).
+	ErrUnknownPolicy = policy.ErrUnknown
 )
 
 // RunStats re-exports the per-run workload summary.
@@ -134,6 +138,14 @@ type WorkloadBuilder func(cluster *storagesim.Cluster, files []File, seed int64)
 // catalogue WithScenario accepts.
 func Scenarios() []ScenarioInfo { return scenario.List() }
 
+// PolicyInfo describes one catalogued placement policy (name +
+// description).
+type PolicyInfo = policy.Info
+
+// Policies lists every selectable placement policy, baselines first and
+// the learned Geomancy family last — the catalogue WithPolicy accepts.
+func Policies() []PolicyInfo { return policy.Catalogue() }
+
 // config collects the options.
 type config struct {
 	seed          int64
@@ -159,6 +171,7 @@ type config struct {
 	failOpen      *bool
 	scenario      string
 	workload      WorkloadBuilder
+	policy        string
 }
 
 // Option customizes New.
@@ -197,6 +210,14 @@ func WithDevices(profiles []DeviceProfile) Option {
 // (default "belle", the paper's BELLE II suite). See Scenarios for the
 // registered names; an unknown name fails New.
 func WithScenario(name string) Option { return func(c *config) { c.scenario = name } }
+
+// WithPolicy selects a named placement policy from the policy catalogue
+// (default "geomancy", the paper's DRL closed loop). See Policies for
+// the registered names; an unknown name fails New with ErrUnknownPolicy.
+// Baseline policies run engine-free: training-related options
+// (WithModel, WithEpochs, ...) are ignored and checkpoints carry no
+// engine state.
+func WithPolicy(name string) Option { return func(c *config) { c.policy = name } }
 
 // WithWorkload installs a custom workload built by fn over the system's
 // cluster, overriding WithScenario. The builder's workload must be
@@ -396,7 +417,7 @@ func New(opts ...Option) (*System, error) {
 		}
 		store = sys.store
 	}
-	loop, err := core.NewLoopWithStore(store, db, cluster, runner, core.Config{
+	loop, err := core.NewNamedLoop(store, db, cluster, runner, cfg.policy, core.Config{
 		ModelNumber:  cfg.model,
 		Epsilon:      cfg.epsilon,
 		CooldownRuns: cfg.cooldown,
@@ -409,7 +430,7 @@ func New(opts ...Option) (*System, error) {
 	if err != nil {
 		sys.teardownAgents()
 		db.Close()
-		return nil, fmt.Errorf("geomancy: building engine: %w", err)
+		return nil, fmt.Errorf("geomancy: building loop: %w", err)
 	}
 	sys.loop = loop
 	if cfg.distributed {
@@ -661,6 +682,10 @@ func (s *System) Layout() map[int64]string { return s.cluster.Layout() }
 // Devices returns the storage-device names.
 func (s *System) Devices() []string { return s.cluster.DeviceNames() }
 
+// Policy returns the display name of the placement policy driving the
+// system (e.g. "Geomancy dynamic" for the default).
+func (s *System) Policy() string { return s.loop.Policy.Name() }
+
 // Telemetry returns the number of access records collected.
 func (s *System) Telemetry() int { return s.db.Len() }
 
@@ -697,9 +722,13 @@ func (s *System) buildSnapshot() (*checkpoint.Snapshot, error) {
 	if s.midRun {
 		return nil, fmt.Errorf("geomancy: cannot snapshot mid-run state (last run was aborted)")
 	}
-	engine, err := s.loop.Engine.State()
-	if err != nil {
-		return nil, fmt.Errorf("geomancy: capturing engine state: %w", err)
+	var engine core.EngineState
+	if s.loop.Engine != nil {
+		var err error
+		engine, err = s.loop.Engine.State()
+		if err != nil {
+			return nil, fmt.Errorf("geomancy: capturing engine state: %w", err)
+		}
 	}
 	if s.replayPath != "" {
 		if err := s.db.Sync(); err != nil {
@@ -709,6 +738,10 @@ func (s *System) buildSnapshot() (*checkpoint.Snapshot, error) {
 	wstate, err := s.runner.MarshalState()
 	if err != nil {
 		return nil, fmt.Errorf("geomancy: capturing workload state: %w", err)
+	}
+	pstate, err := s.loop.Policy.MarshalState()
+	if err != nil {
+		return nil, fmt.Errorf("geomancy: capturing policy state: %w", err)
 	}
 	snap := &checkpoint.Snapshot{
 		Seed:            s.seed,
@@ -722,6 +755,8 @@ func (s *System) buildSnapshot() (*checkpoint.Snapshot, error) {
 		Cluster:         s.cluster.State(),
 		WorkloadName:    s.runner.Name(),
 		Workload:        wstate,
+		PolicyName:      s.loop.Policy.Name(),
+		Policy:          pstate,
 		ReplayWatermark: s.db.Watermark(),
 	}
 	if s.replayPath == "" {
@@ -832,8 +867,17 @@ func (s *System) applySnapshot(snap *checkpoint.Snapshot) error {
 	if err := s.runner.UnmarshalState(snap.Workload); err != nil {
 		return fmt.Errorf("geomancy: restoring workload: %w", err)
 	}
-	if err := s.loop.Engine.RestoreState(snap.Engine); err != nil {
-		return fmt.Errorf("geomancy: restoring engine: %w", err)
+	if snap.PolicyName != s.loop.Policy.Name() {
+		return fmt.Errorf("geomancy: snapshot was taken under policy %q, options configure %q",
+			snap.PolicyName, s.loop.Policy.Name())
+	}
+	if err := s.loop.Policy.UnmarshalState(snap.Policy); err != nil {
+		return fmt.Errorf("geomancy: restoring policy: %w", err)
+	}
+	if s.loop.Engine != nil {
+		if err := s.loop.Engine.RestoreState(snap.Engine); err != nil {
+			return fmt.Errorf("geomancy: restoring engine: %w", err)
+		}
 	}
 	s.loop.RestoreState(snap.Loop)
 	s.bootstrapLeft = snap.BootstrapLeft

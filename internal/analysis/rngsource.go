@@ -17,13 +17,52 @@ import (
 var RngSourceAnalyzer = &Analyzer{
 	Name: "rngsource",
 	Doc: "flags direct math/rand (and math/rand/v2) source construction outside " +
-		"internal/rng; build streams with rng.New or rng.NewRand instead",
+		"internal/rng, and raw *rand.Rand / rand.Source struct fields in " +
+		"checkpointable-plane packages (internal/policy, internal/scenario), " +
+		"whose stream position no snapshot can capture; build streams with " +
+		"rng.New or rng.NewRand and store *rng.RNG in serializable structs",
 	Filter: outsideRngPackage,
 	Run:    runRngSource,
 }
 
 func outsideRngPackage(pkgPath string) bool {
 	return pkgPath != "geomancy/internal/rng" && !strings.HasSuffix(pkgPath, "/internal/rng")
+}
+
+// statefulPlanePkg reports whether pkgPath holds checkpointable state:
+// every struct there must round-trip through MarshalState/UnmarshalState,
+// so a raw math/rand field (no readable position) is always a bug. The
+// fixture package opts in so the check stays under test.
+func statefulPlanePkg(pkgPath string) bool {
+	return strings.HasSuffix(pkgPath, "/internal/policy") ||
+		strings.HasSuffix(pkgPath, "/internal/scenario") ||
+		strings.Contains(pkgPath, "testdata/src/rngsource")
+}
+
+// rawRandField reports whether t is a stream type from math/rand or
+// math/rand/v2 (optionally behind a pointer) whose position cannot be
+// extracted for checkpointing.
+func rawRandField(t types.Type) (string, bool) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return "", false
+	}
+	pkg := n.Obj().Pkg().Path()
+	if pkg != "math/rand" && pkg != "math/rand/v2" {
+		return "", false
+	}
+	switch n.Obj().Name() {
+	case "Rand", "Zipf":
+		return strings.TrimPrefix(pkg, "math/") + "." + n.Obj().Name(), true
+	}
+	// rand.Source is an interface: any implementation hides its position.
+	if n.Obj().Name() == "Source" {
+		return strings.TrimPrefix(pkg, "math/") + ".Source", true
+	}
+	return "", false
 }
 
 // randConstructors are the stream/source constructors whose state would
@@ -53,6 +92,26 @@ func runRngSource(pass *Pass) (any, error) {
 			}
 			return true
 		})
+	}
+	if statefulPlanePkg(pass.Pkg.Path()) {
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				st, ok := n.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				for _, field := range st.Fields.List {
+					t := pass.TypesInfo.TypeOf(field.Type)
+					if t == nil {
+						continue
+					}
+					if name, bad := rawRandField(t); bad {
+						pass.Reportf(field.Pos(), "%s field in a checkpointable-plane package: its stream position cannot be serialized; store *rng.RNG and persist it with State()/FromState", name)
+					}
+				}
+				return true
+			})
+		}
 	}
 	return nil, nil
 }

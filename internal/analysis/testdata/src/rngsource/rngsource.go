@@ -47,3 +47,35 @@ func methodUseIsClean(r *rand.Rand) int {
 
 var _ = []any{directStream, directSourceOnly, directZipf, directV2,
 	directChaCha, allowedLegacy, bareDirective, otherNewIsClean, methodUseIsClean}
+
+// Checkpointable-plane struct fields: a raw math/rand stream in a struct
+// has no readable position, so a snapshot cannot round-trip it.
+
+type badHolder struct {
+	r *rand.Rand // want `rand\.Rand field in a checkpointable-plane package`
+}
+
+type badSourceHolder struct {
+	src rand.Source // want `rand\.Source field in a checkpointable-plane package`
+}
+
+type badV2Holder struct {
+	r *v2.Rand // want `rand/v2\.Rand field in a checkpointable-plane package`
+}
+
+type badZipfHolder struct {
+	z *rand.Zipf // want `rand\.Zipf field in a checkpointable-plane package`
+}
+
+type allowedHolder struct {
+	r *rand.Rand //geomancy:allow rngsource fixture: test-only helper never checkpointed
+}
+
+type cleanHolder struct {
+	seed  int64   // clean: a seed is serializable
+	state uint64  // clean: a splitmix64 register is serializable
+	name  string  // clean: unrelated field
+	ratio float64 // clean: unrelated field
+}
+
+var _ = []any{badHolder{}, badSourceHolder{}, badV2Holder{}, badZipfHolder{}, allowedHolder{}, cleanHolder{}}

@@ -4,7 +4,7 @@
 // and every loop counter — serialized as one versioned, CRC-framed blob,
 // so an interrupted run restores and continues bit-for-bit.
 //
-// A checkpoint file is the 8-byte magic "GCKP0002" (format version in the
+// A checkpoint file is the 8-byte magic "GCKP0003" (format version in the
 // magic, like the replay WAL's "GRDB0001") followed by one frame: a type
 // byte, a little-endian uint32 payload length, the gob-encoded Snapshot,
 // and a CRC-32 (IEEE) of the payload. Truncated or bit-flipped files fail
@@ -38,7 +38,7 @@ import (
 )
 
 // magic identifies a checkpoint file and its format version.
-var magic = []byte("GCKP0002")
+var magic = []byte("GCKP0003")
 
 // frameSnapshot is the type byte of a Snapshot frame. Future format
 // extensions get new type bytes; readers reject types they do not know.
@@ -82,6 +82,14 @@ type Snapshot struct {
 	// counter, and generator registers.
 	WorkloadName string
 	Workload     []byte
+
+	// PolicyName names the placement policy the snapshot was taken under
+	// (a policy.Policy Name, e.g. "Geomancy dynamic" or "lru"); restore
+	// refuses a snapshot whose policy disagrees with the configured one.
+	// Policy is the policy's opaque MarshalState blob — one-shot flags,
+	// RNG registers, online-update counters.
+	PolicyName string
+	Policy     []byte
 
 	// ReplayWatermark is the highest replay-log sequence number covered
 	// by this snapshot. A file-backed database truncates its WAL to the

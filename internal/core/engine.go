@@ -537,6 +537,108 @@ func (e *Engine) train(ctx context.Context) (TrainReport, error) {
 	return rep, nil
 }
 
+// Online-update defaults: the incremental cadence fine-tunes on a small
+// recent window for a couple of epochs, a fraction of a full cycle's
+// cost. Updates step at a fraction of the full-training learning rate:
+// the window is tiny and recent-only, so a full-size step lets the
+// newest accesses overwrite the ranking learned across the whole
+// telemetry history instead of nudging it toward the drift.
+const (
+	DefaultUpdateWindow  = 96
+	DefaultUpdateEpochs  = 2
+	DefaultUpdateLRScale = 0.1
+)
+
+// Update applies one incremental minibatch update with the default
+// window and epoch count. See UpdateContext.
+func (e *Engine) Update() (TrainReport, error) {
+	return e.UpdateContext(context.Background(), 0, 0)
+}
+
+// UpdateContext fine-tunes the trained model on only the newest `window`
+// accesses per device (0 selects DefaultUpdateWindow) for `epochs`
+// epochs (0 selects DefaultUpdateEpochs), reusing the scalers fitted by
+// the last full training cycle instead of refitting them. Holding the
+// normalization fixed is what makes the update incremental: the newest
+// telemetry — say, a shifted hotspot — dominates the gradient instead of
+// being averaged back into a window-wide refit, so the model starts
+// tracking drift on the very next decision. Validation metrics and the
+// MAE adjustment stay as the last full cycle computed them; an engine
+// with no completed full cycle returns ErrNotTrained, an empty window
+// ErrNoTelemetry.
+func (e *Engine) UpdateContext(ctx context.Context, window, epochs int) (TrainReport, error) {
+	if !e.trained {
+		return TrainReport{}, ErrNotTrained
+	}
+	if window <= 0 {
+		window = DefaultUpdateWindow
+	}
+	if epochs <= 0 {
+		epochs = DefaultUpdateEpochs
+	}
+	var recs []replaydb.AccessRecord
+	for _, dev := range e.devices {
+		recs = append(recs, e.db.RecentByDevice(dev, window)...)
+	}
+	if len(recs) == 0 {
+		e.metrics.trainErrors.Inc()
+		return TrainReport{}, ErrNoTelemetry
+	}
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Time < recs[j].Time })
+
+	rows := make([][]float64, len(recs))
+	targets := make([]float64, len(recs))
+	for i := range recs {
+		rows[i] = e.featureRow(&recs[i])
+		targets[i] = EncodeTarget(e.targetValue(&recs[i]))
+	}
+	// Same per-(device, file) smoothing as a full cycle, so update and
+	// retrain samples live on the same scale.
+	smoothGrouped(recs, rows, targets, e.cfg.SmoothWindow)
+	x := mat.FromRows(rows)
+	xn := e.featScaler.Transform(x)
+	yn := e.targetScaler.TransformAll(targets)
+	ds := nn.NewDataset(xn, yn)
+
+	lr := e.cfg.LearningRate * DefaultUpdateLRScale
+	var opt nn.Optimizer
+	switch e.cfg.Optimizer {
+	case "sgd":
+		opt = &nn.SGD{LR: lr}
+	case "adam":
+		opt = nn.NewAdam(lr / 10)
+	default:
+		return TrainReport{}, fmt.Errorf("core: unknown optimizer %q", e.cfg.Optimizer)
+	}
+	start := time.Now() //geomancy:nondeterministic telemetry timestamp: training duration is reported, never fed back into decisions
+	loss, err := e.net.Fit(ds, nn.FitConfig{
+		Epochs:      epochs,
+		BatchSize:   e.cfg.BatchSize,
+		Optimizer:   opt,
+		Rng:         e.rng.Rand,
+		Parallelism: e.cfg.Parallelism,
+		Ctx:         ctx,
+	})
+	if err != nil {
+		e.metrics.trainErrors.Inc()
+		return TrainReport{}, err
+	}
+	rep := TrainReport{
+		Samples:   ds.Len(),
+		FinalLoss: loss,
+		Duration:  time.Since(start), //geomancy:nondeterministic telemetry timestamp: training duration is reported, never fed back into decisions
+		// The last full cycle's held-out metrics still describe the
+		// model; an update's tiny window has no meaningful split.
+		Validation: e.valMetrics,
+	}
+	e.metrics.trainings.Inc()
+	e.metrics.duration.Set(rep.Duration.Seconds())
+	e.metrics.durationHist.Observe(rep.Duration.Seconds())
+	e.metrics.loss.Set(rep.FinalLoss)
+	e.metrics.samples.Set(float64(rep.Samples))
+	return rep, nil
+}
+
 // evaluateDenorm computes prediction metrics on the original throughput
 // scale. Relative errors on normalized targets explode near the range
 // minimum; real throughputs are safely bounded away from zero, matching

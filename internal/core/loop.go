@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"geomancy/internal/agents"
+	"geomancy/internal/policy"
 	"geomancy/internal/replaydb"
 	"geomancy/internal/storagesim"
 	"geomancy/internal/telemetry"
@@ -54,14 +55,22 @@ type Workload interface {
 }
 
 // Loop wires the full Geomancy closed loop in-process: workload runs feed
-// telemetry into the ReplayDB; every CooldownRuns runs the engine
-// re-trains, proposes a layout, the Action Checker validates it, and the
-// moves are applied with their overhead charged to the virtual clock.
+// telemetry into the ReplayDB; every decision cycle the installed Policy
+// proposes a layout from a fresh telemetry snapshot, the proposal passes
+// the movement scheduler, and the moves are applied with their overhead
+// charged to the virtual clock. With the default geomancy policy a cycle
+// is the paper's retrain + ε-greedy proposal; baselines decide from the
+// same snapshot with no engine at all (Engine stays nil).
 //
 // The distributed deployment (monitoring/control agents over TCP) lives in
 // package agents and cmd/geomancy; Loop is the direct-coupled equivalent
 // the experiments use, with identical decision logic.
 type Loop struct {
+	// Policy decides layouts. NewNamedLoop installs a catalogue policy;
+	// NewPolicyLoop accepts any implementation.
+	Policy policy.Policy
+	// Engine is the DRL engine behind an engine-backed Policy; nil when
+	// the policy is a baseline heuristic.
 	Engine *Engine
 	// Workload is the driven workload (the paper's BELLE II runner by
 	// default; any scenario.Workload otherwise).
@@ -70,11 +79,26 @@ type Loop struct {
 	Cluster  *storagesim.Cluster
 	Checker  *agents.ActionChecker
 
+	// model is the policy-plane bridge of an engine-backed policy; its
+	// training reports drain into trainLog after every proposal.
+	model *EngineModel
+	// decideEvery is the decision cadence in runs (CooldownRuns for
+	// constructed loops); ≤ 0 disables the automatic cadence, leaving
+	// decisions to explicit Decide calls.
+	decideEvery int
+	// lastRun is the index of the last completed workload run, so
+	// out-of-cadence Decide calls attribute their movement events.
+	lastRun int
+
 	accessCount int64
 	movements   []MovementEvent
 	trainLog    []TrainReport
 	deferrals   []Deferral
 	skipped     []SkippedDecision
+	// lastAccess / accesses feed the policy snapshot's per-file recency
+	// and frequency (the view the paper's base cases decide from).
+	lastAccess map[int64]float64
+	accesses   map[int64]int64
 	// Observer, when set, additionally receives every access.
 	Observer workload.Observer
 	// Recorder, when set, replaces the direct ReplayDB append on the
@@ -109,11 +133,11 @@ type Loop struct {
 	degradedCtr  *telemetry.Counter
 }
 
-// SetMetrics wires the loop (and its engine) to report through reg:
-// per-device access histograms on every recorded access, movement /
-// deferral / exploration counters on every layout application, and the
-// engine's training gauges. Counters are pre-registered so they export at
-// zero before the first decision.
+// SetMetrics wires the loop (and its engine, when the policy has one) to
+// report through reg: per-device access histograms on every recorded
+// access, movement / deferral / exploration counters on every layout
+// application, and the engine's training gauges. Counters are
+// pre-registered so they export at zero before the first decision.
 func (l *Loop) SetMetrics(reg *telemetry.Registry) {
 	l.metricsObs = workload.MetricsObserver(reg)
 	l.movesCtr = reg.Counter(telemetry.MetricMovementsTotal)
@@ -121,30 +145,87 @@ func (l *Loop) SetMetrics(reg *telemetry.Registry) {
 	l.deferralsCtr = reg.Counter(telemetry.MetricDeferralsTotal)
 	l.exploreCtr = reg.Counter(telemetry.MetricExplorationTotal)
 	l.degradedCtr = reg.Counter(telemetry.MetricAgentDegradedTotal)
-	l.Engine.SetMetrics(reg)
+	if l.Engine != nil {
+		l.Engine.SetMetrics(reg)
+	}
 }
 
-// NewLoop assembles a loop over an existing cluster/runner/db.
+// NewLoop assembles a geomancy-policy loop over an existing
+// cluster/runner/db.
 func NewLoop(db *replaydb.DB, cluster *storagesim.Cluster, runner Workload, cfg Config) (*Loop, error) {
 	return NewLoopWithStore(db, db, cluster, runner, cfg)
 }
 
-// NewLoopWithStore assembles a loop whose engine trains through store —
-// e.g. an agents.RemoteStore, preserving the paper's decoupling where
-// "the DRL engine requests training data from the ReplayDB via the
-// Interface Daemon" (§V-E) — while movement records still persist to db.
+// NewLoopWithStore assembles a geomancy-policy loop whose engine trains
+// through store — e.g. an agents.RemoteStore, preserving the paper's
+// decoupling where "the DRL engine requests training data from the
+// ReplayDB via the Interface Daemon" (§V-E) — while movement records
+// still persist to db.
 func NewLoopWithStore(store TelemetryStore, db *replaydb.DB, cluster *storagesim.Cluster, runner Workload, cfg Config) (*Loop, error) {
-	engine, err := NewEngine(store, cluster.DeviceNames(), cfg)
+	return NewNamedLoop(store, db, cluster, runner, "geomancy", cfg)
+}
+
+// NewNamedLoop assembles a loop driven by the named placement policy
+// from the catalogue (policy.Catalogue; the empty name selects
+// "geomancy"). Engine-backed names build the DRL engine from cfg exactly
+// as NewLoopWithStore always has; baseline names run engine-free, with
+// any stochastic streams derived from cfg.Seed. The decision cadence is
+// cfg.CooldownRuns either way.
+func NewNamedLoop(store TelemetryStore, db *replaydb.DB, cluster *storagesim.Cluster, runner Workload, name string, cfg Config) (*Loop, error) {
+	l := &Loop{
+		Workload:    runner,
+		DB:          db,
+		Cluster:     cluster,
+		decideEvery: cfg.withDefaults().CooldownRuns,
+		lastRun:     -1,
+		lastAccess:  make(map[int64]float64),
+		accesses:    make(map[int64]int64),
+	}
+	var model *EngineModel
+	if EngineBacked(name) {
+		engine, err := NewEngine(store, cluster.DeviceNames(), cfg)
+		if err != nil {
+			return nil, err
+		}
+		model = engine.NewModel(cluster)
+	}
+	p, err := NewCataloguePolicy(name, model, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
+	l.Policy = p
+	l.SetModel(model)
+	return l, nil
+}
+
+// NewPolicyLoop assembles an engine-free loop driven by p, deciding
+// every decideEvery runs (≤ 0 disables the automatic cadence; callers
+// then drive decisions with Decide). For an engine-backed policy, attach
+// its bridge with SetModel so training reports reach the TrainLog.
+func NewPolicyLoop(db *replaydb.DB, cluster *storagesim.Cluster, runner Workload, p policy.Policy, decideEvery int) *Loop {
 	return &Loop{
-		Engine:   engine,
-		Workload: runner,
-		DB:       db,
-		Cluster:  cluster,
-		Checker:  agents.NewActionChecker(engine.rng, cluster.DeviceNames()),
-	}, nil
+		Policy:      p,
+		Workload:    runner,
+		DB:          db,
+		Cluster:     cluster,
+		decideEvery: decideEvery,
+		lastRun:     -1,
+		lastAccess:  make(map[int64]float64),
+		accesses:    make(map[int64]int64),
+	}
+}
+
+// SetModel installs the engine bridge behind the loop's policy: its
+// training reports drain into the TrainLog after every proposal, and its
+// engine/checker surface on the Engine/Checker fields for inspection and
+// checkpointing. NewNamedLoop installs the bridge automatically; a nil
+// model detaches (baseline policies).
+func (l *Loop) SetModel(m *EngineModel) {
+	l.model = m
+	if m != nil {
+		l.Engine = m.Engine
+		l.Checker = m.Checker
+	}
 }
 
 // Skipped returns every decision cycle served in degraded mode.
@@ -189,11 +270,35 @@ func (l *Loop) TrainLog() []TrainReport {
 	return append([]TrainReport(nil), l.trainLog...)
 }
 
+// SeedHeat preloads the per-file recency/frequency bookkeeping from
+// accesses observed before the loop took over (the experiment harness's
+// bootstrap phase records telemetry without a loop).
+func (l *Loop) SeedHeat(lastAccess map[int64]float64, accesses map[int64]int64) {
+	if l.lastAccess == nil {
+		l.lastAccess = make(map[int64]float64, len(lastAccess))
+	}
+	if l.accesses == nil {
+		l.accesses = make(map[int64]int64, len(accesses))
+	}
+	for id, t := range lastAccess {
+		l.lastAccess[id] = t
+	}
+	for id, n := range accesses {
+		l.accesses[id] = n
+	}
+}
+
 // record stores telemetry from one access: through the Recorder (the
 // distributed monitoring agents) when installed, directly into the
 // ReplayDB otherwise.
 func (l *Loop) record(res storagesim.AccessResult, wl, run int) error {
 	l.accessCount++
+	if l.lastAccess == nil {
+		l.lastAccess = make(map[int64]float64)
+		l.accesses = make(map[int64]int64)
+	}
+	l.lastAccess[res.FileID] = res.End
+	l.accesses[res.FileID]++
 	if l.metricsObs != nil {
 		l.metricsObs(res, wl, run)
 	}
@@ -221,14 +326,129 @@ func (l *Loop) record(res storagesim.AccessResult, wl, run int) error {
 	return err
 }
 
-// fileMetas snapshots the runner's working set.
-func (l *Loop) fileMetas() []FileMeta {
-	metas := make([]FileMeta, 0, len(l.Workload.Files()))
+// policyThroughputWindow is the per-device telemetry window the loop
+// averages into the policy snapshot's device throughput — the recency
+// window the paper's base cases read from the ReplayDB.
+const policyThroughputWindow = 200
+
+// policyState snapshots the system the way policies decide on it: mean
+// device throughput over recent ReplayDB telemetry, free capacity and
+// hardware class per device, and the working set with its current
+// placement, recency, and access counts.
+func (l *Loop) policyState() policy.State {
+	var s policy.State
+	for _, name := range l.Cluster.DeviceNames() {
+		recent := l.DB.RecentByDevice(name, policyThroughputWindow)
+		var tp float64
+		if len(recent) > 0 {
+			for i := range recent {
+				tp += recent[i].Throughput
+			}
+			tp /= float64(len(recent))
+		}
+		dev := l.Cluster.Device(name)
+		s.Devices = append(s.Devices, policy.DeviceInfo{
+			Name:       name,
+			Throughput: tp,
+			Free:       dev.Free(),
+			Class:      dev.Profile.Class,
+		})
+	}
 	layout := l.Cluster.Layout()
 	for _, f := range l.Workload.Files() {
-		metas = append(metas, FileMeta{ID: f.ID, Path: f.Path, Size: f.Size, Device: layout[f.ID]})
+		s.Files = append(s.Files, policy.FileInfo{
+			ID:         f.ID,
+			Path:       f.Path,
+			Size:       f.Size,
+			Device:     layout[f.ID],
+			LastAccess: l.lastAccess[f.ID],
+			Accesses:   l.accesses[f.ID],
+		})
 	}
-	return metas
+	return s
+}
+
+// shouldDecide reports whether the cadence calls for a decision after
+// the given workload run (runs are 0-based; the first decision happens
+// after the first decideEvery runs).
+func (l *Loop) shouldDecide(run int) bool {
+	return l.decideEvery > 0 && (run+1)%l.decideEvery == 0
+}
+
+// Decide forces one decision cycle immediately, outside the automatic
+// cadence — the experiment harness uses it for the initial placement at
+// measurement start. The cycle is attributed to the last completed run.
+func (l *Loop) Decide(ctx context.Context) error {
+	if l.Policy == nil {
+		return fmt.Errorf("core: loop has no policy")
+	}
+	return l.decideCycle(ctx, l.lastRun)
+}
+
+// decideCycle runs one full decision: snapshot the system, ask the
+// policy, filter the proposal through the movement scheduler, apply it,
+// and record the movements.
+func (l *Loop) decideCycle(ctx context.Context, run int) error {
+	layout, err := l.Policy.Propose(ctx, l.policyState())
+	if l.model != nil {
+		l.trainLog = append(l.trainLog, l.model.Reports()...)
+	}
+	if err != nil {
+		return fmt.Errorf("core: proposing layout: %w", err)
+	}
+	if layout == nil {
+		return nil
+	}
+	if l.Scheduler != nil {
+		current := l.Cluster.Layout()
+		sizes := make(map[int64]int64, len(l.Workload.Files()))
+		for _, f := range l.Workload.Files() {
+			sizes[f.ID] = f.Size
+		}
+		readBW := make(map[string]float64)
+		writeBW := make(map[string]float64)
+		for _, name := range l.Cluster.DeviceNames() {
+			p := l.Cluster.Device(name).Profile
+			readBW[name] = p.ReadBW
+			writeBW[name] = p.WriteBW
+		}
+		est := ClusterMoveEstimator(sizes, current, readBW, writeBW)
+		var deferred []Deferral
+		layout, deferred = l.Scheduler.Filter(layout, current, est)
+		l.deferrals = append(l.deferrals, deferred...)
+		l.deferralsCtr.Add(uint64(len(deferred)))
+	}
+	moves, err := l.applyLayout(layout)
+	if err != nil {
+		return fmt.Errorf("core: applying layout: %w", err)
+	}
+	randomCount := 0
+	if ex, ok := l.Policy.(policy.Explorer); ok {
+		randomCount = ex.LastExplored()
+	}
+	l.movesCtr.Add(uint64(len(moves)))
+	l.exploreCtr.Add(uint64(randomCount))
+	for _, mv := range moves {
+		l.movedBytes.Add(uint64(mv.Bytes))
+		if _, err := l.DB.AppendMovement(replaydb.MovementRecord{
+			Time:        mv.Start,
+			FileID:      mv.FileID,
+			From:        mv.From,
+			To:          mv.To,
+			Bytes:       mv.Bytes,
+			Duration:    mv.Duration,
+			AccessIndex: l.accessCount,
+		}); err != nil {
+			return fmt.Errorf("core: recording movement: %w", err)
+		}
+	}
+	l.movements = append(l.movements, MovementEvent{
+		AccessIndex: l.accessCount,
+		Moved:       len(moves),
+		Run:         run,
+		Random:      randomCount,
+	})
+	return nil
 }
 
 // applyLayout re-homes files: through the control plane when a Pusher is
@@ -260,7 +480,7 @@ func (l *Loop) applyLayout(layout map[int64]string) ([]storagesim.MoveResult, er
 	return moves, nil
 }
 
-// RunOnce executes one workload run and, when the cooldown allows, one
+// RunOnce executes one workload run and, when the cadence allows, one
 // full decide-and-move cycle. It returns the run statistics.
 func (l *Loop) RunOnce() (workload.RunStats, error) {
 	return l.RunOnceContext(context.Background())
@@ -283,6 +503,7 @@ func (l *Loop) RunOnceContext(ctx context.Context) (workload.RunStats, error) {
 	if err != nil {
 		return stats, err
 	}
+	l.lastRun = stats.Run
 	if obsErr != nil {
 		// Telemetry could not reach the daemon. In fail-open mode the
 		// monitors retain the unacked batch (replayed on the next flush),
@@ -303,82 +524,15 @@ func (l *Loop) RunOnceContext(ctx context.Context) (workload.RunStats, error) {
 			return stats, fmt.Errorf("core: flushing telemetry: %w", err)
 		}
 	}
-	if !l.Engine.ShouldAct(stats.Run) {
+	if l.Policy == nil || !l.shouldDecide(stats.Run) {
 		return stats, nil
 	}
-
-	rep, err := l.Engine.TrainContext(ctx)
-	if err != nil {
+	if err := l.decideCycle(ctx, stats.Run); err != nil {
 		if l.FailOpen && degradable(err) {
 			l.noteDegraded(stats.Run, err)
 			return stats, nil
 		}
-		return stats, fmt.Errorf("core: training: %w", err)
+		return stats, err
 	}
-	l.trainLog = append(l.trainLog, rep)
-
-	layout, decisions, err := l.Engine.ProposeLayoutContext(ctx, l.fileMetas(), l.Checker, agents.ClusterValidator(l.Cluster))
-	if err != nil {
-		if l.FailOpen && degradable(err) {
-			l.noteDegraded(stats.Run, err)
-			return stats, nil
-		}
-		return stats, fmt.Errorf("core: proposing layout: %w", err)
-	}
-	if l.Scheduler != nil {
-		current := l.Cluster.Layout()
-		sizes := make(map[int64]int64, len(l.Workload.Files()))
-		for _, f := range l.Workload.Files() {
-			sizes[f.ID] = f.Size
-		}
-		readBW := make(map[string]float64)
-		writeBW := make(map[string]float64)
-		for _, name := range l.Cluster.DeviceNames() {
-			p := l.Cluster.Device(name).Profile
-			readBW[name] = p.ReadBW
-			writeBW[name] = p.WriteBW
-		}
-		est := ClusterMoveEstimator(sizes, current, readBW, writeBW)
-		var deferred []Deferral
-		layout, deferred = l.Scheduler.Filter(layout, current, est)
-		l.deferrals = append(l.deferrals, deferred...)
-		l.deferralsCtr.Add(uint64(len(deferred)))
-	}
-	moves, err := l.applyLayout(layout)
-	if err != nil {
-		if l.FailOpen && degradable(err) {
-			l.noteDegraded(stats.Run, err)
-			return stats, nil
-		}
-		return stats, fmt.Errorf("core: applying layout: %w", err)
-	}
-	randomCount := 0
-	for _, d := range decisions {
-		if d.Random && d.Chosen != d.Current {
-			randomCount++
-		}
-	}
-	l.movesCtr.Add(uint64(len(moves)))
-	l.exploreCtr.Add(uint64(randomCount))
-	for _, mv := range moves {
-		l.movedBytes.Add(uint64(mv.Bytes))
-		if _, err := l.DB.AppendMovement(replaydb.MovementRecord{
-			Time:        mv.Start,
-			FileID:      mv.FileID,
-			From:        mv.From,
-			To:          mv.To,
-			Bytes:       mv.Bytes,
-			Duration:    mv.Duration,
-			AccessIndex: l.accessCount,
-		}); err != nil {
-			return stats, fmt.Errorf("core: recording movement: %w", err)
-		}
-	}
-	l.movements = append(l.movements, MovementEvent{
-		AccessIndex: l.accessCount,
-		Moved:       len(moves),
-		Run:         stats.Run,
-		Random:      randomCount,
-	})
 	return stats, nil
 }

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"geomancy/internal/agents"
+	"geomancy/internal/policy"
+	"geomancy/internal/rng"
+	"geomancy/internal/storagesim"
+)
+
+// EngineModel adapts the DRL engine to the policy plane's Model
+// contract, so policy.Geomancy / Online / Tiered can drive the engine
+// without the policy package importing core. Training reports accumulate
+// inside the bridge; the loop (or any other driver) drains them with
+// Reports after each proposal.
+type EngineModel struct {
+	Engine  *Engine
+	Checker *agents.ActionChecker
+	Valid   agents.Validator
+	// UpdateWindow and UpdateEpochs tune the incremental cadence; zero
+	// selects DefaultUpdateWindow / DefaultUpdateEpochs.
+	UpdateWindow int
+	UpdateEpochs int
+
+	reports []TrainReport
+}
+
+// NewModel bridges the engine to the policy plane: an EngineModel whose
+// Action Checker shares the engine's decision stream (so checkpointed
+// runs replay its draws bit-for-bit) and whose validator tracks the
+// cluster's live capacity and availability.
+func (e *Engine) NewModel(cluster *storagesim.Cluster) *EngineModel {
+	return &EngineModel{
+		Engine:  e,
+		Checker: agents.NewActionChecker(e.rng, cluster.DeviceNames()),
+		Valid:   agents.ClusterValidator(cluster),
+	}
+}
+
+// Retrain implements policy.Model: one full training cycle.
+func (m *EngineModel) Retrain(ctx context.Context) error {
+	rep, err := m.Engine.TrainContext(ctx)
+	if err != nil {
+		return err
+	}
+	m.reports = append(m.reports, rep)
+	return nil
+}
+
+// Update implements policy.Model: one incremental minibatch update. An
+// engine with no completed full cycle maps to policy.ErrNotReady so the
+// policy plane can fall back to a retrain without importing core.
+func (m *EngineModel) Update(ctx context.Context) error {
+	rep, err := m.Engine.UpdateContext(ctx, m.UpdateWindow, m.UpdateEpochs)
+	if err != nil {
+		if errors.Is(err, ErrNotTrained) {
+			return fmt.Errorf("%w: %v", policy.ErrNotReady, err)
+		}
+		return err
+	}
+	m.reports = append(m.reports, rep)
+	return nil
+}
+
+// Propose implements policy.Model: one batched ε-greedy proposal over
+// the snapshot's working set.
+func (m *EngineModel) Propose(ctx context.Context, s policy.State) (map[int64]string, []policy.Prediction, error) {
+	files := make([]FileMeta, 0, len(s.Files))
+	for _, f := range s.Files {
+		files = append(files, FileMeta{ID: f.ID, Path: f.Path, Size: f.Size, Device: f.Device})
+	}
+	layout, decisions, err := m.Engine.ProposeLayoutContext(ctx, files, m.Checker, m.Valid)
+	if err != nil {
+		return nil, nil, err
+	}
+	preds := make([]policy.Prediction, 0, len(decisions))
+	for _, d := range decisions {
+		preds = append(preds, policy.Prediction{FileID: d.FileID, Current: d.Current, Chosen: d.Chosen, Random: d.Random})
+	}
+	return layout, preds, nil
+}
+
+// Reports drains the training reports accumulated since the last drain.
+func (m *EngineModel) Reports() []TrainReport {
+	out := m.reports
+	m.reports = nil
+	return out
+}
+
+// EngineBacked reports whether the named catalogue policy drives the DRL
+// engine (and so needs an EngineModel and engine state in checkpoints).
+// The empty name is the default, "geomancy".
+func EngineBacked(name string) bool {
+	switch name {
+	case "", "geomancy", "online-geomancy", "tiered-geomancy":
+		return true
+	}
+	return false
+}
+
+// NewCataloguePolicy builds the named policy from the catalogue (see
+// policy.Catalogue). Engine-backed names require model; baselines ignore
+// it. Stochastic baselines derive checkpointable streams from seed with
+// the same offsets the experiment matrix uses, so a facade run and a
+// matrix cell of the same seed draw identically.
+func NewCataloguePolicy(name string, model *EngineModel, seed int64) (policy.Policy, error) {
+	switch name {
+	case "", "geomancy":
+		return &policy.Geomancy{Model: model}, nil
+	case "online-geomancy":
+		return &policy.Online{Model: model}, nil
+	case "tiered-geomancy":
+		return &policy.Tiered{Model: model}, nil
+	case "lru":
+		return policy.LRU{}, nil
+	case "mru":
+		return policy.MRU{}, nil
+	case "lfu":
+		return policy.LFU{}, nil
+	case "lfu-weighted":
+		return policy.Weighted{Base: policy.LFU{}}, nil
+	case "random-dynamic":
+		return &policy.RandomDynamic{Rng: rng.New(seed + 2)}, nil
+	case "random-static":
+		return &policy.RandomStatic{Rng: rng.New(seed + 3)}, nil
+	case "noop":
+		return policy.NoOp{}, nil
+	}
+	return nil, fmt.Errorf("%w: %q (catalogue: %s)", policy.ErrUnknown, name, strings.Join(policy.Names(), ", "))
+}

@@ -125,28 +125,45 @@ func (g *GapPredictor) RestoreState(st GapPredictorState) {
 	}
 }
 
+// FileHeatState is the serializable per-file recency/frequency entry of
+// the loop's policy snapshot bookkeeping.
+type FileHeatState struct {
+	FileID     int64
+	LastAccess float64
+	Accesses   int64
+}
+
 // LoopState is the serializable snapshot of a closed loop: decision-cycle
-// counters and logs, plus the gap predictor when gap scheduling is
-// enabled. The engine, runner, cluster, and replay DB snapshot
-// themselves; the loop state is what remains.
+// counters and logs, the per-file heat bookkeeping policies decide from,
+// plus the gap predictor when gap scheduling is enabled. The engine,
+// policy, runner, cluster, and replay DB snapshot themselves; the loop
+// state is what remains.
 type LoopState struct {
 	AccessCount int64
+	LastRun     int
 	Movements   []MovementEvent
 	TrainLog    []TrainReport
 	Deferrals   []Deferral
 	Skipped     []SkippedDecision
+	Heat        []FileHeatState
 	Gaps        *GapPredictorState
 }
 
-// State captures the loop's counters and logs.
+// State captures the loop's counters and logs. Heat entries are sorted
+// by file ID for a deterministic wire form.
 func (l *Loop) State() LoopState {
 	st := LoopState{
 		AccessCount: l.accessCount,
+		LastRun:     l.lastRun,
 		Movements:   append([]MovementEvent(nil), l.movements...),
 		TrainLog:    append([]TrainReport(nil), l.trainLog...),
 		Deferrals:   append([]Deferral(nil), l.deferrals...),
 		Skipped:     append([]SkippedDecision(nil), l.skipped...),
 	}
+	for id, t := range l.lastAccess {
+		st.Heat = append(st.Heat, FileHeatState{FileID: id, LastAccess: t, Accesses: l.accesses[id]})
+	}
+	sort.Slice(st.Heat, func(i, j int) bool { return st.Heat[i].FileID < st.Heat[j].FileID })
 	if l.Scheduler != nil && l.Scheduler.Gaps != nil {
 		g := l.Scheduler.Gaps.State()
 		st.Gaps = &g
@@ -159,10 +176,17 @@ func (l *Loop) State() LoopState {
 // scheduling on the restored loop if it was not already enabled.
 func (l *Loop) RestoreState(st LoopState) {
 	l.accessCount = st.AccessCount
+	l.lastRun = st.LastRun
 	l.movements = append([]MovementEvent(nil), st.Movements...)
 	l.trainLog = append([]TrainReport(nil), st.TrainLog...)
 	l.deferrals = append([]Deferral(nil), st.Deferrals...)
 	l.skipped = append([]SkippedDecision(nil), st.Skipped...)
+	l.lastAccess = make(map[int64]float64, len(st.Heat))
+	l.accesses = make(map[int64]int64, len(st.Heat))
+	for _, h := range st.Heat {
+		l.lastAccess[h.FileID] = h.LastAccess
+		l.accesses[h.FileID] = h.Accesses
+	}
 	if st.Gaps != nil {
 		if l.Scheduler == nil || l.Scheduler.Gaps == nil {
 			l.EnableGapScheduling()

@@ -1,76 +1,127 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"geomancy/internal/rng"
 
 	"geomancy/internal/agents"
 	"geomancy/internal/core"
 	"geomancy/internal/policy"
+	"geomancy/internal/rng"
 	"geomancy/internal/storagesim"
 )
 
-// runPolicy executes the paper's experiment-1 protocol for one base-case
-// policy: bootstrap the testbed, then run the workload with the policy
-// re-deciding the layout every CooldownRuns runs (static policies fire
-// once and return nil afterwards).
-func runPolicy(p policy.Policy, opts Options) (Series, *testbed, error) {
-	return runPolicyScenario("belle", p, opts)
+// policyBuilder constructs the policy (and, for the learned family, the
+// engine bridge behind it) over a bootstrapped testbed. Baselines carry a
+// nil model.
+type policyBuilder func(tb *testbed) (policy.Policy, *core.EngineModel, error)
+
+// staticBuilder wraps a ready-made policy instance.
+func staticBuilder(p policy.Policy) policyBuilder {
+	return func(*testbed) (policy.Policy, *core.EngineModel, error) { return p, nil, nil }
 }
 
-// runPolicyScenario is runPolicy over any scenario from the workload
-// plane's catalogue.
-func runPolicyScenario(scenarioName string, p policy.Policy, opts Options) (Series, *testbed, error) {
+// tbEngineModel builds a DRL engine over the testbed's ReplayDB and
+// bridges it to the policy plane.
+func tbEngineModel(tb *testbed, opts Options) (*core.EngineModel, error) {
+	engine, err := core.NewEngine(tb.db, tb.cluster.DeviceNames(), engineConfig(opts))
+	if err != nil {
+		return nil, err
+	}
+	return engine.NewModel(tb.cluster), nil
+}
+
+// geomancyBuilder is the paper's closed loop: full retrain every decision.
+func geomancyBuilder(opts Options) policyBuilder {
+	return func(tb *testbed) (policy.Policy, *core.EngineModel, error) {
+		m, err := tbEngineModel(tb, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &policy.Geomancy{Model: m}, m, nil
+	}
+}
+
+// onlineBuilder is the incremental-learning variant: minibatch updates
+// between full retrains.
+func onlineBuilder(opts Options) policyBuilder {
+	return func(tb *testbed) (policy.Policy, *core.EngineModel, error) {
+		m, err := tbEngineModel(tb, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &policy.Online{Model: m}, m, nil
+	}
+}
+
+// tieredBuilder is the device-class-gated variant: only cross-tier
+// promote/demote moves survive.
+func tieredBuilder(opts Options) policyBuilder {
+	return func(tb *testbed) (policy.Policy, *core.EngineModel, error) {
+		m, err := tbEngineModel(tb, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &policy.Tiered{Model: m}, m, nil
+	}
+}
+
+// runScenarioPolicy executes the paper's experiment-1 protocol for one
+// policy on one scenario: bootstrap the testbed, take an initial placement
+// decision at measurement start, then run the workload with the policy
+// re-deciding every CooldownRuns runs. Every policy — baseline heuristic
+// or learned — goes through this one loop, so columns of a comparison
+// differ only in the policy.
+func runScenarioPolicy(scenarioName string, build policyBuilder, opts Options) (Series, *core.Loop, *testbed, error) {
 	tb, err := newScenarioTestbed(scenarioName, opts.Seed)
 	if err != nil {
-		return Series{}, nil, err
+		return Series{}, nil, nil, err
 	}
 	if err := tb.bootstrap(opts.BootstrapRuns, opts.Seed+1); err != nil {
-		return Series{}, nil, err
+		return Series{}, nil, nil, err
 	}
-
+	p, model, err := build(tb)
+	if err != nil {
+		return Series{}, nil, nil, err
+	}
+	ctx := context.Background()
+	loop := core.NewPolicyLoop(tb.db, tb.cluster, tb.runner, p, 0)
+	loop.SetModel(model)
+	loop.SeedHeat(tb.lastAccess, tb.accesses)
+	// Initial placement from the bootstrap telemetry: every policy acts at
+	// measurement start (the paper's engine has its 10,000-access warm-up
+	// behind it), then keeps adapting on the cooldown schedule.
+	if err := loop.Decide(ctx); err != nil {
+		return Series{}, nil, nil, err
+	}
 	sb := newSeriesBuilder(opts.SeriesWindow)
-	var bars []MovementBar
-	applyPolicy := func() error {
-		layout := p.Layout(tb.policyState())
-		if layout == nil {
-			return nil
-		}
-		moves, err := tb.runner.ApplyLayout(layout)
-		if err != nil {
-			return err
-		}
-		if len(moves) > 0 {
-			bars = append(bars, MovementBar{AccessIndex: sb.count, Moved: len(moves)})
-		}
-		return nil
-	}
-	// Initial placement decision (static policies act here).
-	if err := applyPolicy(); err != nil {
-		return Series{}, nil, err
+	loop.Observer = func(res storagesim.AccessResult, wl, run int) {
+		sb.add(res.Throughput, res.End-res.Start)
 	}
 	for r := 0; r < opts.Runs; r++ {
-		var obsErr error
-		if _, err := tb.runner.RunOnce(func(res storagesim.AccessResult, wl, run int) {
-			if err := tb.observe(res, wl, run); err != nil && obsErr == nil {
-				obsErr = err
-			}
-			sb.add(res.Throughput, res.End-res.Start)
-		}); err != nil {
-			return Series{}, nil, err
-		}
-		if obsErr != nil {
-			return Series{}, nil, obsErr
+		if _, err := loop.RunOnceContext(ctx); err != nil {
+			return Series{}, nil, nil, err
 		}
 		if (r+1)%opts.CooldownRuns == 0 {
-			if err := applyPolicy(); err != nil {
-				return Series{}, nil, err
+			if err := loop.Decide(ctx); err != nil {
+				return Series{}, nil, nil, err
 			}
 		}
 	}
 	s := sb.finish(p.Name())
-	s.Movements = bars
-	return s, tb, nil
+	for _, mv := range loop.Movements() {
+		if mv.Moved > 0 {
+			s.Movements = append(s.Movements, MovementBar{AccessIndex: mv.AccessIndex, Moved: mv.Moved})
+		}
+	}
+	return s, loop, tb, nil
+}
+
+// runPolicy is runScenarioPolicy for a ready-made policy on the paper's
+// BELLE II scenario.
+func runPolicy(p policy.Policy, opts Options) (Series, *testbed, error) {
+	s, _, tb, err := runScenarioPolicy("belle", staticBuilder(p), opts)
+	return s, tb, err
 }
 
 // engineConfig derives the Geomancy engine settings from the options.
@@ -87,63 +138,7 @@ func engineConfig(opts Options) core.Config {
 // runGeomancyDynamic executes the full closed loop and returns its series
 // plus the loop and testbed for utilization accounting.
 func runGeomancyDynamic(opts Options) (Series, *core.Loop, *testbed, error) {
-	return runGeomancyScenario("belle", opts)
-}
-
-// runGeomancyScenario is runGeomancyDynamic over any scenario from the
-// workload plane's catalogue.
-func runGeomancyScenario(scenarioName string, opts Options) (Series, *core.Loop, *testbed, error) {
-	tb, err := newScenarioTestbed(scenarioName, opts.Seed)
-	if err != nil {
-		return Series{}, nil, nil, err
-	}
-	if err := tb.bootstrap(opts.BootstrapRuns, opts.Seed+1); err != nil {
-		return Series{}, nil, nil, err
-	}
-	loop, err := core.NewLoop(tb.db, tb.cluster, tb.runner, engineConfig(opts))
-	if err != nil {
-		return Series{}, nil, nil, err
-	}
-	// Initial placement from the bootstrap telemetry: like every other
-	// policy, Geomancy acts at measurement start (the paper's engine has
-	// its 10,000-access warm-up behind it), then keeps adapting on the
-	// cooldown schedule.
-	if _, err := loop.Engine.Train(); err != nil {
-		return Series{}, nil, nil, err
-	}
-	initial, _, err := loop.Engine.ProposeLayout(loopFileMetas(tb), loop.Checker, agents.ClusterValidator(tb.cluster))
-	if err != nil {
-		return Series{}, nil, nil, err
-	}
-	if _, err := tb.runner.ApplyLayout(initial); err != nil {
-		return Series{}, nil, nil, err
-	}
-	sb := newSeriesBuilder(opts.SeriesWindow)
-	loop.Observer = func(res storagesim.AccessResult, wl, run int) {
-		sb.add(res.Throughput, res.End-res.Start)
-	}
-	for r := 0; r < opts.Runs; r++ {
-		if _, err := loop.RunOnce(); err != nil {
-			return Series{}, nil, nil, err
-		}
-	}
-	s := sb.finish("Geomancy dynamic")
-	for _, mv := range loop.Movements() {
-		if mv.Moved > 0 {
-			s.Movements = append(s.Movements, MovementBar{AccessIndex: mv.AccessIndex, Moved: mv.Moved})
-		}
-	}
-	return s, loop, tb, nil
-}
-
-// loopFileMetas snapshots the working set for an engine proposal.
-func loopFileMetas(tb *testbed) []core.FileMeta {
-	layout := tb.cluster.Layout()
-	metas := make([]core.FileMeta, 0, len(tb.files))
-	for _, f := range tb.files {
-		metas = append(metas, core.FileMeta{ID: f.ID, Path: f.Path, Size: f.Size, Device: layout[f.ID]})
-	}
-	return metas
+	return runScenarioPolicy("belle", geomancyBuilder(opts), opts)
 }
 
 // geomancyStaticLayout trains an engine on a bootstrap ReplayDB (the
@@ -218,7 +213,7 @@ func Fig5a(opts Options) (*ComparisonResult, error) {
 		policy.LRU{},
 		policy.MRU{},
 		policy.LFU{},
-		&policy.RandomDynamic{Rng: rng.NewRand(opts.Seed + 2)},
+		&policy.RandomDynamic{Rng: rng.New(opts.Seed + 2)},
 	}
 	for _, p := range basePolicies {
 		s, tb, err := runPolicy(p, opts)
@@ -244,7 +239,7 @@ func Fig5b(opts Options) (*ComparisonResult, error) {
 	opts = opts.withDefaults()
 	res := &ComparisonResult{}
 
-	rs := &policy.RandomStatic{Rng: rng.NewRand(opts.Seed + 3)}
+	rs := &policy.RandomStatic{Rng: rng.New(opts.Seed + 3)}
 	s, tb, err := runPolicy(rs, opts)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: random static: %w", err)

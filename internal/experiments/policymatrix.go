@@ -8,80 +8,101 @@ import (
 	"geomancy/internal/scenario"
 )
 
-// GeomancyName is the engine's column label in the policy matrix.
-const GeomancyName = "Geomancy dynamic"
+// Column labels of the learned family in the policy matrix.
+const (
+	// GeomancyName is the engine's column label in the policy matrix.
+	GeomancyName = "Geomancy dynamic"
+	// OnlineName labels the incremental-learning variant.
+	OnlineName = "online-geomancy"
+	// TieredName labels the device-class-gated variant.
+	TieredName = "tiered-geomancy"
+)
 
 // PolicyMatrixResult is the per-scenario policy comparison: mean
 // throughput of every placement policy on every workload scenario, with
-// the winner per scenario and Geomancy's win/loss tally. The matrix is
-// the paper's Fig. 5 comparison swept across the workload plane — it
-// answers where the learned policy's advantage holds and where a simple
-// heuristic matches it.
+// the winner per scenario and the learned family's win/loss tally. The
+// matrix is the paper's Fig. 5 comparison swept across the workload plane
+// — it answers where the learned policies' advantage holds and where a
+// simple heuristic matches it.
 type PolicyMatrixResult struct {
 	// Scenarios are the row labels, in the order run.
 	Scenarios []string
-	// Policies are the column labels; GeomancyName is always last.
+	// Policies are the column labels: baselines first, then the learned
+	// family with GeomancyName always last.
 	Policies []string
 	// Mean[i][j] is policy j's mean per-access throughput (bytes/s) on
 	// scenario i.
 	Mean [][]float64
 	// Winner[i] is the policy with the highest mean on scenario i.
 	Winner []string
-	// GeomancyWins counts scenarios where the engine's mean is strictly
-	// highest; GeomancyLosses counts the rest.
+	// GeomancyWins counts scenarios where a learned-family column
+	// (geomancy, online, or tiered) has the strictly highest mean;
+	// GeomancyLosses counts the rest.
 	GeomancyWins, GeomancyLosses int
-	// Gain[i] is Geomancy's percentage gain on scenario i over the best
-	// baseline (negative where a baseline wins).
+	// Gain[i] is classic Geomancy's percentage gain on scenario i over
+	// the best baseline (negative where a baseline wins).
 	Gain []float64
 }
 
-// matrixBaselines returns the baseline policy set of one scenario cell.
-// Stochastic baselines get fresh streams derived from the seed, so every
-// (scenario, policy) cell is independent and the whole matrix is a pure
-// function of the options.
-func matrixBaselines(seed int64) []policy.Policy {
-	return []policy.Policy{
-		policy.LRU{},
-		policy.MRU{},
-		policy.LFU{},
-		policy.Weighted{Base: policy.LFU{}},
-		&policy.RandomDynamic{Rng: rng.NewRand(seed + 2)},
-		&policy.RandomStatic{Rng: rng.NewRand(seed + 3)},
+// matrixColumn pairs one column label with its policy builder.
+type matrixColumn struct {
+	name  string
+	build policyBuilder
+}
+
+// matrixColumns returns the full column set of one scenario row:
+// baselines first (stochastic ones on fresh streams derived from the
+// seed, so every cell is independent and the whole matrix is a pure
+// function of the options), then the learned family with classic
+// Geomancy last.
+func matrixColumns(opts Options) []matrixColumn {
+	seed := opts.Seed
+	return []matrixColumn{
+		{"LRU", staticBuilder(policy.LRU{})},
+		{"MRU", staticBuilder(policy.MRU{})},
+		{"LFU", staticBuilder(policy.LFU{})},
+		{"LFU (capacity-weighted)", staticBuilder(policy.Weighted{Base: policy.LFU{}})},
+		{"random dynamic", staticBuilder(&policy.RandomDynamic{Rng: rng.New(seed + 2)})},
+		{"random static", staticBuilder(&policy.RandomStatic{Rng: rng.New(seed + 3)})},
+		{TieredName, tieredBuilder(opts)},
+		{OnlineName, onlineBuilder(opts)},
+		{GeomancyName, geomancyBuilder(opts)},
 	}
 }
 
+// learnedColumns is the number of learned-family columns at the tail of
+// the matrix (tiered, online, geomancy).
+const learnedColumns = 3
+
 // PolicyMatrix runs every named scenario under every baseline policy and
-// the Geomancy closed loop. A nil scenarios slice selects the full
-// catalogue. Each cell runs on a fresh testbed with the same seed, so
-// columns of a row are comparable and the result is deterministic: equal
-// options yield an identical matrix.
+// the three learned variants, all through the one generic runner
+// (runScenarioPolicy). A nil scenarios slice selects the full catalogue.
+// Each cell runs on a fresh testbed with the same seed, so columns of a
+// row are comparable and the result is deterministic: equal options yield
+// an identical matrix.
 func PolicyMatrix(opts Options, scenarios []string) (*PolicyMatrixResult, error) {
 	opts = opts.withDefaults()
 	if scenarios == nil {
 		scenarios = scenario.Names()
 	}
 	res := &PolicyMatrixResult{Scenarios: scenarios}
-	for _, p := range matrixBaselines(opts.Seed) {
-		res.Policies = append(res.Policies, p.Name())
+	for _, col := range matrixColumns(opts) {
+		res.Policies = append(res.Policies, col.name)
 	}
-	res.Policies = append(res.Policies, GeomancyName)
+	baselines := len(res.Policies) - learnedColumns
 
 	for _, name := range scenarios {
 		row := make([]float64, 0, len(res.Policies))
-		for _, p := range matrixBaselines(opts.Seed) {
-			s, tb, err := runPolicyScenario(name, p, opts)
+		// Stochastic baseline columns carry per-cell state (RNG position,
+		// one-shot flags), so the column set is rebuilt per scenario.
+		for _, col := range matrixColumns(opts) {
+			s, _, tb, err := runScenarioPolicy(name, col.build, opts)
 			if err != nil {
-				return nil, fmt.Errorf("experiments: scenario %s under %s: %w", name, p.Name(), err)
+				return nil, fmt.Errorf("experiments: scenario %s under %s: %w", name, col.name, err)
 			}
 			tb.db.Close()
 			row = append(row, s.Mean)
 		}
-		s, _, tb, err := runGeomancyScenario(name, opts)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: scenario %s under Geomancy: %w", name, err)
-		}
-		tb.db.Close()
-		row = append(row, s.Mean)
 		res.Mean = append(res.Mean, row)
 
 		best, bestBaseline := 0, 0.0
@@ -89,12 +110,12 @@ func PolicyMatrix(opts Options, scenarios []string) (*PolicyMatrixResult, error)
 			if v > row[best] {
 				best = j
 			}
-			if j < len(row)-1 && v > bestBaseline {
+			if j < baselines && v > bestBaseline {
 				bestBaseline = v
 			}
 		}
 		res.Winner = append(res.Winner, res.Policies[best])
-		if res.Policies[best] == GeomancyName {
+		if best >= baselines {
 			res.GeomancyWins++
 		} else {
 			res.GeomancyLosses++
@@ -109,8 +130,8 @@ func PolicyMatrix(opts Options, scenarios []string) (*PolicyMatrixResult, error)
 }
 
 // Table renders the matrix: one row per scenario, one column per policy
-// (winner cell marked with *), plus Geomancy's gain over the best
-// baseline and the win/loss tally in the caption.
+// (winner cell marked with *), plus classic Geomancy's gain over the best
+// baseline and the learned family's win/loss tally in the caption.
 func (r *PolicyMatrixResult) Table() *Table {
 	t := &Table{
 		Title:  "Policy matrix: mean throughput per scenario (winner marked *)",
@@ -128,6 +149,6 @@ func (r *PolicyMatrixResult) Table() *Table {
 		row = append(row, fmt.Sprintf("%+.1f%%", r.Gain[i]))
 		t.Rows = append(t.Rows, row)
 	}
-	t.Caption = fmt.Sprintf("Geomancy wins %d of %d scenarios", r.GeomancyWins, r.GeomancyWins+r.GeomancyLosses)
+	t.Caption = fmt.Sprintf("learned family wins %d of %d scenarios", r.GeomancyWins, r.GeomancyWins+r.GeomancyLosses)
 	return t
 }

@@ -19,8 +19,12 @@ func TestPolicyMatrixCoversCatalogue(t *testing.T) {
 	if want := scenario.Names(); !reflect.DeepEqual(res.Scenarios, want) {
 		t.Errorf("scenarios = %v, want %v", res.Scenarios, want)
 	}
-	if len(res.Policies) < 6 || res.Policies[len(res.Policies)-1] != GeomancyName {
-		t.Errorf("policies = %v, want ≥5 baselines then %q", res.Policies, GeomancyName)
+	if len(res.Policies) < 9 || res.Policies[len(res.Policies)-1] != GeomancyName {
+		t.Errorf("policies = %v, want ≥6 baselines then the learned family ending in %q", res.Policies, GeomancyName)
+	}
+	n := len(res.Policies)
+	if res.Policies[n-2] != OnlineName || res.Policies[n-3] != TieredName {
+		t.Errorf("learned tail = %v, want [%q %q %q]", res.Policies[n-3:], TieredName, OnlineName, GeomancyName)
 	}
 	if len(res.Mean) != len(res.Scenarios) || len(res.Winner) != len(res.Scenarios) {
 		t.Fatalf("ragged result: %d scenarios, %d rows, %d winners",

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"geomancy/internal/rng"
 	"sort"
@@ -94,16 +95,19 @@ func (tb *testbed) policyState() policy.State {
 			}
 			tp /= float64(len(recent))
 		}
+		dev := tb.cluster.Device(name)
 		s.Devices = append(s.Devices, policy.DeviceInfo{
 			Name:       name,
 			Throughput: tp,
-			Free:       tb.cluster.Device(name).Free(),
+			Free:       dev.Free(),
+			Class:      dev.Profile.Class,
 		})
 	}
 	layout := tb.cluster.Layout()
 	for _, f := range tb.files {
 		s.Files = append(s.Files, policy.FileInfo{
 			ID:         f.ID,
+			Path:       f.Path,
 			Size:       f.Size,
 			Device:     layout[f.ID],
 			LastAccess: tb.lastAccess[f.ID],
@@ -117,7 +121,7 @@ func (tb *testbed) policyState() policy.State {
 // every device accumulates telemetry, mirroring the paper's pre-experiment
 // capture of 10,000 accesses per file set.
 func (tb *testbed) bootstrap(runs int, seed int64) error {
-	shuffler := &policy.RandomDynamic{Rng: rng.NewRand(seed)}
+	shuffler := &policy.RandomDynamic{Rng: rng.New(seed)}
 	for r := 0; r < runs; r++ {
 		var obsErr error
 		if _, err := tb.runner.RunOnce(func(res storagesim.AccessResult, wl, run int) {
@@ -130,7 +134,11 @@ func (tb *testbed) bootstrap(runs int, seed int64) error {
 		if obsErr != nil {
 			return obsErr
 		}
-		if layout := shuffler.Layout(tb.policyState()); layout != nil {
+		layout, err := shuffler.Propose(context.Background(), tb.policyState())
+		if err != nil {
+			return err
+		}
+		if layout != nil {
 			if _, err := tb.runner.ApplyLayout(layout); err != nil {
 				return err
 			}

@@ -152,15 +152,21 @@ func EvaluatePredictions(preds, targets []float64) Metrics {
 	return m
 }
 
-// AdjustPrediction applies the paper's MAE-based correction (§V-G):
-// prediction ± MARE×prediction, with the sign taken from the mean signed
-// relative error (positive mean ⇒ under-predicting ⇒ adjust up).
+// AdjustPrediction applies the paper's MAE-based correction (§V-G), with
+// the sign taken from the mean signed relative error (positive mean ⇒
+// under-predicting ⇒ adjust up by MARE×prediction). Over-prediction
+// divides by (1+MARE) rather than subtracting: the subtractive form goes
+// negative once MARE exceeds 100% — routine for a freshly trained model
+// on small windows — and a negative factor inverts the maximize-me
+// ranking of candidate scores, steering placement toward the worst
+// predicted device. The divisive form agrees to first order, is bounded
+// below by zero, and preserves the prediction ordering for any MARE.
 func AdjustPrediction(pred float64, m Metrics) float64 {
 	mae := m.MARE / 100
 	if m.SignedRelErr >= 0 {
 		return pred + mae*pred
 	}
-	return pred - mae*pred
+	return pred / (1 + mae)
 }
 
 func stddev(xs []float64) float64 {

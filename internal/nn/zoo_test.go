@@ -167,8 +167,15 @@ func TestAdjustPrediction(t *testing.T) {
 		t.Errorf("under-prediction adjust = %v, want 1.1", got)
 	}
 	over := Metrics{MARE: 10, SignedRelErr: -2}
-	if got := AdjustPrediction(1.0, over); got != 0.9 {
-		t.Errorf("over-prediction adjust = %v, want 0.9", got)
+	if got := AdjustPrediction(1.0, over); got != 1.0/1.1 {
+		t.Errorf("over-prediction adjust = %v, want %v", got, 1.0/1.1)
+	}
+	// A badly miscalibrated model (MARE > 100%) must still produce
+	// positive, order-preserving scores.
+	wild := Metrics{MARE: 4900, SignedRelErr: -40}
+	lo, hi := AdjustPrediction(1.0, wild), AdjustPrediction(2.0, wild)
+	if lo <= 0 || hi <= lo {
+		t.Errorf("large-MARE adjust inverted or non-positive: f(1)=%v f(2)=%v", lo, hi)
 	}
 }
 

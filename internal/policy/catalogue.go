@@ -1,0 +1,37 @@
+package policy
+
+// Info describes one catalogued policy: the key WithPolicy / -policy
+// accept, and a one-line description for listings.
+type Info struct {
+	Name        string
+	Description string
+}
+
+// Catalogue lists every selectable policy, baselines first and the
+// learned Geomancy family last. The metadata lives here; construction
+// lives where the dependencies do (core.NewCataloguePolicy wires the
+// engine-backed entries).
+func Catalogue() []Info {
+	return []Info{
+		{"lru", "most recently used files on the fastest devices (§VI)"},
+		{"mru", "most recently used files on the slowest devices (Chou & DeWitt)"},
+		{"lfu", "most frequently used files on the fastest devices (Gupta et al.)"},
+		{"lfu-weighted", "LFU with capacity-proportional group sizing"},
+		{"random-dynamic", "uniformly random placement, reshuffled every decision"},
+		{"random-static", "one uniformly random placement, then frozen"},
+		{"noop", "never moves anything (spread-evenly control)"},
+		{"geomancy", "the paper's closed loop: retrain + ε-greedy proposal each decision"},
+		{"online-geomancy", "geomancy with incremental minibatch updates between full retrains"},
+		{"tiered-geomancy", "geomancy gated to cross-tier promote/demote moves by device class"},
+	}
+}
+
+// Names returns the catalogue keys in catalogue order.
+func Names() []string {
+	infos := Catalogue()
+	names := make([]string, len(infos))
+	for i, info := range infos {
+		names[i] = info.Name
+	}
+	return names
+}

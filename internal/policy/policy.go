@@ -1,15 +1,41 @@
-// Package policy implements the data-placement baselines Geomancy is
-// evaluated against (§VI): LRU, MRU (Chou & DeWitt), LFU (Gupta et al.),
-// random static, random dynamic, a fixed static layout, and all-on-one-
-// mount placement. Dynamic policies re-rank devices from the latest
-// telemetry in the ReplayDB on every invocation, exactly as the paper's
+// Package policy is the placement-policy plane: one first-class Policy
+// contract implemented by the paper's base cases (§VI) — LRU, MRU (Chou
+// & DeWitt), LFU (Gupta et al.), random static, random dynamic, a fixed
+// static layout, and all-on-one-mount placement — and by the learned
+// Geomancy family (Geomancy, Online, Tiered) adapting the DRL engine
+// through the Model bridge. Dynamic policies re-rank devices from the
+// latest telemetry snapshot on every invocation, exactly as the paper's
 // base cases "access the updated performance values from the ReplayDB".
+//
+// Policies are stateful citizens of the checkpoint plane: MarshalState
+// captures everything a policy needs to keep deciding identically after
+// a restore (one-shot flags, RNG stream positions, online cadence
+// counters), and UnmarshalState rewinds a freshly built policy to that
+// point.
 package policy
 
 import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
 	"fmt"
-	"math/rand"
 	"sort"
+
+	"geomancy/internal/rng"
+)
+
+// Sentinel errors. Match with errors.Is.
+var (
+	// ErrUnknown reports a policy name absent from the catalogue.
+	ErrUnknown = errors.New("policy: unknown policy")
+	// ErrNotReady reports a learned policy asked for an incremental
+	// update before its model completed a full training cycle; callers
+	// (and Online itself) fall back to a full retrain.
+	ErrNotReady = errors.New("policy: model not trained yet")
+	// ErrBadState reports an UnmarshalState blob that does not decode as
+	// the policy's serialized state.
+	ErrBadState = errors.New("policy: undecodable state blob")
 )
 
 // DeviceInfo is a policy's view of one storage device.
@@ -20,12 +46,18 @@ type DeviceInfo struct {
 	Throughput float64
 	// Free is the remaining capacity in bytes.
 	Free int64
+	// Class names the device's hardware class ("raid5", "nfs", "usb",
+	// ...). Tier-aware policies group devices by class; empty means
+	// unclassified, and each unclassified device forms its own class.
+	Class string
 }
 
 // FileInfo is a policy's view of one workload file.
 type FileInfo struct {
-	ID     int64
-	Size   int64
+	ID   int64
+	Path string
+	Size int64
+	// Device is the file's current location.
 	Device string
 	// LastAccess is the most recent access time (virtual seconds).
 	LastAccess float64
@@ -39,13 +71,64 @@ type State struct {
 	Files   []FileInfo
 }
 
-// Policy computes a desired data layout from a system snapshot.
+// Policy computes desired data layouts from system snapshots. It is the
+// one placement contract of the repository: the experiment baselines,
+// the facade's WithPolicy catalogue, and the learned Geomancy family all
+// implement it, and core.Loop drives whichever implementation it is
+// given.
 type Policy interface {
-	// Name identifies the policy in experiment output.
+	// Name identifies the policy in experiment output and checkpoints.
 	Name() string
-	// Layout returns the desired file→device assignment. A nil map means
-	// "no change". Static policies return a layout once and nil afterward.
+	// Propose returns the desired file→device assignment for the given
+	// snapshot. A nil map with a nil error means "no change" (static
+	// policies return their layout once and nil afterward). Errors wrap
+	// the package sentinels where applicable; match with errors.Is.
+	Propose(ctx context.Context, s State) (map[int64]string, error)
+	// MarshalState captures the policy's mutable decision state for a
+	// checkpoint; stateless policies return (nil, nil).
+	MarshalState() ([]byte, error)
+	// UnmarshalState rewinds the policy to a previously captured state.
+	UnmarshalState(data []byte) error
+}
+
+// LayoutPolicy is the v1 policy contract: a bare Name/Layout pair.
+//
+// Deprecated: Policy superseded it in the placement-plane redesign; use
+// Propose, which adds cancellation, error reporting, and state
+// serialization. Every shipped policy still satisfies LayoutPolicy
+// through its deprecated Layout method; both will be removed one
+// release after the redesign.
+type LayoutPolicy interface {
+	Name() string
 	Layout(s State) map[int64]string
+}
+
+// Stateless provides the no-op serialization half of Policy for
+// policies whose decisions depend only on the snapshot. Embed it.
+type Stateless struct{}
+
+// MarshalState implements Policy: no mutable state.
+func (Stateless) MarshalState() ([]byte, error) { return nil, nil }
+
+// UnmarshalState implements Policy: nothing to restore.
+func (Stateless) UnmarshalState([]byte) error { return nil }
+
+// marshalGob encodes one policy-state struct.
+func marshalGob(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("policy: encoding state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// unmarshalGob decodes one policy-state struct, wrapping decode
+// failures in ErrBadState.
+func unmarshalGob(data []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadState, err)
+	}
+	return nil
 }
 
 // devicesByThroughput returns device names ordered fastest first.
@@ -92,97 +175,194 @@ func assignGrouped(files []FileInfo, devices []string) map[int64]string {
 
 // LRU places the most recently used files on the fastest devices and the
 // least recently used on the slowest (§VI).
-type LRU struct{}
+type LRU struct{ Stateless }
 
 // Name implements Policy.
 func (LRU) Name() string { return "LRU" }
 
-// Layout implements Policy.
-func (LRU) Layout(s State) map[int64]string {
+// Propose implements Policy.
+func (LRU) Propose(_ context.Context, s State) (map[int64]string, error) {
 	files := make([]FileInfo, len(s.Files))
 	copy(files, s.Files)
 	sort.SliceStable(files, func(i, j int) bool {
 		return files[i].LastAccess > files[j].LastAccess // most recent first
 	})
-	return assignGrouped(files, devicesByThroughput(s.Devices))
+	return assignGrouped(files, devicesByThroughput(s.Devices)), nil
 }
+
+// Layout is the v1 single-shot entry point.
+//
+// Deprecated: Use Propose, which adds cancellation and error reporting.
+func (p LRU) Layout(s State) map[int64]string { return layoutCompat(p, s) }
 
 // MRU places the most recently used files on the slowest devices, which
 // benefits looping sequential scans (Chou & DeWitt; §VI).
-type MRU struct{}
+type MRU struct{ Stateless }
 
 // Name implements Policy.
 func (MRU) Name() string { return "MRU" }
 
-// Layout implements Policy.
-func (MRU) Layout(s State) map[int64]string {
+// Propose implements Policy.
+func (MRU) Propose(_ context.Context, s State) (map[int64]string, error) {
 	files := make([]FileInfo, len(s.Files))
 	copy(files, s.Files)
 	sort.SliceStable(files, func(i, j int) bool {
 		return files[i].LastAccess < files[j].LastAccess // least recent first
 	})
-	return assignGrouped(files, devicesByThroughput(s.Devices))
+	return assignGrouped(files, devicesByThroughput(s.Devices)), nil
 }
+
+// Layout is the v1 single-shot entry point.
+//
+// Deprecated: Use Propose, which adds cancellation and error reporting.
+func (p MRU) Layout(s State) map[int64]string { return layoutCompat(p, s) }
 
 // LFU places heavily accessed files on fast devices and rarely accessed
 // files on slow ones (Gupta et al.; §VI).
-type LFU struct{}
+type LFU struct{ Stateless }
 
 // Name implements Policy.
 func (LFU) Name() string { return "LFU" }
 
-// Layout implements Policy.
-func (LFU) Layout(s State) map[int64]string {
+// Propose implements Policy.
+func (LFU) Propose(_ context.Context, s State) (map[int64]string, error) {
 	files := make([]FileInfo, len(s.Files))
 	copy(files, s.Files)
 	sort.SliceStable(files, func(i, j int) bool {
 		return files[i].Accesses > files[j].Accesses // most accessed first
 	})
-	return assignGrouped(files, devicesByThroughput(s.Devices))
+	return assignGrouped(files, devicesByThroughput(s.Devices)), nil
+}
+
+// Layout is the v1 single-shot entry point.
+//
+// Deprecated: Use Propose, which adds cancellation and error reporting.
+func (p LFU) Layout(s State) map[int64]string { return layoutCompat(p, s) }
+
+// layoutCompat adapts Propose to the v1 Layout signature for the
+// deprecated methods: v1 policies never failed, so the error is
+// discarded the way v1 callers implicitly did.
+func layoutCompat(p Policy, s State) map[int64]string {
+	layout, _ := p.Propose(context.Background(), s)
+	return layout
 }
 
 // RandomStatic shuffles every file to a uniformly random device once and
 // never moves them again (§VI "random static").
 type RandomStatic struct {
-	Rng  *rand.Rand
+	// Rng drives the shuffle. Use rng.New: the stream position is part
+	// of MarshalState, so a restored policy replays the exact draws the
+	// interrupted one would have made.
+	Rng  *rng.RNG
 	done bool
 }
 
 // Name implements Policy.
 func (p *RandomStatic) Name() string { return "random static" }
 
-// Layout implements Policy.
-func (p *RandomStatic) Layout(s State) map[int64]string {
+// Propose implements Policy.
+func (p *RandomStatic) Propose(_ context.Context, s State) (map[int64]string, error) {
 	if p.done || len(s.Devices) == 0 {
-		return nil
+		return nil, nil
 	}
 	p.done = true
-	return randomLayout(p.Rng, s)
+	return randomLayout(p.Rng, s), nil
 }
+
+// randomStaticState is the gob wire form of RandomStatic's mutable
+// state: the stream position and the one-shot flag whose loss would make
+// a restored run re-fire the shuffle.
+type randomStaticState struct {
+	RNG  uint64
+	Done bool
+}
+
+// MarshalState implements Policy.
+func (p *RandomStatic) MarshalState() ([]byte, error) {
+	return marshalGob(randomStaticState{RNG: p.Rng.State(), Done: p.done})
+}
+
+// UnmarshalState implements Policy.
+func (p *RandomStatic) UnmarshalState(data []byte) error {
+	var st randomStaticState
+	if err := unmarshalGob(data, &st); err != nil {
+		return err
+	}
+	if p.Rng == nil {
+		p.Rng = rng.FromState(st.RNG)
+	} else {
+		p.Rng.SetState(st.RNG)
+	}
+	p.done = st.Done
+	return nil
+}
+
+// Layout is the v1 single-shot entry point.
+//
+// Deprecated: Use Propose, which adds cancellation and error reporting.
+func (p *RandomStatic) Layout(s State) map[int64]string { return layoutCompat(p, s) }
 
 // RandomDynamic reshuffles file locations on every invocation (§VI
 // "random dynamic").
 type RandomDynamic struct {
-	Rng *rand.Rand
+	// Rng drives the shuffles; use rng.New so the stream position
+	// serializes with MarshalState.
+	Rng *rng.RNG
 }
 
 // Name implements Policy.
 func (p *RandomDynamic) Name() string { return "random dynamic" }
 
-// Layout implements Policy.
-func (p *RandomDynamic) Layout(s State) map[int64]string {
+// Propose implements Policy.
+func (p *RandomDynamic) Propose(_ context.Context, s State) (map[int64]string, error) {
 	if len(s.Devices) == 0 {
-		return nil
+		return nil, nil
 	}
-	return randomLayout(p.Rng, s)
+	return randomLayout(p.Rng, s), nil
 }
 
-func randomLayout(rng *rand.Rand, s State) map[int64]string {
+// randomDynamicState is the gob wire form of RandomDynamic's mutable
+// state: just the stream position.
+type randomDynamicState struct {
+	RNG uint64
+}
+
+// MarshalState implements Policy.
+func (p *RandomDynamic) MarshalState() ([]byte, error) {
+	return marshalGob(randomDynamicState{RNG: p.Rng.State()})
+}
+
+// UnmarshalState implements Policy.
+func (p *RandomDynamic) UnmarshalState(data []byte) error {
+	var st randomDynamicState
+	if err := unmarshalGob(data, &st); err != nil {
+		return err
+	}
+	if p.Rng == nil {
+		p.Rng = rng.FromState(st.RNG)
+	} else {
+		p.Rng.SetState(st.RNG)
+	}
+	return nil
+}
+
+// Layout is the v1 single-shot entry point.
+//
+// Deprecated: Use Propose, which adds cancellation and error reporting.
+func (p *RandomDynamic) Layout(s State) map[int64]string { return layoutCompat(p, s) }
+
+func randomLayout(r *rng.RNG, s State) map[int64]string {
 	layout := make(map[int64]string, len(s.Files))
 	for _, f := range s.Files {
-		layout[f.ID] = s.Devices[rng.Intn(len(s.Devices))].Name
+		layout[f.ID] = s.Devices[r.Intn(len(s.Devices))].Name
 	}
 	return layout
+}
+
+// oneShotState is the gob wire form shared by the fixed-layout policies:
+// only the fired-already flag is mutable.
+type oneShotState struct {
+	Done bool
 }
 
 // Static applies one fixed layout once — the paper's "Geomancy static"
@@ -203,14 +383,34 @@ func (p *Static) Name() string {
 	return "static"
 }
 
-// Layout implements Policy.
-func (p *Static) Layout(State) map[int64]string {
+// Propose implements Policy.
+func (p *Static) Propose(context.Context, State) (map[int64]string, error) {
 	if p.done {
-		return nil
+		return nil, nil
 	}
 	p.done = true
-	return p.Target
+	return p.Target, nil
 }
+
+// MarshalState implements Policy.
+func (p *Static) MarshalState() ([]byte, error) {
+	return marshalGob(oneShotState{Done: p.done})
+}
+
+// UnmarshalState implements Policy.
+func (p *Static) UnmarshalState(data []byte) error {
+	var st oneShotState
+	if err := unmarshalGob(data, &st); err != nil {
+		return err
+	}
+	p.done = st.Done
+	return nil
+}
+
+// Layout is the v1 single-shot entry point.
+//
+// Deprecated: Use Propose, which adds cancellation and error reporting.
+func (p *Static) Layout(s State) map[int64]string { return layoutCompat(p, s) }
 
 // SingleMount places every file on one device — experiment 2's
 // all-data-on-one-storage-point base case.
@@ -222,24 +422,49 @@ type SingleMount struct {
 // Name implements Policy.
 func (p *SingleMount) Name() string { return fmt.Sprintf("all-on-%s", p.Device) }
 
-// Layout implements Policy.
-func (p *SingleMount) Layout(s State) map[int64]string {
+// Propose implements Policy.
+func (p *SingleMount) Propose(_ context.Context, s State) (map[int64]string, error) {
 	if p.done {
-		return nil
+		return nil, nil
 	}
 	p.done = true
 	layout := make(map[int64]string, len(s.Files))
 	for _, f := range s.Files {
 		layout[f.ID] = p.Device
 	}
-	return layout
+	return layout, nil
 }
 
+// MarshalState implements Policy.
+func (p *SingleMount) MarshalState() ([]byte, error) {
+	return marshalGob(oneShotState{Done: p.done})
+}
+
+// UnmarshalState implements Policy.
+func (p *SingleMount) UnmarshalState(data []byte) error {
+	var st oneShotState
+	if err := unmarshalGob(data, &st); err != nil {
+		return err
+	}
+	p.done = st.Done
+	return nil
+}
+
+// Layout is the v1 single-shot entry point.
+//
+// Deprecated: Use Propose, which adds cancellation and error reporting.
+func (p *SingleMount) Layout(s State) map[int64]string { return layoutCompat(p, s) }
+
 // NoOp never moves anything; the "leave the spread layout alone" control.
-type NoOp struct{}
+type NoOp struct{ Stateless }
 
 // Name implements Policy.
 func (NoOp) Name() string { return "no-op" }
 
-// Layout implements Policy.
-func (NoOp) Layout(State) map[int64]string { return nil }
+// Propose implements Policy.
+func (NoOp) Propose(context.Context, State) (map[int64]string, error) { return nil, nil }
+
+// Layout is the v1 single-shot entry point.
+//
+// Deprecated: Use Propose, which adds cancellation and error reporting.
+func (p NoOp) Layout(s State) map[int64]string { return layoutCompat(p, s) }

@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"geomancy/internal/rng"
 )
 
 // testState builds 6 devices (fastest first by construction: d0 fastest)
@@ -111,7 +113,7 @@ func TestFewerFilesThanDevices(t *testing.T) {
 }
 
 func TestEmptyState(t *testing.T) {
-	for _, p := range []Policy{LRU{}, MRU{}, LFU{}, &RandomDynamic{Rng: rand.New(rand.NewSource(1))}, NoOp{}} {
+	for _, p := range []LayoutPolicy{LRU{}, MRU{}, LFU{}, &RandomDynamic{Rng: rng.New(1)}, NoOp{}} {
 		if l := p.Layout(State{}); l != nil {
 			t.Errorf("%s on empty state = %v, want nil", p.Name(), l)
 		}
@@ -119,7 +121,7 @@ func TestEmptyState(t *testing.T) {
 }
 
 func TestRandomStaticFiresOnce(t *testing.T) {
-	p := &RandomStatic{Rng: rand.New(rand.NewSource(2))}
+	p := &RandomStatic{Rng: rng.New(2)}
 	s := testState(10)
 	first := p.Layout(s)
 	if first == nil || len(first) != 10 {
@@ -131,7 +133,7 @@ func TestRandomStaticFiresOnce(t *testing.T) {
 }
 
 func TestRandomDynamicReshuffles(t *testing.T) {
-	p := &RandomDynamic{Rng: rand.New(rand.NewSource(3))}
+	p := &RandomDynamic{Rng: rng.New(3)}
 	s := testState(24)
 	a := p.Layout(s)
 	b := p.Layout(s)
@@ -208,10 +210,10 @@ func TestDevicesByThroughputStable(t *testing.T) {
 // group sizes differ by at most the remainder.
 func TestHeuristicLayoutsComplete(t *testing.T) {
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
-		n := 1 + rng.Intn(60)
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(60)
 		s := testState(n)
-		for _, p := range []Policy{LRU{}, MRU{}, LFU{}} {
+		for _, p := range []LayoutPolicy{LRU{}, MRU{}, LFU{}} {
 			layout := p.Layout(s)
 			if len(layout) != n {
 				return false

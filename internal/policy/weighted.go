@@ -1,6 +1,9 @@
 package policy
 
-import "sort"
+import (
+	"context"
+	"sort"
+)
 
 // Weighted wraps a recency/frequency heuristic with capacity-aware group
 // sizing. The paper's base cases "evenly spread the files across all
@@ -10,6 +13,7 @@ import "sort"
 // capacity, still ordered fastest-to-slowest by the wrapped policy's
 // ranking rule.
 type Weighted struct {
+	Stateless
 	// Base must be LRU, MRU or LFU; its Name is extended with
 	// " (capacity-weighted)".
 	Base Policy
@@ -18,17 +22,17 @@ type Weighted struct {
 // Name implements Policy.
 func (w Weighted) Name() string { return w.Base.Name() + " (capacity-weighted)" }
 
-// Layout implements Policy.
-func (w Weighted) Layout(s State) map[int64]string {
+// Propose implements Policy.
+func (w Weighted) Propose(ctx context.Context, s State) (map[int64]string, error) {
 	if len(s.Devices) == 0 || len(s.Files) == 0 {
-		return nil
+		return nil, nil
 	}
 	// Rank files with the base policy's ordering by observing which
 	// groups it forms on an unweighted run, then re-cut the group
 	// boundaries by capacity share.
 	order := w.fileOrder(s)
 	if order == nil {
-		return nil
+		return nil, nil
 	}
 	devices := devicesByThroughputInfo(s.Devices)
 
@@ -40,7 +44,7 @@ func (w Weighted) Layout(s State) map[int64]string {
 	}
 	if totalFree == 0 {
 		// No capacity signal: fall back to even groups.
-		return w.Base.Layout(s)
+		return w.Base.Propose(ctx, s)
 	}
 
 	layout := make(map[int64]string, len(order))
@@ -61,8 +65,13 @@ func (w Weighted) Layout(s State) map[int64]string {
 		layout[order[assigned].ID] = devices[len(devices)-1].Name
 		assigned++
 	}
-	return layout
+	return layout, nil
 }
+
+// Layout is the v1 single-shot entry point.
+//
+// Deprecated: Use Propose, which adds cancellation and error reporting.
+func (w Weighted) Layout(s State) map[int64]string { return layoutCompat(w, s) }
 
 // fileOrder extracts the base policy's file ranking.
 func (w Weighted) fileOrder(s State) []FileInfo {

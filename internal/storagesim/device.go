@@ -50,6 +50,10 @@ type ExternalLoad struct {
 type DeviceProfile struct {
 	// Name is the mount name (file0, pic, people, tmp, var, USBtmp).
 	Name string
+	// Class names the hardware class behind the mount ("raid5", "nfs",
+	// "usb", ...). Tier-aware policies group devices into performance
+	// tiers by class; empty means unclassified.
+	Class string
 	// ReadBW and WriteBW are sustained bandwidths in bytes/second.
 	ReadBW, WriteBW float64
 	// LatencyFloor is the fixed per-access overhead in seconds.
@@ -226,32 +230,32 @@ func BlueskyProfiles() []DeviceProfile {
 	const GB = 1e9
 	return []DeviceProfile{
 		{
-			Name: "file0", ReadBW: 14 * GB, WriteBW: 4 * GB,
+			Name: "file0", Class: "raid5", ReadBW: 14 * GB, WriteBW: 4 * GB,
 			LatencyFloor: 0.004, Noise: 0.32, Capacity: 400e9,
 			External: ExternalLoad{Base: 0.1, WaveAmp: 0.25, WavePeriod: 3000, BurstRate: 0.4, BurstLoad: 0.35, BurstMean: 1500, EraMean: 4200, EraSpread: 0.45},
 		},
 		{
-			Name: "pic", ReadBW: 6 * GB, WriteBW: 4.5 * GB,
+			Name: "pic", Class: "lustre", ReadBW: 6 * GB, WriteBW: 4.5 * GB,
 			LatencyFloor: 0.008, Noise: 0.35, Capacity: 800e9,
 			External: ExternalLoad{Base: 0.2, WaveAmp: 0.25, WavePeriod: 3200, Phase: 1600, BurstRate: 0.4, BurstLoad: 0.3, BurstMean: 1200, EraMean: 4800, EraSpread: 0.4},
 		},
 		{
-			Name: "people", ReadBW: 5.5 * GB, WriteBW: 4 * GB,
+			Name: "people", Class: "nfs", ReadBW: 5.5 * GB, WriteBW: 4 * GB,
 			LatencyFloor: 0.012, Noise: 0.35, Capacity: 300e9,
 			External: ExternalLoad{Base: 0.35, WaveAmp: 0.2, WavePeriod: 4000, Phase: 1500, BurstRate: 0.4, BurstLoad: 0.4, BurstMean: 3600, EraMean: 5400, EraSpread: 0.4},
 		},
 		{
-			Name: "tmp", ReadBW: 4 * GB, WriteBW: 3.2 * GB,
+			Name: "tmp", Class: "raid1", ReadBW: 4 * GB, WriteBW: 3.2 * GB,
 			LatencyFloor: 0.005, Noise: 0.32, Capacity: 200e9,
 			External: ExternalLoad{Base: 0.15, WaveAmp: 0.15, WavePeriod: 1800, Phase: 300, BurstRate: 0.6, BurstLoad: 0.25, BurstMean: 420, EraMean: 4500, EraSpread: 0.35},
 		},
 		{
-			Name: "var", ReadBW: 3 * GB, WriteBW: 2.4 * GB,
+			Name: "var", Class: "raid1", ReadBW: 3 * GB, WriteBW: 2.4 * GB,
 			LatencyFloor: 0.005, Noise: 0.32, Capacity: 150e9,
 			External: ExternalLoad{Base: 0.15, WaveAmp: 0.18, WavePeriod: 2200, Phase: 900, BurstRate: 0.6, BurstLoad: 0.28, BurstMean: 480, EraMean: 5000, EraSpread: 0.35},
 		},
 		{
-			Name: "USBtmp", ReadBW: 0.8 * GB, WriteBW: 0.55 * GB,
+			Name: "USBtmp", Class: "usb", ReadBW: 0.8 * GB, WriteBW: 0.55 * GB,
 			LatencyFloor: 0.02, Noise: 0.2, Capacity: 1000e9,
 			External: ExternalLoad{Base: 0.02, WaveAmp: 0.05, WavePeriod: 3600},
 		},
