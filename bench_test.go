@@ -227,6 +227,31 @@ func BenchmarkScoringProposeLayout(b *testing.B) {
 	}
 }
 
+// BenchmarkScoringExhaustive2k measures the exhaustive O(F·D) decision
+// pass at warehouse scale: 2048 files × 64 devices, every candidate
+// re-scored each cycle. The TopK=0 counterpart of BenchmarkScoringTopK.
+func BenchmarkScoringExhaustive2k(b *testing.B) {
+	w := newWarehouse(b, 2048, 64, 0, 0)
+	proposeWarehouse(b, w)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		proposeWarehouse(b, w)
+	}
+}
+
+// BenchmarkScoringTopK measures the pruned decision pass over the same
+// 2048×64 population: TopK=2 per class, a quarter of the files dirty per
+// cycle, full rescan every 16th decision folded into the mean. See
+// TestTopKSpeedup for the asserted ≥5× ratio against the exhaustive pass.
+func BenchmarkScoringTopK(b *testing.B) {
+	w := newWarehouse(b, 2048, 64, 2, 16)
+	proposeWarehouse(b, w)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		proposeWarehouse(b, w)
+	}
+}
+
 // gemmFixture builds a GEMM triple shaped like batched candidate scoring:
 // (files×devices) stacked feature rows through a hidden layer.
 func gemmFixture(rows, inner, cols int) (dst, a, bm *mat.Matrix) {
@@ -286,6 +311,8 @@ func TestBenchBaseline(t *testing.T) {
 		fn   func(*testing.B)
 	}{
 		{"ScoringProposeLayout", BenchmarkScoringProposeLayout},
+		{"ScoringExhaustive2k", BenchmarkScoringExhaustive2k},
+		{"ScoringTopK", BenchmarkScoringTopK},
 		{"ScoringGEMM", BenchmarkScoringGEMM},
 		{"ScoringGEMMParallel", BenchmarkScoringGEMMParallel},
 	} {

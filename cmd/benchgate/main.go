@@ -1,0 +1,60 @@
+// Command benchgate is the CI bench-regression gate: it compares a
+// freshly measured BENCH_scoring.json against the committed baseline and
+// exits non-zero when any baseline row's ns/op regressed beyond the
+// threshold (default +25%).
+//
+//	benchgate [-baseline BENCH_scoring.json] [-fresh fresh.json] [-threshold 0.25]
+//
+// Improvements and new (not-yet-committed) benchmark rows pass; a
+// baseline row missing from the fresh file fails, so a dropped benchmark
+// cannot read as a pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"geomancy/internal/benchcmp"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_scoring.json", "committed baseline snapshot")
+	freshPath := flag.String("fresh", "", "freshly measured snapshot (required)")
+	threshold := flag.Float64("threshold", 0.25, "allowed fractional ns/op slowdown before the gate fails")
+	flag.Parse()
+
+	if *freshPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -fresh is required")
+		os.Exit(2)
+	}
+	baseline, err := benchcmp.Load(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	fresh, err := benchcmp.Load(*freshPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	deltas, err := benchcmp.Compare(baseline, fresh, *threshold)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range deltas {
+		mark := "ok"
+		if d.Regressed {
+			mark = "REGRESSED"
+		}
+		fmt.Printf("%-24s %12.0f -> %12.0f ns/op  (%.2fx)  %s\n",
+			d.Name, d.BaselineNs, d.FreshNs, d.Ratio, mark)
+	}
+	if reg := benchcmp.Regressions(deltas); len(reg) > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d of %d rows regressed beyond +%.0f%% ns/op\n",
+			len(reg), len(deltas), *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d rows within +%.0f%% of baseline\n", len(deltas), *threshold*100)
+}

@@ -55,6 +55,8 @@ func main() {
 	epsilon := flag.Float64("epsilon", 0.1, "exploration rate")
 	target := flag.String("target", "throughput", "modeling target: throughput or latency")
 	parallel := flag.Int("parallel", 0, "engine worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	topK := flag.Int("topk", 0, "candidate pruning: score only the top-k devices per class by recent throughput (0 = exhaustive scoring)")
+	fullRescan := flag.Int("full-rescan-every", 0, "with -topk: every Nth decision re-scores the full candidate space (0 = default 8)")
 	ckptDir := flag.String("checkpoint-dir", "", "snapshot directory: resume from it on start, checkpoint into it while running (empty = disabled)")
 	ckptEvery := flag.Int("checkpoint-every", 5, "runs between rotating snapshots (0 = only on shutdown)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics on this address (empty = disabled)")
@@ -113,6 +115,12 @@ func main() {
 	}
 	if *dbPath != "" {
 		opts = append(opts, geomancy.WithReplayDB(*dbPath))
+	}
+	if *topK > 0 {
+		opts = append(opts, geomancy.WithTopK(*topK))
+	}
+	if *fullRescan > 0 {
+		opts = append(opts, geomancy.WithFullRescanEvery(*fullRescan))
 	}
 	if *target == "latency" {
 		opts = append(opts, geomancy.WithLatencyTarget())

@@ -161,6 +161,8 @@ type config struct {
 	target        string
 	gapScheduling bool
 	parallelism   int
+	topK          int
+	fullRescan    int
 	observer      Observer
 	metrics       *telemetry.Registry
 	distributed   bool
@@ -248,6 +250,20 @@ func WithGapScheduling() Option { return func(c *config) { c.gapScheduling = tru
 // n ≥ 2 is deterministic and independent of the actual worker count, so
 // equal seeds replay identically on any machine with at least two workers.
 func WithParallelism(n int) Option { return func(c *config) { c.parallelism = n } }
+
+// WithTopK enables the engine's candidate pruning: each decision scores a
+// file against only the top-k devices per device class by recent
+// throughput (plus the file's current device), and skips files whose
+// telemetry has not changed since their last scoring. The first decision
+// and every WithFullRescanEvery-th one still run the exhaustive pass, so
+// pruning error cannot accumulate. k = 0 (the default) scores every
+// (file, device) pairing on every decision — the paper's behavior.
+func WithTopK(k int) Option { return func(c *config) { c.topK = k } }
+
+// WithFullRescanEvery sets the pruning cadence: with WithTopK, every Nth
+// decision re-scores the full candidate space and refreshes every cache.
+// Default 8. Ignored without WithTopK.
+func WithFullRescanEvery(n int) Option { return func(c *config) { c.fullRescan = n } }
 
 // WithObserver taps every access's telemetry: fn runs synchronously for
 // each AccessResult the workload produces, during bootstrap and tuned runs
@@ -418,14 +434,16 @@ func New(opts ...Option) (*System, error) {
 		store = sys.store
 	}
 	loop, err := core.NewNamedLoop(store, db, cluster, runner, cfg.policy, core.Config{
-		ModelNumber:  cfg.model,
-		Epsilon:      cfg.epsilon,
-		CooldownRuns: cfg.cooldown,
-		Epochs:       cfg.epochs,
-		WindowX:      cfg.windowX,
-		Seed:         cfg.seed,
-		Target:       cfg.target,
-		Parallelism:  cfg.parallelism,
+		ModelNumber:     cfg.model,
+		Epsilon:         cfg.epsilon,
+		CooldownRuns:    cfg.cooldown,
+		Epochs:          cfg.epochs,
+		WindowX:         cfg.windowX,
+		Seed:            cfg.seed,
+		Target:          cfg.target,
+		Parallelism:     cfg.parallelism,
+		TopK:            cfg.topK,
+		FullRescanEvery: cfg.fullRescan,
 	})
 	if err != nil {
 		sys.teardownAgents()

@@ -1,0 +1,96 @@
+// Package benchcmp compares two BENCH_scoring.json snapshots — a
+// committed baseline and a freshly measured file — and flags ns/op
+// regressions beyond a threshold. cmd/benchgate wraps it as the CI gate;
+// the package stays dependency-free so tests can drive it directly.
+package benchcmp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Record is one benchmark row, matching the schema TestBenchBaseline
+// writes.
+type Record struct {
+	Name      string  `json:"name"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	Runs      int     `json:"runs"`
+}
+
+// File is the BENCH_scoring.json wire form.
+type File struct {
+	Benchmarks []Record `json:"benchmarks"`
+}
+
+// Load reads and decodes one snapshot.
+func Load(path string) (File, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return File{}, fmt.Errorf("benchcmp: %w", err)
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return File{}, fmt.Errorf("benchcmp: decoding %s: %w", path, err)
+	}
+	if len(f.Benchmarks) == 0 {
+		return File{}, fmt.Errorf("benchcmp: %s has no benchmark rows", path)
+	}
+	return f, nil
+}
+
+// Delta is one baseline row's comparison against the fresh measurement.
+type Delta struct {
+	Name                string
+	BaselineNs, FreshNs float64
+	// Ratio is fresh/baseline ns/op: 1.0 unchanged, >1 slower.
+	Ratio float64
+	// Regressed marks rows whose slowdown exceeded the gate threshold.
+	Regressed bool
+}
+
+// Compare checks every baseline row against the fresh file. threshold is
+// the allowed fractional slowdown (0.25 = fail beyond +25% ns/op). A
+// baseline row missing from the fresh file is an error — a silently
+// dropped benchmark must not read as a pass. Rows only in the fresh file
+// are ignored: new benchmarks gate once they join the committed baseline.
+func Compare(baseline, fresh File, threshold float64) ([]Delta, error) {
+	if threshold < 0 {
+		return nil, fmt.Errorf("benchcmp: negative threshold %v", threshold)
+	}
+	freshByName := make(map[string]Record, len(fresh.Benchmarks))
+	for _, r := range fresh.Benchmarks {
+		freshByName[r.Name] = r
+	}
+	deltas := make([]Delta, 0, len(baseline.Benchmarks))
+	for _, base := range baseline.Benchmarks {
+		cur, ok := freshByName[base.Name]
+		if !ok {
+			return nil, fmt.Errorf("benchcmp: baseline row %q missing from fresh measurement", base.Name)
+		}
+		if base.NsPerOp <= 0 {
+			return nil, fmt.Errorf("benchcmp: baseline row %q has non-positive ns/op %v", base.Name, base.NsPerOp)
+		}
+		ratio := cur.NsPerOp / base.NsPerOp
+		deltas = append(deltas, Delta{
+			Name:       base.Name,
+			BaselineNs: base.NsPerOp,
+			FreshNs:    cur.NsPerOp,
+			Ratio:      ratio,
+			Regressed:  ratio > 1+threshold,
+		})
+	}
+	return deltas, nil
+}
+
+// Regressions filters the regressed rows.
+func Regressions(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}

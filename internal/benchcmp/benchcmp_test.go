@@ -1,0 +1,88 @@
+package benchcmp
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func rows(ns ...float64) File {
+	names := []string{"ScoringProposeLayout", "ScoringTopK", "ScoringGEMM"}
+	f := File{}
+	for i, v := range ns {
+		f.Benchmarks = append(f.Benchmarks, Record{Name: names[i], NsPerOp: v})
+	}
+	return f
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := rows(1000, 100, 500)
+	fresh := rows(1200, 126, 500) // +20%, +26%, unchanged
+	deltas, err := Compare(base, fresh, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 3 {
+		t.Fatalf("%d deltas", len(deltas))
+	}
+	if deltas[0].Regressed || deltas[2].Regressed {
+		t.Errorf("within-threshold rows flagged: %+v", deltas)
+	}
+	if !deltas[1].Regressed {
+		t.Errorf("+26%% row not flagged: %+v", deltas[1])
+	}
+	if got := Regressions(deltas); len(got) != 1 || got[0].Name != "ScoringTopK" {
+		t.Errorf("Regressions = %+v", got)
+	}
+}
+
+func TestCompareImprovementPasses(t *testing.T) {
+	deltas, err := Compare(rows(1000), rows(10), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deltas[0].Regressed || deltas[0].Ratio != 0.01 {
+		t.Errorf("100x speedup flagged: %+v", deltas[0])
+	}
+}
+
+func TestCompareMissingRowErrors(t *testing.T) {
+	if _, err := Compare(rows(1000, 100), rows(1000), 0.25); err == nil {
+		t.Error("dropped baseline row must not pass the gate")
+	}
+}
+
+func TestCompareRejectsBadInput(t *testing.T) {
+	if _, err := Compare(rows(1000), rows(1000), -1); err == nil {
+		t.Error("negative threshold should error")
+	}
+	if _, err := Compare(rows(0), rows(1000), 0.25); err == nil {
+		t.Error("zero baseline ns/op should error")
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	body := `{"benchmarks": [{"name": "ScoringGEMM", "ns_per_op": 251604, "ops_per_sec": 3974.5, "runs": 4816}]}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 1 || f.Benchmarks[0].NsPerOp != 251604 {
+		t.Fatalf("loaded %+v", f)
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file should error")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"benchmarks": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(empty); err == nil {
+		t.Error("empty benchmark list should error")
+	}
+}

@@ -89,6 +89,18 @@ type Config struct {
 	// engine minimizes predicted access duration instead of maximizing
 	// predicted throughput.
 	Target string
+	// TopK enables candidate pruning: a decision scores each file against
+	// only the top-K devices per device class by recent throughput (plus
+	// the file's current device) instead of every device, and files whose
+	// telemetry has not changed since their last scoring reuse cached
+	// scores. 0 (the default) keeps the exhaustive O(files×devices) pass
+	// on every decision — the paper's behavior, bit-for-bit.
+	TopK int
+	// FullRescanEvery is the pruning cadence: with TopK > 0, every Nth
+	// decision (and always the first) falls back to the exhaustive pass,
+	// re-scoring the full candidate space and refreshing every cache.
+	// Default 8. Ignored when TopK is 0.
+	FullRescanEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -130,6 +142,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Target == "" {
 		c.Target = TargetThroughput
+	}
+	if c.FullRescanEvery == 0 {
+		c.FullRescanEvery = 8
 	}
 	return c
 }
@@ -207,6 +222,14 @@ type Engine struct {
 	inFlat  *mat.Matrix
 	inSeq   []*mat.Matrix
 
+	// Candidate-pruning state (cfg.TopK > 0); see prune.go.
+	tracker       ChangeTracker
+	summarySource SummarySource
+	decisionCount uint64
+	modelGen      uint64
+	lastWatermark uint64
+	cache         map[int64]*fileCache
+
 	metrics engineMetrics
 }
 
@@ -264,18 +287,29 @@ func NewEngine(db TelemetryStore, devices []string, cfg Config) (*Engine, error)
 		rng:      r,
 		net:      net,
 		devIndex: make(map[string]int),
+		modelGen: 1,
+		cache:    make(map[int64]*fileCache),
 	}
+	// Dirty tracking is a capability, not a requirement: the local
+	// *replaydb.DB provides it, a RemoteStore may not. Without it the
+	// pruned path still shortlists devices but treats every file as
+	// changed on every decision.
+	e.tracker, _ = db.(ChangeTracker)
 	e.SetDevices(devices)
 	return e, nil
 }
 
-// SetDevices refreshes the candidate location list.
+// SetDevices refreshes the candidate location list. Cached candidate
+// scores are laid out per device index, so any device-list change drops
+// them and starts a new model generation.
 func (e *Engine) SetDevices(devices []string) {
 	e.devices = append([]string(nil), devices...)
 	e.devIndex = make(map[string]int, len(devices))
 	for i, d := range devices {
 		e.devIndex[d] = i
 	}
+	e.cache = make(map[int64]*fileCache)
+	e.modelGen++
 }
 
 // Devices returns the candidate location list.
@@ -534,6 +568,7 @@ func (e *Engine) train(ctx context.Context) (TrainReport, error) {
 	rep.Test = e.evaluateDenorm(test)
 	e.valMetrics = rep.Validation
 	e.trained = true
+	e.modelGen++ // new weights, scalers, and MAE adjustment: cached scores are stale
 	return rep, nil
 }
 
@@ -623,6 +658,7 @@ func (e *Engine) UpdateContext(ctx context.Context, window, epochs int) (TrainRe
 		e.metrics.trainErrors.Inc()
 		return TrainReport{}, err
 	}
+	e.modelGen++ // fine-tuned weights: cached scores are stale
 	rep := TrainReport{
 		Samples:   ds.Len(),
 		FinalLoss: loss,
@@ -660,45 +696,79 @@ func (e *Engine) evaluateDenorm(ds *nn.Dataset) nn.Metrics {
 // cycle.
 func (e *Engine) Trained() bool { return e.trained }
 
-// predictCandidate returns the adjusted predicted throughput (bytes/s) of
-// accessing file f when placed on device. For recurrent models the
-// candidate row is appended to the file's recent history window.
-func (e *Engine) predictCandidate(f FileMeta, device string) float64 {
-	// Candidate feature row: the file's typical access at this location,
-	// stamped at the most recent known time.
+// fileFeatures are the raw ingredients of a file's candidate rows: the
+// averaged recent transfer volumes, the latest close timestamp, and (for
+// recurrent models) the raw feature rows of the file's history window.
+// They depend only on the file's telemetry and size — not on model
+// weights or scalers — so the pruning plane caches them until the file's
+// telemetry changes (see prune.go).
+type fileFeatures struct {
+	rb, wb, ts float64
+	hist       [][]float64 // raw history rows, oldest first (recurrent models)
+}
+
+// gatherFileFeatures fetches a file's recent history from the ReplayDB
+// and reduces it to candidate-row ingredients. A file with no recorded
+// telemetry gets a symmetric cold-start prior — half its size split
+// evenly between read and write volume: assuming reads only (the old
+// prior) mis-ranked write-heavy cold files against devices with
+// imbalanced read/write bandwidth, visible on the write-ingest scenario.
+func (e *Engine) gatherFileFeatures(f FileMeta, withHist bool) fileFeatures {
 	recent := e.db.RecentByFile(f.ID, e.net.Window)
-	var rb, wb, ts float64
+	var ff fileFeatures
 	if len(recent) > 0 {
 		last := recent[len(recent)-1]
-		ts = float64(last.CloseTS) + float64(last.CloseTMS)/1000
+		ff.ts = float64(last.CloseTS) + float64(last.CloseTMS)/1000
 		var rbSum, wbSum float64
 		for i := range recent {
 			rbSum += float64(recent[i].BytesRead)
 			wbSum += float64(recent[i].BytesWritten)
 		}
-		rb = rbSum / float64(len(recent))
-		wb = wbSum / float64(len(recent))
+		ff.rb = rbSum / float64(len(recent))
+		ff.wb = wbSum / float64(len(recent))
 	} else {
-		rb = float64(f.Size) / 2
-		ts = 0
+		ff.rb = float64(f.Size) / 4
+		ff.wb = float64(f.Size) / 4
 	}
+	if withHist {
+		ff.hist = make([][]float64, len(recent))
+		for i := range recent {
+			ff.hist[i] = e.featureRow(&recent[i])
+		}
+	}
+	return ff
+}
+
+// candidateRow builds the normalized candidate feature row for placing a
+// file with ingredients ff on the device at devIdx.
+func (e *Engine) candidateRow(ff fileFeatures, fileID int64, devIdx int) []float64 {
+	row := []float64{logBytes(ff.rb), logBytes(ff.wb), ff.ts, ff.ts, float64(fileID), float64(devIdx)}
+	for c, v := range row {
+		row[c] = e.featScaler.TransformValue(c, v)
+	}
+	return row
+}
+
+// predictCandidate returns the adjusted predicted throughput (bytes/s) of
+// accessing file f when placed on device. For recurrent models the
+// candidate row is appended to the file's recent history window.
+func (e *Engine) predictCandidate(f FileMeta, device string) float64 {
+	recurrent := e.net.IsRecurrent()
+	// Candidate feature row: the file's typical access at this location,
+	// stamped at the most recent known time.
+	ff := e.gatherFileFeatures(f, recurrent)
 	devIdx, ok := e.devIndex[device]
 	if !ok {
 		devIdx = len(e.devices)
 	}
-	row := []float64{logBytes(rb), logBytes(wb), ts, ts, float64(f.ID), float64(devIdx)}
-	norm := make([]float64, len(row))
-	for c, v := range row {
-		norm[c] = e.featScaler.TransformValue(c, v)
-	}
+	norm := e.candidateRow(ff, f.ID, devIdx)
 
 	var pred float64
-	if e.net.IsRecurrent() {
+	if recurrent {
 		window := make([][]float64, 0, e.net.Window)
 		// History rows (normalized), oldest first, padded by repetition.
-		hist := make([][]float64, 0, len(recent))
-		for i := range recent {
-			raw := e.featureRow(&recent[i])
+		hist := make([][]float64, 0, len(ff.hist))
+		for _, raw := range ff.hist {
 			n := make([]float64, len(raw))
 			for c, v := range raw {
 				n[c] = e.featScaler.TransformValue(c, v)
@@ -822,29 +892,13 @@ func (e *Engine) candidateScores(ctx context.Context, files []FileMeta) ([][]flo
 		f := files[i]
 		// Candidate feature row: the file's typical access at this
 		// location, stamped at the most recent known time.
-		recent := e.db.RecentByFile(f.ID, e.net.Window)
-		var rb, wb, ts float64
-		if len(recent) > 0 {
-			last := recent[len(recent)-1]
-			ts = float64(last.CloseTS) + float64(last.CloseTMS)/1000
-			var rbSum, wbSum float64
-			for k := range recent {
-				rbSum += float64(recent[k].BytesRead)
-				wbSum += float64(recent[k].BytesWritten)
-			}
-			rb = rbSum / float64(len(recent))
-			wb = wbSum / float64(len(recent))
-		} else {
-			rb = float64(f.Size) / 2
-			ts = 0
-		}
+		ff := e.gatherFileFeatures(f, recurrent)
 		// History rows (normalized) are shared by every device pairing of
 		// this file; only the candidate row itself differs per device.
 		var hist [][]float64
 		if recurrent {
-			hist = make([][]float64, len(recent))
-			for k := range recent {
-				raw := e.featureRow(&recent[k])
+			hist = make([][]float64, len(ff.hist))
+			for k, raw := range ff.hist {
 				nrm := make([]float64, len(raw))
 				for c, v := range raw {
 					nrm[c] = e.featScaler.TransformValue(c, v)
@@ -852,16 +906,8 @@ func (e *Engine) candidateScores(ctx context.Context, files []FileMeta) ([][]flo
 				hist[k] = nrm
 			}
 		}
-		for j, dev := range e.devices {
-			devIdx, ok := e.devIndex[dev]
-			if !ok {
-				devIdx = len(e.devices)
-			}
-			row := []float64{logBytes(rb), logBytes(wb), ts, ts, float64(f.ID), float64(devIdx)}
-			norm := make([]float64, len(row))
-			for c, v := range row {
-				norm[c] = e.featScaler.TransformValue(c, v)
-			}
+		for j := range e.devices {
+			norm := e.candidateRow(ff, f.ID, j)
 			r := i*nDev + j
 			if !recurrent {
 				flat.SetRow(r, norm)
@@ -921,12 +967,27 @@ func (e *Engine) ProposeLayout(files []FileMeta, checker *agents.ActionChecker, 
 	return e.ProposeLayoutContext(context.Background(), files, checker, valid)
 }
 
+// scored is one file's prepared decision material: the decision shell
+// with its predictions, the candidate set the greedy rule maximizes over,
+// its validity-filtered form, and the full-width candidate list used for
+// exploration shuffles. On the exhaustive path cands spans every device;
+// on the pruned path it spans only the current-generation scored subset —
+// but explore always spans every device, so both paths consume identical
+// randomness and a fixed seed replays identically across modes.
+type scored struct {
+	d       Decision
+	cands   []agents.Candidate
+	passing []agents.Candidate
+	explore []agents.Candidate
+}
+
 // ProposeLayoutContext is ProposeLayout with cancellation: ctx is checked
 // between candidate-scoring batches. All candidate predictions happen in
-// one batched inference (candidateScores) and the per-file validity
-// filters fan out over the worker pool; only the ε-greedy selection — the
-// part that draws from e.rng — runs serially in file order, so a fixed
-// seed replays identically at any Parallelism.
+// one batched inference (candidateScores, or the pruned subset pass when
+// Config.TopK > 0) and the per-file validity filters fan out over the
+// worker pool; only the ε-greedy selection — the part that draws from
+// e.rng — runs serially in file order, so a fixed seed replays
+// identically at any Parallelism.
 func (e *Engine) ProposeLayoutContext(ctx context.Context, files []FileMeta, checker *agents.ActionChecker, valid agents.Validator) (map[int64]string, []Decision, error) {
 	if !e.trained {
 		return nil, nil, ErrNotTrained
@@ -934,14 +995,17 @@ func (e *Engine) ProposeLayoutContext(ctx context.Context, files []FileMeta, che
 	if checker == nil {
 		checker = agents.NewActionChecker(e.rng, e.devices)
 	}
+	pruned := e.cfg.TopK > 0 && !e.fullRescanDue()
+	e.decisionCount++
+	if pruned {
+		return e.proposePruned(ctx, files, checker, valid)
+	}
 	scores, err := e.candidateScores(ctx, files)
 	if err != nil {
 		return nil, nil, err
 	}
-	type scored struct {
-		d       Decision
-		cands   []agents.Candidate
-		passing []agents.Candidate
+	if e.cfg.TopK > 0 {
+		e.refreshCacheFull(files, scores)
 	}
 	pre := make([]scored, len(files))
 	err = parallelFor(ctx, len(files), e.cfg.Parallelism, func(i int) {
@@ -954,11 +1018,17 @@ func (e *Engine) ProposeLayoutContext(ctx context.Context, files []FileMeta, che
 			// Candidate scores are maximize-me: latency negates.
 			cands = append(cands, agents.Candidate{Device: dev, Predicted: e.betterScore(p)})
 		}
-		pre[i] = scored{d: d, cands: cands, passing: checker.Filter(cands, f.Size, valid)}
+		pre[i] = scored{d: d, cands: cands, passing: checker.Filter(cands, f.Size, valid), explore: cands}
 	})
 	if err != nil {
 		return nil, nil, err
 	}
+	return e.selectLayout(files, pre, checker, valid)
+}
+
+// selectLayout runs the serial ε-greedy selection over prepared decision
+// material. This is the only stage that draws from e.rng.
+func (e *Engine) selectLayout(files []FileMeta, pre []scored, checker *agents.ActionChecker, valid agents.Validator) (map[int64]string, []Decision, error) {
 	layout := make(map[int64]string, len(files))
 	decisions := make([]Decision, 0, len(files))
 	for i := range files {
@@ -966,9 +1036,22 @@ func (e *Engine) ProposeLayoutContext(ctx context.Context, files []FileMeta, che
 		d := pre[i].d
 		if e.rng.Float64() < e.cfg.Epsilon {
 			// Exploration: random movement, still subject to validation.
+			// The shuffle always spans the full device width — the choice
+			// only depends on which devices validate, never on scores, so
+			// pruned and exhaustive modes explore identically.
 			d.Random = true
-			shuffled := make([]agents.Candidate, len(pre[i].cands))
-			copy(shuffled, pre[i].cands)
+			exp := pre[i].explore
+			if exp == nil {
+				// Pruned path: widen to the full device list on demand,
+				// only for the files that actually explore. Predicted is
+				// irrelevant — the choice is the first device to validate.
+				exp = make([]agents.Candidate, len(e.devices))
+				for j, dev := range e.devices {
+					exp[j] = agents.Candidate{Device: dev}
+				}
+			}
+			shuffled := make([]agents.Candidate, len(exp))
+			copy(shuffled, exp)
 			e.rng.Shuffle(len(shuffled), func(a, b int) { shuffled[a], shuffled[b] = shuffled[b], shuffled[a] })
 			passing := checker.Filter(shuffled, f.Size, valid)
 			if len(passing) > 0 {

@@ -32,8 +32,11 @@ type EngineModel struct {
 // NewModel bridges the engine to the policy plane: an EngineModel whose
 // Action Checker shares the engine's decision stream (so checkpointed
 // runs replay its draws bit-for-bit) and whose validator tracks the
-// cluster's live capacity and availability.
+// cluster's live capacity and availability. The cluster also becomes the
+// engine's device-summary source, so candidate pruning (Config.TopK)
+// ranks shortlists from live recent-throughput digests.
 func (e *Engine) NewModel(cluster *storagesim.Cluster) *EngineModel {
+	e.SetSummarySource(cluster.DeviceSummaries)
 	return &EngineModel{
 		Engine:  e,
 		Checker: agents.NewActionChecker(e.rng, cluster.DeviceNames()),

@@ -1,0 +1,351 @@
+package core
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"geomancy/internal/agents"
+	"geomancy/internal/mat"
+	"geomancy/internal/nn"
+	"geomancy/internal/storagesim"
+)
+
+// Candidate pruning (Config.TopK > 0) makes the scoring hot path sublinear
+// in the candidate space. The exhaustive pass builds and scores all
+// files×devices rows on every decision; at warehouse scale (ROADMAP item
+// 2) almost all of that work re-derives scores that cannot have changed.
+// The pruned path keeps a per-file cache of candidate scores tagged with
+// the model generation that produced them, and per decision scores only:
+//
+//   - files whose telemetry changed since the last pass — the dirty set,
+//     answered by the ReplayDB's append watermark (ChangeTracker) instead
+//     of re-reading every file's history;
+//   - against a device shortlist — the top-K devices per device class by
+//     recent effective throughput (storagesim.DeviceSummary), always
+//     including the file's current device;
+//   - plus anything the current model generation has not scored yet: a
+//     retrain or incremental update bumps the generation, so fresh weights
+//     never reuse stale scores.
+//
+// Exactness contract: the first decision and every FullRescanEvery-th one
+// run the exhaustive pass, so pruning error cannot accumulate past one
+// cadence window. Between rescans, a clean file whose cache still carries
+// the full device width at the current generation decides over exactly
+// the exhaustive candidate set, bit-identically (batching never changes a
+// row's arithmetic); dirty or newly generated files decide over the
+// shortlist ∪ {current device}. Exploration draws are aligned by
+// construction (see scored.explore), so a pruned run and an exhaustive
+// run of the same seed consume identical randomness, and agree on the
+// chosen layout whenever the shortlist covers the argmax device.
+
+// ChangeTracker is the optional dirty-tracking view of a TelemetryStore.
+// The local *replaydb.DB implements it; a store that does not (e.g. a
+// remote daemon without the extension) degrades the pruned path to
+// treating every file as changed on every decision — still O(files×K).
+type ChangeTracker interface {
+	// Watermark returns the sequence number of the newest record.
+	Watermark() uint64
+	// FilesChangedSince returns IDs of files with access records appended
+	// after seq, sorted ascending.
+	FilesChangedSince(seq uint64) []int64
+	// FileLastSeq returns the sequence number of the file's newest access
+	// record, 0 if none.
+	FileLastSeq(fileID int64) uint64
+}
+
+// SummarySource supplies the per-device recent-throughput digests the
+// shortlist ranks; typically storagesim.(*Cluster).DeviceSummaries.
+type SummarySource func() []storagesim.DeviceSummary
+
+// SetSummarySource installs the device-summary provider the pruned path
+// builds shortlists from. Without one, pruning still skips clean files
+// but shortlists every device.
+func (e *Engine) SetSummarySource(src SummarySource) { e.summarySource = src }
+
+// fileCache is one file's pruning state: raw feature ingredients (valid
+// until the file's telemetry changes) and per-device candidate scores
+// tagged with the model generation that produced them. gens[j] == 0 means
+// never scored; entries are laid out in e.devices index order.
+type fileCache struct {
+	size      int64
+	featValid bool
+	feat      fileFeatures
+	scores    []float64
+	gens      []uint64
+}
+
+// invalidate drops everything derived from the file's telemetry.
+func (fc *fileCache) invalidate() {
+	fc.featValid = false
+	for i := range fc.gens {
+		fc.gens[i] = 0
+	}
+}
+
+// ensureCache returns the file's cache entry, creating or resetting it if
+// the device width or the file's size changed.
+func (e *Engine) ensureCache(f FileMeta) *fileCache {
+	ent, ok := e.cache[f.ID]
+	if !ok || len(ent.gens) != len(e.devices) {
+		ent = &fileCache{
+			size:   f.Size,
+			scores: make([]float64, len(e.devices)),
+			gens:   make([]uint64, len(e.devices)),
+		}
+		e.cache[f.ID] = ent
+	} else if ent.size != f.Size {
+		ent.size = f.Size
+		ent.invalidate()
+	}
+	return ent
+}
+
+// fullRescanDue reports whether the next decision must run the exhaustive
+// pass: always the first, then every FullRescanEvery-th.
+func (e *Engine) fullRescanDue() bool {
+	if e.decisionCount == 0 {
+		return true
+	}
+	return e.cfg.FullRescanEvery > 0 && e.decisionCount%uint64(e.cfg.FullRescanEvery) == 0
+}
+
+// refreshCacheFull records an exhaustive pass's full-width scores and
+// advances the dirty watermark. The cache is rebuilt from this file list,
+// so entries for files that left the working set are dropped here —
+// full rescans bound both pruning error and cache growth.
+func (e *Engine) refreshCacheFull(files []FileMeta, scores [][]float64) {
+	next := make(map[int64]*fileCache, len(files))
+	for i, f := range files {
+		ent := e.ensureCache(f)
+		copy(ent.scores, scores[i])
+		for j := range ent.gens {
+			ent.gens[j] = e.modelGen
+		}
+		next[f.ID] = ent
+	}
+	e.cache = next
+	if e.tracker != nil {
+		e.lastWatermark = e.tracker.Watermark()
+	}
+}
+
+// deviceShortlist returns the sorted device indices a pruned decision
+// scores dirty files against: the top-K devices per device class by
+// recent effective throughput, skipping devices no move could target
+// (unavailable or read-only). Ties break toward profile order, and the
+// result is ascending by device index, so shortlists are deterministic.
+// Without a summary source every device is shortlisted.
+func (e *Engine) deviceShortlist() []int {
+	if e.summarySource == nil {
+		out := make([]int, len(e.devices))
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	type ranked struct {
+		idx int
+		tp  float64
+	}
+	byClass := make(map[string][]ranked)
+	var classes []string
+	for _, s := range e.summarySource() {
+		j, ok := e.devIndex[s.Name]
+		if !ok || !s.Available || s.ReadOnly {
+			continue
+		}
+		if _, seen := byClass[s.Class]; !seen {
+			classes = append(classes, s.Class)
+		}
+		byClass[s.Class] = append(byClass[s.Class], ranked{j, s.RecentThroughput})
+	}
+	var out []int
+	for _, cls := range classes {
+		rs := byClass[cls]
+		sort.SliceStable(rs, func(a, b int) bool { return rs[a].tp > rs[b].tp })
+		n := e.cfg.TopK
+		if n > len(rs) {
+			n = len(rs)
+		}
+		for _, r := range rs[:n] {
+			out = append(out, r.idx)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// scoreTask is one file's pending inference work: the device indices to
+// score (ascending) and where its rows start in the batch.
+type scoreTask struct {
+	file int
+	ent  *fileCache
+	devs []int
+	base int
+}
+
+// proposePruned is the pruned counterpart of the exhaustive body of
+// ProposeLayoutContext: dirty-set invalidation, shortlist construction,
+// one batched inference over only the missing (file, device) rows, then
+// the same serial ε-greedy selection.
+func (e *Engine) proposePruned(ctx context.Context, files []FileMeta, checker *agents.ActionChecker, valid agents.Validator) (map[int64]string, []Decision, error) {
+	// Dirty set: drop caches of files whose telemetry moved past the last
+	// scoring watermark. Without a ChangeTracker nothing can be trusted
+	// across decisions; the shortlist still prunes the device axis.
+	if e.tracker != nil {
+		for _, id := range e.tracker.FilesChangedSince(e.lastWatermark) {
+			if ent, ok := e.cache[id]; ok {
+				ent.invalidate()
+			}
+		}
+		e.lastWatermark = e.tracker.Watermark()
+	} else {
+		for _, ent := range e.cache {
+			ent.invalidate()
+		}
+	}
+
+	short := e.deviceShortlist()
+
+	// Work list: per file, the shortlist ∪ {current device} entries not
+	// yet scored under the current model generation.
+	entries := make([]*fileCache, len(files))
+	tasks := make([]scoreTask, 0, len(files))
+	total := 0
+	for i, f := range files {
+		ent := e.ensureCache(f)
+		entries[i] = ent
+		var need []int
+		cur, curOK := e.devIndex[f.Device]
+		curListed := false
+		for _, j := range short {
+			if curOK && j == cur {
+				curListed = true
+			}
+			if ent.gens[j] != e.modelGen {
+				need = append(need, j)
+			}
+		}
+		if curOK && !curListed && ent.gens[cur] != e.modelGen {
+			pos := sort.SearchInts(need, cur)
+			need = append(need, 0)
+			copy(need[pos+1:], need[pos:])
+			need[pos] = cur
+		}
+		if len(need) > 0 {
+			tasks = append(tasks, scoreTask{file: i, ent: ent, devs: need, base: total})
+			total += len(need)
+		}
+	}
+	if total > 0 {
+		if err := e.scoreSubset(ctx, files, tasks, total); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Prepared decision material: candidates are every device scored
+	// under the current generation — the full width for clean files still
+	// carrying an exhaustive pass, the shortlist for freshly scored ones.
+	// explore stays nil; selectLayout widens it to the full device list
+	// only for the ε fraction of files that actually explore.
+	pre := make([]scored, len(files))
+	err := parallelFor(ctx, len(files), e.cfg.Parallelism, func(i int) {
+		f := files[i]
+		ent := entries[i]
+		d := Decision{FileID: f.ID, Current: f.Device, Predictions: make(map[string]float64, len(short)+1)}
+		cands := make([]agents.Candidate, 0, len(short)+1)
+		for j, dev := range e.devices {
+			if ent.gens[j] != e.modelGen {
+				continue
+			}
+			p := ent.scores[j]
+			d.Predictions[dev] = p
+			cands = append(cands, agents.Candidate{Device: dev, Predicted: e.betterScore(p)})
+		}
+		pre[i] = scored{d: d, cands: cands, passing: checker.Filter(cands, f.Size, valid)}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return e.selectLayout(files, pre, checker, valid)
+}
+
+// scoreSubset runs one batched inference over the tasks' (file, device)
+// rows and writes denormalized, MAE-adjusted scores into the file caches.
+// Each row's arithmetic is identical to the exhaustive pass's, so a score
+// computed here is bit-identical to the same pairing's exhaustive score.
+func (e *Engine) scoreSubset(ctx context.Context, files []FileMeta, tasks []scoreTask, total int) error {
+	cols := e.net.InSize
+	recurrent := e.net.IsRecurrent()
+	var flat *mat.Matrix
+	var seq []*mat.Matrix
+	w := 1
+	if recurrent {
+		w = e.net.Window
+		seq = e.seqBufs(w, total, cols)
+	} else {
+		flat = e.flatBuf(total, cols)
+	}
+
+	// Assemble the missing candidate rows; nothing here consumes e.rng.
+	// Tasks touch disjoint cache entries, so the fan-out is race-free.
+	err := parallelFor(ctx, len(tasks), e.cfg.Parallelism, func(ti int) {
+		t := tasks[ti]
+		f := files[t.file]
+		if !t.ent.featValid {
+			t.ent.feat = e.gatherFileFeatures(f, recurrent)
+			t.ent.featValid = true
+		}
+		ff := t.ent.feat
+		var hist [][]float64
+		if recurrent {
+			hist = make([][]float64, len(ff.hist))
+			for k, raw := range ff.hist {
+				nrm := make([]float64, len(raw))
+				for c, v := range raw {
+					nrm[c] = e.featScaler.TransformValue(c, v)
+				}
+				hist[k] = nrm
+			}
+		}
+		for k, j := range t.devs {
+			norm := e.candidateRow(ff, f.ID, j)
+			r := t.base + k
+			if !recurrent {
+				flat.SetRow(r, norm)
+				continue
+			}
+			need := w - 1
+			for x := 0; x < need; x++ {
+				if h := len(hist) - need + x; h >= 0 {
+					seq[x].SetRow(r, hist[h])
+				} else {
+					seq[x].SetRow(r, norm)
+				}
+			}
+			seq[need].SetRow(r, norm)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	start := time.Now() //geomancy:nondeterministic telemetry timestamp: inference duration is reported, never fed back into decisions
+	e.scratch.Parallelism = e.cfg.Parallelism
+	out := e.net.ForwardBatch(flat, seq, &e.scratch)
+	e.metrics.inferSeconds.Set(time.Since(start).Seconds()) //geomancy:nondeterministic telemetry timestamp: inference duration is reported, never fed back into decisions
+	e.metrics.inferBatch.Observe(float64(total))
+
+	return parallelFor(ctx, len(tasks), e.cfg.Parallelism, func(ti int) {
+		t := tasks[ti]
+		for k, j := range t.devs {
+			raw := DecodeTarget(e.targetScaler.Inverse(clamp01(out.At(t.base+k, 0))))
+			t.ent.scores[j] = nn.AdjustPrediction(raw, e.valMetrics)
+			t.ent.gens[j] = e.modelGen
+		}
+	})
+}

@@ -25,6 +25,26 @@ type EngineState struct {
 	Trained      bool
 
 	Rewards []float64
+
+	// Candidate-pruning bookkeeping (Config.TopK > 0): the decision
+	// counter anchors the full-rescan cadence, the watermark anchors the
+	// dirty set, and the score cache carries each file's per-device
+	// scores and generations, so a restored run's pruned decisions replay
+	// bit-for-bit. All zero/empty on engines that never pruned; feature
+	// ingredients are deliberately not captured — a restored engine
+	// refetches them, deterministically, from the restored ReplayDB.
+	DecisionCount uint64
+	ModelGen      uint64
+	LastWatermark uint64
+	ScoreCache    []FileScoreState
+}
+
+// FileScoreState is one file's serialized score-cache entry.
+type FileScoreState struct {
+	FileID int64
+	Size   int64
+	Scores []float64
+	Gens   []uint64
 }
 
 // State captures the engine mid-run.
@@ -33,16 +53,29 @@ func (e *Engine) State() (EngineState, error) {
 	if err := e.net.Save(&buf); err != nil {
 		return EngineState{}, fmt.Errorf("core: serializing model: %w", err)
 	}
-	return EngineState{
-		RNG:          e.rng.State(),
-		Net:          buf.Bytes(),
-		Devices:      append([]string(nil), e.devices...),
-		FeatScaler:   e.featScaler.State(),
-		TargetScaler: e.targetScaler.State(),
-		ValMetrics:   e.valMetrics,
-		Trained:      e.trained,
-		Rewards:      append([]float64(nil), e.rewards...),
-	}, nil
+	st := EngineState{
+		RNG:           e.rng.State(),
+		Net:           buf.Bytes(),
+		Devices:       append([]string(nil), e.devices...),
+		FeatScaler:    e.featScaler.State(),
+		TargetScaler:  e.targetScaler.State(),
+		ValMetrics:    e.valMetrics,
+		Trained:       e.trained,
+		Rewards:       append([]float64(nil), e.rewards...),
+		DecisionCount: e.decisionCount,
+		ModelGen:      e.modelGen,
+		LastWatermark: e.lastWatermark,
+	}
+	for id, ent := range e.cache {
+		st.ScoreCache = append(st.ScoreCache, FileScoreState{
+			FileID: id,
+			Size:   ent.size,
+			Scores: append([]float64(nil), ent.scores...),
+			Gens:   append([]uint64(nil), ent.gens...),
+		})
+	}
+	sort.Slice(st.ScoreCache, func(i, j int) bool { return st.ScoreCache[i].FileID < st.ScoreCache[j].FileID })
+	return st, nil
 }
 
 // RestoreState overwrites the engine with a previously captured snapshot.
@@ -61,6 +94,21 @@ func (e *Engine) RestoreState(st EngineState) error {
 	e.valMetrics = st.ValMetrics
 	e.trained = st.Trained
 	e.rewards = append([]float64(nil), st.Rewards...)
+	e.decisionCount = st.DecisionCount
+	if st.ModelGen != 0 {
+		// Snapshots predating the pruning plane carry no generation; keep
+		// the fresh engine's counter (SetDevices above already bumped it).
+		e.modelGen = st.ModelGen
+	}
+	e.lastWatermark = st.LastWatermark
+	e.cache = make(map[int64]*fileCache, len(st.ScoreCache))
+	for _, fs := range st.ScoreCache {
+		e.cache[fs.FileID] = &fileCache{
+			size:   fs.Size,
+			scores: append([]float64(nil), fs.Scores...),
+			gens:   append([]uint64(nil), fs.Gens...),
+		}
+	}
 	return nil
 }
 

@@ -1,0 +1,107 @@
+package replaydb
+
+import (
+	"reflect"
+	"testing"
+)
+
+func appendAccessOn(t *testing.T, db *DB, fileID int64, device string) AccessRecord {
+	t.Helper()
+	rec, err := db.AppendAccess(AccessRecord{FileID: fileID, Device: device, Throughput: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func TestFilesChangedSince(t *testing.T) {
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	if got := db.FilesChangedSince(0); got != nil {
+		t.Fatalf("empty db reported changes: %v", got)
+	}
+
+	appendAccessOn(t, db, 3, "a")
+	appendAccessOn(t, db, 1, "a")
+	mark := db.Watermark()
+
+	if got := db.FilesChangedSince(mark); got != nil {
+		t.Fatalf("nothing appended past watermark, got %v", got)
+	}
+
+	appendAccessOn(t, db, 7, "b")
+	// A movement record bumps the global sequence but dirties no file.
+	if _, err := db.AppendMovement(MovementRecord{FileID: 7, From: "a", To: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	appendAccessOn(t, db, 2, "a")
+	appendAccessOn(t, db, 7, "a") // duplicate file: reported once
+
+	got := db.FilesChangedSince(mark)
+	want := []int64{2, 7}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("FilesChangedSince(%d) = %v, want %v", mark, got, want)
+	}
+
+	// The full history from seq 0: every file, sorted.
+	if got := db.FilesChangedSince(0); !reflect.DeepEqual(got, []int64{1, 2, 3, 7}) {
+		t.Fatalf("FilesChangedSince(0) = %v", got)
+	}
+}
+
+func TestFileLastSeq(t *testing.T) {
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	if got := db.FileLastSeq(9); got != 0 {
+		t.Fatalf("unknown file has change counter %d", got)
+	}
+	first := appendAccessOn(t, db, 9, "a")
+	if got := db.FileLastSeq(9); got != first.Seq {
+		t.Fatalf("FileLastSeq = %d, want %d", got, first.Seq)
+	}
+	appendAccessOn(t, db, 4, "a") // other file: counter unchanged
+	if got := db.FileLastSeq(9); got != first.Seq {
+		t.Fatalf("FileLastSeq moved to %d on another file's append", got)
+	}
+	second := appendAccessOn(t, db, 9, "b")
+	if got := db.FileLastSeq(9); got != second.Seq {
+		t.Fatalf("FileLastSeq = %d, want %d", got, second.Seq)
+	}
+}
+
+// TestFilesChangedSinceSurvivesWAL checks that dirty tracking anchors on
+// the persisted sequence numbers: records replayed from a WAL answer the
+// same queries the original writer's memory index did.
+func TestFilesChangedSinceSurvivesWAL(t *testing.T) {
+	path := t.TempDir() + "/dirty.wal"
+	db, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAccessOn(t, db, 5, "a")
+	mark := db.Watermark()
+	appendAccessOn(t, db, 6, "b")
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.FilesChangedSince(mark); !reflect.DeepEqual(got, []int64{6}) {
+		t.Fatalf("after replay FilesChangedSince(%d) = %v, want [6]", mark, got)
+	}
+	if got := re.FileLastSeq(5); got != mark {
+		t.Fatalf("after replay FileLastSeq(5) = %d, want %d", got, mark)
+	}
+}

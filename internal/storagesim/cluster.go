@@ -189,7 +189,10 @@ func (c *Cluster) SetExternalScale(name string, scale float64) error {
 }
 
 // PlaceFile creates (or re-homes without transfer cost) a file on device.
-// It fails if the device is unknown, unavailable, read-only, or full.
+// It fails if the device is unknown, unavailable, read-only, or full — and
+// a failed call leaves the cluster untouched: every check runs before any
+// accounting mutates, so re-placing a file onto a full device keeps the
+// file on its old device with that device's used bytes intact.
 func (c *Cluster) PlaceFile(id int64, path string, size int64, device string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -206,13 +209,21 @@ func (c *Cluster) PlaceFile(id int64, path string, size int64, device string) er
 	if size < 0 {
 		return fmt.Errorf("storagesim: negative file size %d", size)
 	}
-	if f, exists := c.files[id]; exists {
+	// Capacity check before any mutation. A re-place frees the old copy's
+	// bytes, so when the destination already holds the file its current
+	// size counts as available.
+	avail := d.Free()
+	f, exists := c.files[id]
+	if exists && f.Device == device {
+		avail += f.Size
+	}
+	if avail < size {
+		return fmt.Errorf("storagesim: device %q full (%d free, need %d)", device, avail, size)
+	}
+	if exists {
 		if old := c.devices[f.Device]; old != nil {
 			old.used -= f.Size
 		}
-	}
-	if d.Free() < size {
-		return fmt.Errorf("storagesim: device %q full (%d free, need %d)", device, d.Free(), size)
 	}
 	c.files[id] = &FileState{ID: id, Path: path, Size: size, Device: device}
 	d.used += size
@@ -282,6 +293,9 @@ func (c *Cluster) Access(fileID, readBytes, writeBytes int64) (AccessResult, err
 	if !d.Available {
 		return AccessResult{}, fmt.Errorf("storagesim: device %q unavailable", f.Device)
 	}
+	if writeBytes > 0 && d.ReadOnly {
+		return AccessResult{}, fmt.Errorf("storagesim: write of %d bytes to read-only device %q", writeBytes, f.Device)
+	}
 
 	start := c.now
 	dur := d.Profile.LatencyFloor
@@ -313,6 +327,7 @@ func (c *Cluster) Access(fileID, readBytes, writeBytes int64) (AccessResult, err
 		End:          end,
 		Throughput:   float64(readBytes+writeBytes) / dur,
 	}
+	d.noteThroughput(res.Throughput)
 	res.OpenTS, res.OpenTMS = splitTS(start)
 	res.CloseTS, res.CloseTMS = splitTS(end)
 	return res, nil
@@ -389,6 +404,45 @@ func (c *Cluster) DeviceStats() []Stats {
 			BusySeconds: d.busySeconds,
 			Used:        d.used,
 			Capacity:    d.Profile.Capacity,
+		})
+	}
+	return out
+}
+
+// DeviceSummary is the cheap per-device digest the candidate-pruning plane
+// ranks shortlists by: no effectiveBW evaluation, no clock advancement —
+// just state the cluster already maintains on every access.
+type DeviceSummary struct {
+	Name  string
+	Class string
+	// RecentThroughput is an exponentially weighted moving average of the
+	// device's observed per-access throughput in bytes/second. A device
+	// with no recorded accesses yet reports its nominal read bandwidth, so
+	// an idle fast device still ranks into shortlists.
+	RecentThroughput float64
+	// Available and ReadOnly mirror the device flags so shortlist
+	// construction can skip devices no move could target anyway.
+	Available bool
+	ReadOnly  bool
+}
+
+// DeviceSummaries returns one summary per device in profile order.
+func (c *Cluster) DeviceSummaries() []DeviceSummary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]DeviceSummary, 0, len(c.order))
+	for _, name := range c.order {
+		d := c.devices[name]
+		tp := d.recentTP
+		if !d.recentTPValid {
+			tp = d.Profile.ReadBW
+		}
+		out = append(out, DeviceSummary{
+			Name:             name,
+			Class:            d.Profile.Class,
+			RecentThroughput: tp,
+			Available:        d.Available,
+			ReadOnly:         d.ReadOnly,
 		})
 	}
 	return out

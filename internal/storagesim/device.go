@@ -11,6 +11,13 @@
 // plus Poisson bursts) standing in for the other users of the shared
 // system. Every stochastic choice derives from an explicit seed, so
 // experiments replay bit-for-bit.
+//
+// Accounting semantics: a failed mutation leaves the cluster untouched.
+// PlaceFile, Move, and Access validate every precondition (device known,
+// available, writable when bytes land on it, capacity) before touching any
+// used-bytes or served-bytes counter, so each device's used bytes always
+// equal the summed sizes of the files resident on it and read-only devices
+// never absorb writes.
 package storagesim
 
 import (
@@ -99,6 +106,29 @@ type Device struct {
 	accessCount int64
 	bytesServed int64
 	busySeconds float64
+
+	// recentTP is an exponentially weighted moving average of observed
+	// per-access throughput, the cheap signal DeviceSummaries exposes for
+	// shortlist ranking. recentTPValid distinguishes "never accessed" from
+	// a genuine zero.
+	recentTP      float64
+	recentTPValid bool
+}
+
+// recentTPAlpha is the EWMA smoothing factor for recentTP: each access
+// contributes 20% of its throughput, so the average spans roughly the last
+// five accesses — fresh enough to track bursts, smooth enough that one
+// noisy access does not reorder a shortlist.
+const recentTPAlpha = 0.2
+
+// noteThroughput folds one observed access throughput into the EWMA.
+func (d *Device) noteThroughput(tp float64) {
+	if d.recentTPValid {
+		d.recentTP += recentTPAlpha * (tp - d.recentTP)
+	} else {
+		d.recentTP = tp
+		d.recentTPValid = true
+	}
 }
 
 // loadHalfLife is the decay half-life, in simulated seconds, of the

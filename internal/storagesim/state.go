@@ -28,6 +28,12 @@ type DeviceState struct {
 	AccessCount int64
 	BytesServed int64
 	BusySeconds float64
+
+	// RecentTP/RecentTPValid carry the per-device throughput EWMA that
+	// DeviceSummaries reports, so shortlists after a restore match the
+	// original run bit-for-bit.
+	RecentTP      float64
+	RecentTPValid bool
 }
 
 // ClusterState is the serializable snapshot of a cluster: the virtual
@@ -73,6 +79,8 @@ func (c *Cluster) State() ClusterState {
 			AccessCount:   d.accessCount,
 			BytesServed:   d.bytesServed,
 			BusySeconds:   d.busySeconds,
+			RecentTP:      d.recentTP,
+			RecentTPValid: d.recentTPValid,
 		})
 	}
 	for _, id := range sortedFileIDs(c.files) {
@@ -122,6 +130,8 @@ func (c *Cluster) RestoreState(st ClusterState) error {
 		d.accessCount = ds.AccessCount
 		d.bytesServed = ds.BytesServed
 		d.busySeconds = ds.BusySeconds
+		d.recentTP = ds.RecentTP
+		d.recentTPValid = ds.RecentTPValid
 	}
 	c.files = make(map[int64]*FileState, len(st.Files))
 	for i := range st.Files {
