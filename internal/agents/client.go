@@ -37,6 +37,8 @@ type Client struct {
 }
 
 // NewClient dials the daemon at addr.
+//
+//geomancy:allow ctxflow constructor dial is deadline-bounded by RetryPolicy.IOTimeout; no caller context exists yet
 func NewClient(addr string, opts ...Option) (*Client, error) {
 	o := buildOptions(opts)
 	c := &Client{

@@ -48,6 +48,8 @@ type Control struct {
 
 // NewControl dials the daemon, registers, and starts applying layout
 // pushes in the background.
+//
+//geomancy:allow ctxflow constructor dial is deadline-bounded by RetryPolicy.IOTimeout; no caller context exists yet
 func NewControl(addr string, mover Mover, opts ...Option) (*Control, error) {
 	if mover == nil {
 		return nil, fmt.Errorf("agents: control agent needs a mover")

@@ -315,6 +315,8 @@ type PushOutcome struct {
 // the error (if any) reports each failing agent's outcome. Acks are
 // correlated by a per-push ID so a late ack from a previous, timed-out
 // push is never credited to this one.
+//
+//geomancy:allow ctxflow push I/O is deadline-bounded by AckTimeout and replays idempotently via PushLayoutRetry
 func (d *Daemon) PushLayout(layout map[int64]string) (int, error) {
 	moved, outcomes, err := d.PushLayoutOutcomes(layout)
 	_ = outcomes
@@ -417,6 +419,8 @@ func (d *Daemon) PushLayoutOutcomes(layout map[int64]string) (int, []PushOutcome
 // transient transport fault need not cost the caller a decision cycle.
 // Mover failures (the target system refusing a move) are not retried:
 // repeating the request would not change the answer.
+//
+//geomancy:allow ctxflow push I/O is deadline-bounded by AckTimeout and replays idempotently via PushLayoutRetry
 func (d *Daemon) PushLayoutRetry(layout map[int64]string, policy RetryPolicy, jitter *rng.RNG) (int, error) {
 	policy = policy.withDefaults()
 	var lastErr error

@@ -49,6 +49,8 @@ type Monitor struct {
 
 // NewMonitor dials the Interface Daemon at addr and returns an agent for
 // the named device. batchSize ≤ 0 defaults to 32.
+//
+//geomancy:allow ctxflow constructor dial is deadline-bounded by RetryPolicy.IOTimeout; no caller context exists yet
 func NewMonitor(addr, device string, batchSize int, opts ...Option) (*Monitor, error) {
 	if batchSize <= 0 {
 		batchSize = 32

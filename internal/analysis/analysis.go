@@ -1,25 +1,33 @@
-// Package analysis is Geomancy's static-analysis suite: five custom
+// Package analysis is Geomancy's static-analysis suite: seven custom
 // analyzers that mechanically enforce the repo's determinism, context,
-// metric-naming, error-handling, and lock-safety invariants, plus the
-// tiny framework they run on.
+// metric-naming, error-handling, lock-safety, and serialization-coverage
+// invariants, plus the tiny framework they run on.
 //
 // The framework mirrors the golang.org/x/tools/go/analysis API shape
-// (Analyzer, Pass, Diagnostic) but is self-contained on the standard
-// library: packages are loaded through `go list -export` (see load.go),
-// type-checked with go/types against compiler export data, and each
-// analyzer walks the typed ASTs. If the module ever takes x/tools as a
-// dependency, each analyzer's Run is a mechanical port.
+// (Analyzer, Pass, Diagnostic, facts) but is self-contained on the
+// standard library: packages are loaded through `go list -export` (see
+// load.go), type-checked with go/types against compiler export data, and
+// each analyzer walks the typed ASTs. Packages are analyzed in dependency
+// order, and analyzers may export per-object Facts (see facts.go) that
+// later passes over importing packages consume — the cross-package layer
+// that makes locksafe, ctxflow, and statecheck interprocedural. If the
+// module ever takes x/tools as a dependency, each analyzer's Run is a
+// mechanical port.
 //
 // # Escape hatches
 //
-// Two comment directives suppress a diagnostic on the same line or the
-// line immediately below them, and both require a reason:
+// Three comment directives suppress a diagnostic on the same line or the
+// line immediately below them, and all require a reason:
 //
 //	//geomancy:nondeterministic <reason>   (determinism analyzer only)
 //	//geomancy:allow <analyzer> <reason>   (any analyzer, by name)
+//	//geomancy:ephemeral <reason>          (statecheck: field is derived or
+//	                                        rebuilt on restore, not serialized)
 //
 // A directive without a reason does not count: the framework reports the
-// bare directive instead, so allowlists stay self-documenting.
+// bare directive instead, so allowlists stay self-documenting. A
+// directive that suppresses nothing is stale; RunFull reports stale
+// directives separately and `geomancy-vet -audit` fails on them.
 package analysis
 
 import (
@@ -72,10 +80,13 @@ func (d Diagnostic) String() string {
 type Directive struct {
 	Line     int    // line the comment sits on
 	File     string // file name (full path)
-	Kind     string // "nondeterministic" or "allow"
+	Kind     string // "nondeterministic", "allow", or "ephemeral"
 	Analyzer string // target analyzer ("" for nondeterministic = determinism)
 	Reason   string
 	Pos      token.Position
+	// Used records whether the directive suppressed at least one finding
+	// during a run; directives still unused afterwards are stale.
+	Used bool
 }
 
 // suppresses reports whether the directive covers analyzer a at line.
@@ -89,6 +100,8 @@ func (d *Directive) suppresses(analyzer string, file string, line int) bool {
 		return analyzer == "determinism"
 	case "allow":
 		return d.Analyzer == analyzer
+	case "ephemeral":
+		return analyzer == "statecheck"
 	}
 	return false
 }
@@ -101,10 +114,34 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
-	pkg   *Package
-	diags *[]Diagnostic
+	pkg        *Package
+	diags      *[]Diagnostic
+	suppressed *[]SuppressedDiagnostic
+	store      *factStore
 	// bareReported dedupes "directive missing reason" per directive.
 	bareReported map[*Directive]bool
+}
+
+// matchingDirective returns the directive governing analyzer findings at
+// (file, line): a directive on the line itself wins over one on the line
+// above, so adjacent annotated lines each consume their own directive
+// (otherwise the upper directive would claim both findings and leave the
+// lower one spuriously stale).
+func (p *Pass) matchingDirective(file string, line int) *Directive {
+	var above *Directive
+	for i := range p.pkg.Directives {
+		d := &p.pkg.Directives[i]
+		if !d.suppresses(p.Analyzer.Name, file, line) {
+			continue
+		}
+		if d.Line == line {
+			return d
+		}
+		if above == nil {
+			above = d
+		}
+	}
+	return above
 }
 
 // Reportf records a diagnostic at pos unless a directive allowlists the
@@ -113,10 +150,17 @@ type Pass struct {
 // silently.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
-	for i := range p.pkg.Directives {
-		d := &p.pkg.Directives[i]
-		if !d.suppresses(p.Analyzer.Name, position.Filename, position.Line) {
-			continue
+	if d := p.matchingDirective(position.Filename, position.Line); d != nil {
+		d.Used = true
+		if p.suppressed != nil {
+			*p.suppressed = append(*p.suppressed, SuppressedDiagnostic{
+				Diagnostic: Diagnostic{
+					Pos:      position,
+					Analyzer: p.Analyzer.Name,
+					Message:  fmt.Sprintf(format, args...),
+				},
+				Reason: d.Reason,
+			})
 		}
 		if d.Reason == "" && !p.bareReported[d] {
 			p.bareReported[d] = true
@@ -135,6 +179,25 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// allowlisted reports whether a reasoned directive covers this
+// analyzer's findings at pos, marking the directive used. Analyzers
+// consult it when deriving facts from a site whose finding a human
+// already reviewed — locksafe, for example, does not propagate a
+// netIOFact out of an allowlisted I/O call, so one reviewed leaf does
+// not re-flag every transitive caller. Bare directives (no reason) do
+// not count: they are findings themselves.
+func (p *Pass) allowlisted(pos token.Pos) bool {
+	position := p.Fset.Position(pos)
+	for i := range p.pkg.Directives {
+		d := &p.pkg.Directives[i]
+		if d.Reason != "" && d.suppresses(p.Analyzer.Name, position.Filename, position.Line) {
+			d.Used = true
+			return true
+		}
+	}
+	return false
+}
+
 // All returns the full Geomancy analyzer suite in a stable order.
 func All() []*Analyzer {
 	return []*Analyzer{
@@ -144,25 +207,65 @@ func All() []*Analyzer {
 		MetricNamesAnalyzer,
 		ErrCompareAnalyzer,
 		LockSafeAnalyzer,
+		StateCheckAnalyzer,
 	}
+}
+
+// SuppressedDiagnostic is a finding a reasoned directive silenced: still
+// worth surfacing in machine-readable reports, so allowlists stay
+// auditable without failing the run.
+type SuppressedDiagnostic struct {
+	Diagnostic
+	// Reason is the directive's justification text.
+	Reason string
+}
+
+// Report is the complete outcome of one analysis run.
+type Report struct {
+	// Diagnostics are the live findings, sorted by position; a non-empty
+	// slice means the run failed.
+	Diagnostics []Diagnostic
+	// Suppressed are findings silenced by reasoned directives.
+	Suppressed []SuppressedDiagnostic
+	// Stale are //geomancy:... directives that suppressed nothing: each is
+	// an "audit" diagnostic pointing at the directive. `geomancy-vet
+	// -audit` turns these into failures.
+	Stale []Diagnostic
 }
 
 // Run applies every analyzer to every package (honoring Filters), then
 // the module-wide Flush passes, and returns the diagnostics sorted by
 // position. The error reports analyzer crashes, not findings.
 func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
-	return run(analyzers, pkgs, true)
+	rep, err := RunFull(analyzers, pkgs)
+	if rep == nil {
+		return nil, err
+	}
+	return rep.Diagnostics, err
 }
 
 // RunUnfiltered is Run with every Filter bypassed — the analysistest
 // entry point, so fixture packages need not mimic production paths.
 func RunUnfiltered(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
-	return run(analyzers, pkgs, false)
+	rep, err := run(analyzers, pkgs, false)
+	if rep == nil {
+		return nil, err
+	}
+	return rep.Diagnostics, err
 }
 
-func run(analyzers []*Analyzer, pkgs []*Package, useFilter bool) ([]Diagnostic, error) {
-	var diags []Diagnostic
+// RunFull is Run returning the complete Report: live findings, suppressed
+// findings with their directive reasons, and stale directives.
+func RunFull(analyzers []*Analyzer, pkgs []*Package) (*Report, error) {
+	return run(analyzers, pkgs, true)
+}
+
+func run(analyzers []*Analyzer, pkgs []*Package, useFilter bool) (*Report, error) {
+	rep := &Report{}
+	store := newFactStore()
 	results := make(map[*Analyzer][]Result)
+	// pkgs arrive in dependency order (see Load), so when a package is
+	// analyzed every fact its dependencies exported is already in store.
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			if useFilter && a.Filter != nil && !a.Filter(pkg.PkgPath) {
@@ -175,21 +278,51 @@ func run(analyzers []*Analyzer, pkgs []*Package, useFilter bool) ([]Diagnostic, 
 				Pkg:          pkg.Types,
 				TypesInfo:    pkg.TypesInfo,
 				pkg:          pkg,
-				diags:        &diags,
+				diags:        &rep.Diagnostics,
+				suppressed:   &rep.Suppressed,
+				store:        store,
 				bareReported: make(map[*Directive]bool),
 			}
 			value, err := a.Run(pass)
 			if err != nil {
-				return diags, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.PkgPath, err)
+				return rep, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.PkgPath, err)
 			}
 			results[a] = append(results[a], Result{Pkg: pkg, Value: value})
 		}
 	}
 	for _, a := range analyzers {
 		if a.Flush != nil {
-			diags = append(diags, a.Flush(results[a])...)
+			rep.Diagnostics = append(rep.Diagnostics, a.Flush(results[a])...)
 		}
 	}
+	rep.Stale = staleDirectives(pkgs)
+	sortDiags(rep.Diagnostics)
+	sortDiags(rep.Stale)
+	return rep, nil
+}
+
+// staleDirectives collects directives no Reportf call used during the
+// run just finished. Bare directives are excluded: they already produce a
+// "missing a reason" finding, and double-reporting them helps nobody.
+func staleDirectives(pkgs []*Package) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for i := range pkg.Directives {
+			d := &pkg.Directives[i]
+			if d.Used || d.Reason == "" {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Pos:      d.Pos,
+				Analyzer: "audit",
+				Message:  fmt.Sprintf("stale //geomancy:%s directive: it no longer suppresses any finding; remove it", d.Kind),
+			})
+		}
+	}
+	return out
+}
+
+func sortDiags(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -203,7 +336,6 @@ func run(analyzers []*Analyzer, pkgs []*Package, useFilter bool) ([]Diagnostic, 
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags, nil
 }
 
 // parseDirectives extracts //geomancy:... comments from a parsed file.
@@ -229,7 +361,7 @@ func parseDirectives(fset *token.FileSet, f *ast.File) []Directive {
 				Pos:  pos,
 			}
 			switch kind {
-			case "nondeterministic":
+			case "nondeterministic", "ephemeral":
 				d.Reason = strings.TrimSpace(rest)
 			case "allow":
 				d.Analyzer, d.Reason, _ = strings.Cut(strings.TrimSpace(rest), " ")

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// CallGraph is one package's static call graph: every declared function
+// or method, with the statically resolvable calls its body makes. Edges
+// point at FactKeys, so callees in other packages — resolvable only as
+// export-data objects — participate the same way local ones do; dynamic
+// calls (function values, interface methods without a named concrete
+// receiver) have no edge, which keeps every derived property an
+// under-approximation: the graph never claims a call that cannot happen.
+type CallGraph struct {
+	// Decls maps each declared function's key to its declaration.
+	Decls map[FactKey]*ast.FuncDecl
+	// Callees maps each declared function's key to the keys of functions
+	// its body calls (deduplicated, sorted for determinism).
+	Callees map[FactKey][]FactKey
+
+	order []FactKey // declaration order, for deterministic iteration
+}
+
+// NewCallGraph builds the call graph of the pass's package. Function
+// literals are attributed to their enclosing declaration: a call made
+// inside a closure body is an edge of the declaring function, because the
+// closure may run on the declaring function's synchronous path.
+// Goroutine bodies are excluded — a `go` statement's work does not run on
+// the caller's stack, so its calls are not the caller's calls.
+func NewCallGraph(pass *Pass) *CallGraph {
+	g := &CallGraph{
+		Decls:   make(map[FactKey]*ast.FuncDecl),
+		Callees: make(map[FactKey][]FactKey),
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			key, ok := FuncKey(obj)
+			if !ok {
+				continue
+			}
+			g.Decls[key] = fd
+			g.order = append(g.order, key)
+			seen := make(map[FactKey]bool)
+			var callees []FactKey
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.GoStmt:
+					return false // asynchronous: not on this function's path
+				case *ast.CallExpr:
+					fn := calleeFunc(pass.TypesInfo, n)
+					if ck, ok := FuncKey(fn); ok && !seen[ck] {
+						seen[ck] = true
+						callees = append(callees, ck)
+					}
+				}
+				return true
+			})
+			sort.Slice(callees, func(i, j int) bool {
+				if callees[i].Pkg != callees[j].Pkg {
+					return callees[i].Pkg < callees[j].Pkg
+				}
+				return callees[i].Object < callees[j].Object
+			})
+			g.Callees[key] = callees
+		}
+	}
+	return g
+}
+
+// Keys returns the declared functions in declaration order.
+func (g *CallGraph) Keys() []FactKey { return g.order }
+
+// Fixpoint propagates a bottom-up property through the package until it
+// stabilizes: starting from the functions has already holds for (direct
+// evidence or imported facts), any function calling a marked function is
+// marked via mark(caller, callee). Iteration is in declaration order and
+// repeats until a full sweep marks nothing, so call chains resolve
+// regardless of declaration order; mark must make has(caller) true.
+func (g *CallGraph) Fixpoint(has func(FactKey) bool, mark func(caller, callee FactKey)) {
+	for changed := true; changed; {
+		changed = false
+		for _, caller := range g.order {
+			if has(caller) {
+				continue
+			}
+			for _, callee := range g.Callees[caller] {
+				if has(callee) {
+					mark(caller, callee)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// Closure returns the set of declared-in-package functions reachable from
+// the roots by following static call edges (roots included when they are
+// declared here). Edges into other packages terminate: only this
+// package's bodies are available to walk.
+func (g *CallGraph) Closure(roots []FactKey) map[FactKey]*ast.FuncDecl {
+	out := make(map[FactKey]*ast.FuncDecl)
+	var visit func(k FactKey)
+	visit = func(k FactKey) {
+		fd, declared := g.Decls[k]
+		if !declared || out[k] != nil {
+			return
+		}
+		out[k] = fd
+		for _, c := range g.Callees[k] {
+			visit(c)
+		}
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+	return out
+}

@@ -8,14 +8,17 @@ import (
 
 // CtxflowAnalyzer enforces context plumbing on the RPC surface: inside
 // internal/agents and the facade, an exported function or method that
-// performs I/O directly must accept a context.Context (or have an
-// exported <Name>Context sibling), and no function may synthesize
-// context.Background()/context.TODO() unless it is the documented
-// convenience wrapper of its own <Name>Context variant.
+// performs I/O — directly, or one call away through a helper that does
+// (in this package or, via directIOFact, a dependency) — must accept a
+// context.Context (or have an exported <Name>Context sibling), and no
+// function may synthesize context.Background()/context.TODO() unless it
+// is the documented convenience wrapper of its own <Name>Context
+// variant.
 var CtxflowAnalyzer = &Analyzer{
 	Name: "ctxflow",
 	Doc: "exported I/O- or RPC-performing functions in internal/agents and the facade " +
-		"must accept a context.Context, and may not synthesize context.Background()",
+		"must accept a context.Context — I/O one helper call away counts — and may " +
+		"not synthesize context.Background()",
 	Filter: func(pkgPath string) bool {
 		return !strings.Contains(pkgPath, "/") || // module root = the facade
 			strings.Contains(pkgPath, "internal/agents")
@@ -23,15 +26,40 @@ var CtxflowAnalyzer = &Analyzer{
 	Run: runCtxflow,
 }
 
+// directIOFact marks a function whose own body performs network or
+// stream I/O; Desc names the operation (e.g. "net.Conn.Write"). The
+// fact lets exported callers one package downstream be held to the
+// context rule without re-analyzing the helper's source.
+type directIOFact struct {
+	Desc string
+}
+
+func (*directIOFact) AFact() {}
+
 func runCtxflow(pass *Pass) (any, error) {
 	// funcNames collects every function / method name in the package so
 	// the <Name>Context sibling rule can be checked cheaply. Keyed by
 	// "Recv.Name" for methods and "Name" for functions.
 	funcNames := make(map[string]bool)
+	// ioOf records which declared functions perform I/O in their own
+	// body, exported as directIOFacts for downstream packages.
+	ioOf := make(map[FactKey]string)
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
-			if fd, ok := decl.(*ast.FuncDecl); ok {
-				funcNames[enclosingFuncName(fd)] = true
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			funcNames[enclosingFuncName(fd)] = true
+			if fd.Body == nil {
+				continue
+			}
+			if io := directIOCall(pass, fd.Body); io != "" {
+				obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+				if key, ok := FuncKey(obj); ok {
+					ioOf[key] = io
+					pass.ExportFact(key, &directIOFact{Desc: io})
+				}
 			}
 		}
 	}
@@ -46,6 +74,8 @@ func runCtxflow(pass *Pass) (any, error) {
 			if fd.Name.IsExported() && !isWrapper && !hasCtxParam(pass, fd) {
 				if io := directIOCall(pass, fd.Body); io != "" {
 					pass.Reportf(fd.Name.Pos(), "exported %s performs I/O (%s) but accepts no context.Context and has no %sContext variant", name, io, fd.Name.Name)
+				} else if helper, io := helperIOCall(pass, fd.Body, ioOf); io != "" {
+					pass.Reportf(fd.Name.Pos(), "exported %s performs I/O through %s (%s) but accepts no context.Context and has no %sContext variant", name, helper, io, fd.Name.Name)
 				}
 			}
 			ast.Inspect(fd.Body, func(n ast.Node) bool {
@@ -82,10 +112,49 @@ func hasCtxParam(pass *Pass, fd *ast.FuncDecl) bool {
 	return false
 }
 
+// helperIOCall scans a body for a call to a function that itself
+// performs direct I/O — one level of helper indirection, resolved
+// against this package's ioOf map or an imported directIOFact. The
+// first match (in source order) names the helper for the diagnostic.
+// Goroutine bodies are skipped: their I/O is not on this function's
+// synchronous path.
+func helperIOCall(pass *Pass, body *ast.BlockStmt, ioOf map[FactKey]string) (helper, desc string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if desc != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			fn := calleeFunc(pass.TypesInfo, n)
+			key, ok := FuncKey(fn)
+			if !ok {
+				return true
+			}
+			if d, ok := ioOf[key]; ok {
+				helper, desc = funcDisplay(pass, fn, key), d
+				return false
+			}
+			if key.Pkg != pass.Pkg.Path() {
+				var f directIOFact
+				if pass.ImportFact(key, &f) {
+					helper, desc = funcDisplay(pass, fn, key), f.Desc
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return helper, desc
+}
+
 // directIOCall scans a body for calls that perform network or stream
 // I/O directly, returning a short description of the first one found.
-// The check is intra-procedural on purpose: the invariant targets the
-// functions that own a connection, not every transitive caller.
+// The deeper transitive chain is deliberately out of scope: the context
+// rule targets the function that owns the connection and its immediate
+// exported wrappers, not every distant caller (which locksafe's
+// netIOFact chain already covers for the lock invariant).
 func directIOCall(pass *Pass, body *ast.BlockStmt) string {
 	found := ""
 	ast.Inspect(body, func(n ast.Node) bool {

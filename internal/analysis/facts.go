@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"go/types"
+	"reflect"
+	"sort"
+)
+
+// This file is the suite's cross-package facts layer, in the spirit of
+// go/analysis facts but self-contained on the standard library: while a
+// package is analyzed, an analyzer may export a Fact about one of the
+// package's objects (a function performs network I/O, a type's fields are
+// fully serialized, ...), and analyzers running later — over packages that
+// import it — look the fact up to reason interprocedurally without
+// re-analyzing the dependency's source.
+//
+// go/analysis keys facts by types.Object identity, which works there
+// because a single shared importer materializes every declaration exactly
+// once. This loader type-checks each target package from source while
+// importing its dependencies from gc export data, so one declaration
+// appears as two distinct objects (the source-checked one and the
+// imported one). Facts are therefore keyed by FactKey — (package path,
+// qualified object name) — which is stable across both views.
+//
+// Facts only flow forward: Load returns packages in dependency order
+// (`go list -deps` emits dependencies before dependents), and Run analyzes
+// them in that order, so by the time a package is analyzed every fact its
+// dependencies can produce has been exported. Facts are namespaced per
+// analyzer, exactly as in go/analysis: one analyzer never observes
+// another's facts.
+
+// FactKey names one program object stably across the source-checked and
+// export-data views of its package.
+type FactKey struct {
+	// Pkg is the object's package path.
+	Pkg string
+	// Object is the qualified name: "Func" for a package-level function,
+	// "Type.Method" for a method (receiver pointer-ness erased), "Type"
+	// for a type, "Type.Field" for a struct field.
+	Object string
+}
+
+func (k FactKey) String() string { return k.Pkg + "." + k.Object }
+
+// A Fact is a property an analyzer proves about an object. Implementations
+// are pointer-to-struct; the marker method keeps arbitrary values out of
+// the store.
+type Fact interface{ AFact() }
+
+// FuncKey computes the FactKey of a function or method, ok=false for
+// nil functions, functions without a package (builtins), and methods on
+// unnamed receivers.
+func FuncKey(fn *types.Func) (FactKey, bool) {
+	if fn == nil || fn.Pkg() == nil {
+		return FactKey{}, false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return FactKey{}, false
+	}
+	if sig.Recv() == nil {
+		return FactKey{Pkg: fn.Pkg().Path(), Object: fn.Name()}, true
+	}
+	recv := namedOf(sig.Recv().Type())
+	if recv == nil {
+		// Interface methods reach here with a named interface receiver;
+		// methods on unnamed types do not get keys.
+		return FactKey{}, false
+	}
+	return FactKey{Pkg: fn.Pkg().Path(), Object: recv.Obj().Name() + "." + fn.Name()}, true
+}
+
+// TypeKey computes the FactKey of a named type (pointers and aliases
+// unwrapped), ok=false for unnamed or package-less types.
+func TypeKey(t types.Type) (FactKey, bool) {
+	n := namedOf(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return FactKey{}, false
+	}
+	return FactKey{Pkg: n.Obj().Pkg().Path(), Object: n.Obj().Name()}, true
+}
+
+// factStore accumulates facts across one Run, namespaced per analyzer.
+type factStore struct {
+	// facts[analyzer][key] holds the facts exported about key, at most
+	// one per concrete Fact type (a re-export overwrites).
+	facts map[string]map[FactKey][]Fact
+}
+
+func newFactStore() *factStore {
+	return &factStore{facts: make(map[string]map[FactKey][]Fact)}
+}
+
+func (s *factStore) export(analyzer string, key FactKey, fact Fact) {
+	byKey := s.facts[analyzer]
+	if byKey == nil {
+		byKey = make(map[FactKey][]Fact)
+		s.facts[analyzer] = byKey
+	}
+	want := reflect.TypeOf(fact)
+	for i, f := range byKey[key] {
+		if reflect.TypeOf(f) == want {
+			byKey[key][i] = fact
+			return
+		}
+	}
+	byKey[key] = append(byKey[key], fact)
+}
+
+// lookup copies the stored fact of target's concrete type into target.
+func (s *factStore) lookup(analyzer string, key FactKey, target Fact) bool {
+	want := reflect.TypeOf(target)
+	for _, f := range s.facts[analyzer][key] {
+		if reflect.TypeOf(f) == want {
+			reflect.ValueOf(target).Elem().Set(reflect.ValueOf(f).Elem())
+			return true
+		}
+	}
+	return false
+}
+
+// keys returns every key the analyzer exported any fact about, sorted.
+func (s *factStore) keys(analyzer string) []FactKey {
+	byKey := s.facts[analyzer]
+	out := make([]FactKey, 0, len(byKey))
+	for k := range byKey {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pkg != out[j].Pkg {
+			return out[i].Pkg < out[j].Pkg
+		}
+		return out[i].Object < out[j].Object
+	})
+	return out
+}
+
+// ExportFact records a fact about key for this pass's analyzer. Later
+// passes of the same analyzer — over this package or packages importing
+// it — retrieve it with ImportFact.
+func (p *Pass) ExportFact(key FactKey, fact Fact) {
+	if fact == nil {
+		panic("analysis: ExportFact(nil)")
+	}
+	p.store.export(p.Analyzer.Name, key, fact)
+}
+
+// ExportObjectFact is ExportFact keyed by a function object.
+func (p *Pass) ExportObjectFact(fn *types.Func, fact Fact) {
+	if key, ok := FuncKey(fn); ok {
+		p.ExportFact(key, fact)
+	}
+}
+
+// ImportFact copies the fact of target's concrete type recorded about key
+// into target, reporting whether one was found. Only facts exported by
+// the same analyzer are visible.
+func (p *Pass) ImportFact(key FactKey, target Fact) bool {
+	return p.store.lookup(p.Analyzer.Name, key, target)
+}
+
+// ImportObjectFact is ImportFact keyed by a function object.
+func (p *Pass) ImportObjectFact(fn *types.Func, target Fact) bool {
+	key, ok := FuncKey(fn)
+	return ok && p.ImportFact(key, target)
+}
+
+// FactKeys returns every key this pass's analyzer has exported facts
+// about so far, sorted; module-wide Flush passes use it to enumerate.
+func (p *Pass) FactKeys() []FactKey {
+	return p.store.keys(p.Analyzer.Name)
+}

@@ -46,6 +46,11 @@ type listedPackage struct {
 // `go list -export`. Dependencies — including the standard library —
 // are imported from export data, so loading needs no network and no
 // pre-installed artifacts beyond the Go toolchain's build cache.
+//
+// The returned slice preserves `go list -deps` order, which emits every
+// dependency before its dependents. Run relies on this: analyzing
+// packages in slice order guarantees that facts exported while analyzing
+// a dependency are visible when its importers are analyzed (facts.go).
 func Load(dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}

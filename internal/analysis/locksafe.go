@@ -17,14 +17,32 @@ import (
 // quiescence (the "no goroutine leaks" acceptance test of the fault
 // plane). Functions whose name ends in "Locked" are, by repo
 // convention, called with the lock held and are checked the same way.
+//
+// The I/O rule is interprocedural: every function that performs network
+// I/O on its synchronous path — directly or by calling another such
+// function, in this package or (via netIOFact) any dependency — is
+// tracked, and a call to one while a lock is held is flagged just like
+// the raw conn.Write would be. Dynamic calls carry no fact, so the
+// property stays an under-approximation: every flagged chain is real.
 var LockSafeAnalyzer = &Analyzer{
 	Name: "locksafe",
-	Doc: "no mutex held across network I/O or channel sends; no goroutine in " +
-		"library code without a WaitGroup or done-channel join",
+	Doc: "no mutex held across network I/O or channel sends — directly or through " +
+		"any statically resolvable call chain; no goroutine in library code " +
+		"without a WaitGroup or done-channel join",
 	Run: runLockSafe,
 }
 
+// netIOFact marks a function that performs blocking network I/O on its
+// synchronous path, directly or transitively. Desc names the I/O at the
+// end of the chain (e.g. "net.Conn.Write") for diagnostics.
+type netIOFact struct {
+	Desc string
+}
+
+func (*netIOFact) AFact() {}
+
 func runLockSafe(pass *Pass) (any, error) {
+	netIO := netIOFuncs(pass, NewCallGraph(pass))
 	isMain := pass.Pkg.Name() == "main"
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
@@ -36,13 +54,81 @@ func runLockSafe(pass *Pass) (any, error) {
 			if strings.HasSuffix(fd.Name.Name, "Locked") {
 				held["<caller>"] = true
 			}
-			checkLockedStmts(pass, fd.Body.List, held)
+			checkLockedStmts(pass, fd.Body.List, held, netIO)
 			if !isMain {
 				checkGoroutineJoins(pass, fd)
 			}
 		}
 	}
 	return nil, nil
+}
+
+// netIOFuncs computes the package's network-I/O-performing functions:
+// seeded by direct blocking calls in each body (goroutine bodies
+// excluded — their I/O is not on the caller's path), grown to a fixpoint
+// over the call graph, with cross-package callees resolved through
+// imported netIOFacts. Every function in the result is exported as a
+// netIOFact for dependent packages.
+func netIOFuncs(pass *Pass, g *CallGraph) map[FactKey]string {
+	netIO := make(map[FactKey]string)
+	for _, key := range g.Keys() {
+		fd := g.Decls[key]
+		desc := ""
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if desc != "" {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				return false
+			case *ast.CallExpr:
+				if d := ioCallDesc(pass.TypesInfo, n); d != "" {
+					// An allowlisted I/O site has been reviewed; it does not
+					// make this function I/O-performing for its callers.
+					if pass.allowlisted(n.Pos()) {
+						return true
+					}
+					desc = d
+					return false
+				}
+			}
+			return true
+		})
+		if desc != "" {
+			netIO[key] = desc
+		}
+	}
+	g.Fixpoint(
+		func(k FactKey) bool {
+			if _, ok := netIO[k]; ok {
+				return true
+			}
+			if k.Pkg != pass.Pkg.Path() {
+				var f netIOFact
+				if pass.ImportFact(k, &f) {
+					netIO[k] = f.Desc
+					return true
+				}
+			}
+			return false
+		},
+		func(caller, callee FactKey) { netIO[caller] = netIO[callee] },
+	)
+	for key, desc := range netIO {
+		if _, declared := g.Decls[key]; declared {
+			pass.ExportFact(key, &netIOFact{Desc: desc})
+		}
+	}
+	return netIO
+}
+
+// funcDisplay renders a callee for diagnostics: "Recv.Method" or "Func"
+// locally, package-qualified across packages.
+func funcDisplay(pass *Pass, fn *types.Func, key FactKey) string {
+	if fn.Pkg() != nil && fn.Pkg() != pass.Pkg {
+		return fn.Pkg().Name() + "." + key.Object
+	}
+	return key.Object
 }
 
 // exprString renders the receiver expression of a Lock/Unlock call so
@@ -78,7 +164,7 @@ func mutexMethod(pass *Pass, call *ast.CallExpr) (key string, acquire, ok bool) 
 // mutexes are held, and reports blocking operations executed while any
 // lock is held. Nested control flow shares the held set — precise
 // branch-sensitive tracking is not needed for the invariant.
-func checkLockedStmts(pass *Pass, stmts []ast.Stmt, held map[string]bool) {
+func checkLockedStmts(pass *Pass, stmts []ast.Stmt, held map[string]bool, netIO map[FactKey]string) {
 	for _, stmt := range stmts {
 		switch s := stmt.(type) {
 		case *ast.ExprStmt:
@@ -99,30 +185,32 @@ func checkLockedStmts(pass *Pass, stmts []ast.Stmt, held map[string]bool) {
 				continue
 			}
 		case *ast.BlockStmt:
-			checkLockedStmts(pass, s.List, held)
+			checkLockedStmts(pass, s.List, held, netIO)
 			continue
 		case *ast.IfStmt:
-			checkStmtWhileHeld(pass, s.Init, held)
-			checkExprWhileHeld(pass, s.Cond, held)
-			checkLockedStmts(pass, s.Body.List, held)
+			checkStmtWhileHeld(pass, s.Init, held, netIO)
+			checkExprWhileHeld(pass, s.Cond, held, netIO)
+			checkLockedStmts(pass, s.Body.List, held, netIO)
 			if s.Else != nil {
-				checkLockedStmts(pass, []ast.Stmt{s.Else}, held)
+				checkLockedStmts(pass, []ast.Stmt{s.Else}, held, netIO)
 			}
 			continue
 		case *ast.ForStmt:
-			checkLockedStmts(pass, s.Body.List, held)
+			checkLockedStmts(pass, s.Body.List, held, netIO)
 			continue
 		case *ast.RangeStmt:
-			checkLockedStmts(pass, s.Body.List, held)
+			checkLockedStmts(pass, s.Body.List, held, netIO)
 			continue
 		}
-		checkStmtWhileHeld(pass, stmt, held)
+		checkStmtWhileHeld(pass, stmt, held, netIO)
 	}
 }
 
 // checkStmtWhileHeld reports blocking operations inside stmt when a
-// lock is held.
-func checkStmtWhileHeld(pass *Pass, stmt ast.Stmt, held map[string]bool) {
+// lock is held: direct network I/O, channel sends, and calls to
+// functions known (by local fixpoint or imported netIOFact) to perform
+// network I/O somewhere down their synchronous call chain.
+func checkStmtWhileHeld(pass *Pass, stmt ast.Stmt, held map[string]bool, netIO map[FactKey]string) {
 	if stmt == nil || len(held) == 0 {
 		return
 	}
@@ -135,17 +223,33 @@ func checkStmtWhileHeld(pass *Pass, stmt ast.Stmt, held map[string]bool) {
 		case *ast.CallExpr:
 			if desc := ioCallDesc(pass.TypesInfo, n); desc != "" {
 				pass.Reportf(n.Pos(), "network I/O (%s) while %s is held: a slow peer stalls every path into the lock", desc, heldName(held))
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, n)
+			key, ok := FuncKey(fn)
+			if !ok {
+				return true
+			}
+			desc, marked := netIO[key]
+			if !marked && key.Pkg != pass.Pkg.Path() {
+				var f netIOFact
+				if pass.ImportFact(key, &f) {
+					desc, marked = f.Desc, true
+				}
+			}
+			if marked {
+				pass.Reportf(n.Pos(), "call to %s transitively performs network I/O (%s) while %s is held: a slow peer stalls every path into the lock", funcDisplay(pass, fn, key), desc, heldName(held))
 			}
 		}
 		return true
 	})
 }
 
-func checkExprWhileHeld(pass *Pass, e ast.Expr, held map[string]bool) {
+func checkExprWhileHeld(pass *Pass, e ast.Expr, held map[string]bool, netIO map[FactKey]string) {
 	if e == nil || len(held) == 0 {
 		return
 	}
-	checkStmtWhileHeld(pass, &ast.ExprStmt{X: e}, held)
+	checkStmtWhileHeld(pass, &ast.ExprStmt{X: e}, held, netIO)
 }
 
 // heldName names one held lock for the diagnostic, "<caller>" meaning

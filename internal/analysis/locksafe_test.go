@@ -5,3 +5,7 @@ import "testing"
 func TestLockSafe(t *testing.T) {
 	RunTest(t, LockSafeAnalyzer, "locksafe")
 }
+
+func TestLockSafeCrossPackage(t *testing.T) {
+	RunTest(t, LockSafeAnalyzer, "locksafenet/lib", "locksafenet/use")
+}

@@ -1,0 +1,719 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// StateCheckAnalyzer enforces serialization coverage: every field of a
+// type that participates in checkpoint state must provably survive a
+// State()/MarshalState/gob-encode round trip, carry a
+// //geomancy:ephemeral <reason> directive, or fail the build. The repo's
+// two worst latent bugs (zeroed Adam moments, the unserialized done-flag
+// resume bug) were both silently-dropped fields of exactly this shape.
+//
+// The analyzer applies four rules per package, in dependency order so
+// facts about upstream packages are available:
+//
+//   - Coverage: a named struct with its own capture method (State,
+//     MarshalState, GobEncode, or any method that feeds receiver-derived
+//     data to (*gob.Encoder).Encode) must read or delegate every field
+//     somewhere in the capture method's same-package call closure. Types
+//     without their own method are "adopted" the moment a closure reads
+//     one of their fields — then all their fields are held to the same
+//     standard. Func-, channel-, sync-, and empty-struct-typed fields are
+//     exempt (never serializable state).
+//   - Zero-state reliance: a type whose MarshalState is only promoted
+//     from an embedded type (e.g. policy.Stateless) must not assign its
+//     own fields at runtime — the promoted method cannot capture them.
+//     Constructor and Unmarshal/Restore writes don't count.
+//   - Gob payload walk: at every (*gob.Encoder).Encode call site the
+//     payload type is walked structurally, across packages; a reachable
+//     named struct with unexported fields and no GobEncode/MarshalBinary
+//     is flagged, because gob drops those fields without error.
+//   - Hidden-state capture: a closure that captures a field by plain
+//     value — not delegating to the field type's own capture method —
+//     is flagged when that cross-package type hides unexported state and
+//     no coveredFact proves its fields are accounted for upstream.
+//
+// Types that pass coverage export a coveredFact, so downstream packages
+// capturing them by value are not re-flagged.
+var StateCheckAnalyzer = &Analyzer{
+	Name: "statecheck",
+	Doc: "require every field of checkpoint-reachable types to be serialized, " +
+		"annotated //geomancy:ephemeral, or flagged",
+	Run: runStateCheck,
+}
+
+// coveredFact marks a named type whose fields are all accounted for by
+// its package's capture closures — safe to embed in payloads by value.
+type coveredFact struct{}
+
+func (*coveredFact) AFact() {}
+
+// captureMethodNames are method names that start a capture closure.
+var captureMethodNames = map[string]bool{
+	"State":        true,
+	"MarshalState": true,
+	"GobEncode":    true,
+}
+
+// delegateMethodNames are methods whose call on a field counts as
+// delegated capture: the field type serializes itself.
+var delegateMethodNames = map[string]bool{
+	"State":         true,
+	"MarshalState":  true,
+	"GobEncode":     true,
+	"MarshalBinary": true,
+	"Save":          true,
+}
+
+func runStateCheck(pass *Pass) (any, error) {
+	g := NewCallGraph(pass)
+	roots := stateRoots(pass, g)
+
+	var rootKeys []FactKey
+	rootTypes := make(map[*types.TypeName]bool)
+	for tn, keys := range roots {
+		rootTypes[tn] = true
+		rootKeys = append(rootKeys, keys...)
+	}
+	closure := g.Closure(rootKeys)
+	widenThroughInterfaces(pass, g, rootKeys, closure)
+	caps := capturedFields(pass, g, closure)
+
+	structs := packageStructs(pass)
+	owners := fieldOwners(structs)
+
+	// Checked types: the roots plus every type adopted by a closure read.
+	// Types the closures construct are payload being built, not state
+	// being captured, so reads of their fields do not adopt them.
+	checked := make(map[*types.TypeName]bool)
+	for tn := range rootTypes {
+		checked[tn] = true
+	}
+	for f := range caps.read {
+		if tn := owners[f]; tn != nil && !caps.built[tn] {
+			checked[tn] = true
+		}
+	}
+
+	for _, tn := range structs {
+		if !checked[tn] {
+			continue
+		}
+		st := tn.Type().Underlying().(*types.Struct)
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if exemptField(f) {
+				continue
+			}
+			switch {
+			case !caps.read[f] && !caps.delegated[f]:
+				pass.Reportf(f.Pos(),
+					"field %s.%s is not captured by the state serialization of %s and not marked //geomancy:ephemeral",
+					tn.Name(), f.Name(), tn.Name())
+			case caps.read[f] && !caps.delegated[f]:
+				if hidden, bad := hidesState(pass, f.Type()); bad {
+					pass.Reportf(f.Pos(),
+						"field %s.%s is captured by value, but %s hides unexported state (%s) from gob; delegate to its capture method or implement GobEncode",
+						tn.Name(), f.Name(), hidden.name, strings.Join(hidden.fields, ", "))
+				}
+			}
+		}
+		if key, ok := TypeKey(tn.Type()); ok {
+			pass.ExportFact(key, &coveredFact{})
+		}
+	}
+
+	checkZeroStateReliance(pass, structs, owners, rootTypes, checked)
+	checkGobPayloads(pass)
+	return nil, nil
+}
+
+// stateRoots maps each named struct type declared in the package to the
+// FactKeys of its capture methods.
+func stateRoots(pass *Pass, g *CallGraph) map[*types.TypeName][]FactKey {
+	roots := make(map[*types.TypeName][]FactKey)
+	for key, fd := range g.Decls {
+		if fd.Recv == nil {
+			continue
+		}
+		fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+		recv := namedOf(receiverType(fn))
+		if recv == nil || recv.Obj().Pkg() != pass.Pkg {
+			continue
+		}
+		if _, isStruct := recv.Underlying().(*types.Struct); !isStruct {
+			continue
+		}
+		if captureMethodNames[fn.Name()] || encodesReceiverViaGob(pass, fd) {
+			roots[recv.Obj()] = append(roots[recv.Obj()], key)
+		}
+	}
+	return roots
+}
+
+// encodesReceiverViaGob reports whether the method body passes
+// receiver-derived data to (*gob.Encoder).Encode — the Save-style capture
+// root (`gob.NewEncoder(w).Encode(n.snapshot())`).
+func encodesReceiverViaGob(pass *Pass, fd *ast.FuncDecl) bool {
+	recvObj := receiverVar(pass, fd)
+	if recvObj == nil || fd.Body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isGobEncodeCall(pass.TypesInfo, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentionsObject(pass.TypesInfo, arg, recvObj) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isGobEncodeCall reports whether call invokes (*encoding/gob.Encoder).Encode.
+func isGobEncodeCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Name() == "Encode" &&
+		typeIsFromPkg(receiverType(fn), "encoding/gob", "Encoder")
+}
+
+// receiverVar returns the receiver's *types.Var, or nil for anonymous
+// receivers.
+func receiverVar(pass *Pass, fd *ast.FuncDecl) *types.Var {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	v, _ := pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]].(*types.Var)
+	return v
+}
+
+// mentionsObject reports whether the expression references obj.
+func mentionsObject(info *types.Info, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// widenThroughInterfaces grows the closure across dynamic dispatch: when
+// a closure body calls a method through an interface, every same-package
+// concrete implementation of that method joins the closure — the call
+// may reach any of them, and a network's weights are captured exactly
+// this way (Network.Params fanning out over the layer interface).
+// Over-approximating the reads only suppresses diagnostics, never
+// invents them.
+func widenThroughInterfaces(pass *Pass, g *CallGraph, rootKeys []FactKey, closure map[FactKey]*ast.FuncDecl) {
+	named := packageNamedTypes(pass)
+	roots := append([]FactKey(nil), rootKeys...)
+	for {
+		grown := false
+		for _, key := range g.Keys() {
+			fd := closure[key]
+			if fd == nil || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pass.TypesInfo, call)
+				rt := receiverType(fn)
+				if rt == nil {
+					return true
+				}
+				iface, ok := rt.Underlying().(*types.Interface)
+				if !ok {
+					return true
+				}
+				for _, tn := range named {
+					if !types.Implements(tn.Type(), iface) &&
+						!types.Implements(types.NewPointer(tn.Type()), iface) {
+						continue
+					}
+					implKey := FactKey{Pkg: pass.Pkg.Path(), Object: tn.Name() + "." + fn.Name()}
+					if _, declared := g.Decls[implKey]; declared && closure[implKey] == nil {
+						roots = append(roots, implKey)
+						grown = true
+					}
+				}
+				return true
+			})
+		}
+		if !grown {
+			return
+		}
+		for k, fd := range g.Closure(roots) {
+			closure[k] = fd
+		}
+	}
+}
+
+// packageNamedTypes returns every package-level named type, sorted by
+// scope name.
+func packageNamedTypes(pass *Pass) []*types.TypeName {
+	scope := pass.Pkg.Scope()
+	var out []*types.TypeName
+	for _, name := range scope.Names() {
+		if tn, ok := scope.Lookup(name).(*types.TypeName); ok && !tn.IsAlias() {
+			out = append(out, tn)
+		}
+	}
+	return out
+}
+
+// captureSet records which struct fields the capture closures read, which
+// they delegated to the field type's own capture method, and which named
+// types they construct (payload under assembly, not captured state).
+type captureSet struct {
+	read      map[*types.Var]bool
+	delegated map[*types.Var]bool
+	built     map[*types.TypeName]bool
+}
+
+// capturedFields walks every function in the capture closure, collecting
+// field reads. Write-position selections (assignment targets) do not
+// count: they are destinations, not captured state. Reads inside
+// error/format/log calls do not count either — a field mentioned in an
+// error message is diagnostics, not serialization.
+func capturedFields(pass *Pass, g *CallGraph, closure map[FactKey]*ast.FuncDecl) *captureSet {
+	caps := &captureSet{
+		read:      make(map[*types.Var]bool),
+		delegated: make(map[*types.Var]bool),
+		built:     make(map[*types.TypeName]bool),
+	}
+	for _, key := range g.Keys() {
+		fd := closure[key]
+		if fd == nil || fd.Body == nil {
+			continue
+		}
+		writes := make(map[ast.Node]bool)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				for _, lhs := range as.Lhs {
+					if se, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+						writes[se] = true
+					}
+				}
+			}
+			return true
+		})
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if tv, ok := pass.TypesInfo.Types[n]; ok {
+					if named := namedOf(tv.Type); named != nil && named.Obj().Pkg() == pass.Pkg {
+						caps.built[named.Obj()] = true
+					}
+				}
+			case *ast.CallExpr:
+				if isIncidentalCall(pass.TypesInfo, n) {
+					return false
+				}
+				if se, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && delegateMethodNames[se.Sel.Name] {
+					if base, ok := ast.Unparen(se.X).(*ast.SelectorExpr); ok {
+						if f := selectedField(pass, base); f != nil {
+							caps.delegated[f] = true
+						}
+					}
+				}
+			case *ast.SelectorExpr:
+				sel := pass.TypesInfo.Selections[n]
+				if sel != nil && sel.Kind() == types.FieldVal {
+					markSelectionPath(sel, caps.read, writes[n])
+				}
+			}
+			return true
+		})
+	}
+	return caps
+}
+
+// isIncidentalCall reports whether the call is error construction,
+// formatting, logging, or panic — sinks whose arguments are messages,
+// not captured state.
+func isIncidentalCall(info *types.Info, call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, builtin := info.Uses[id].(*types.Builtin); builtin &&
+			(id.Name == "panic" || id.Name == "print" || id.Name == "println") {
+			return true
+		}
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "fmt", "errors", "log", "log/slog":
+		return true
+	}
+	return false
+}
+
+// markSelectionPath marks every field along the selection's (possibly
+// promoted) index path as read; when the selection is a write target the
+// final field is skipped — only the path leading to it was read.
+func markSelectionPath(sel *types.Selection, read map[*types.Var]bool, isWrite bool) {
+	t := sel.Recv()
+	idx := sel.Index()
+	for i, fi := range idx {
+		st, ok := derefStruct(t)
+		if !ok || fi >= st.NumFields() {
+			return
+		}
+		f := st.Field(fi)
+		if i == len(idx)-1 && isWrite {
+			return
+		}
+		read[f] = true
+		t = f.Type()
+	}
+}
+
+// selectedField returns the field a selector expression reads, or nil.
+func selectedField(pass *Pass, se *ast.SelectorExpr) *types.Var {
+	sel := pass.TypesInfo.Selections[se]
+	if sel == nil || sel.Kind() != types.FieldVal {
+		return nil
+	}
+	f, _ := sel.Obj().(*types.Var)
+	return f
+}
+
+// packageStructs returns the package-level named struct types, sorted by
+// name (scope order).
+func packageStructs(pass *Pass) []*types.TypeName {
+	scope := pass.Pkg.Scope()
+	var out []*types.TypeName
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		if _, ok := tn.Type().Underlying().(*types.Struct); ok {
+			out = append(out, tn)
+		}
+	}
+	return out
+}
+
+// fieldOwners maps every field of the package's struct types back to the
+// declaring type.
+func fieldOwners(structs []*types.TypeName) map[*types.Var]*types.TypeName {
+	owners := make(map[*types.Var]*types.TypeName)
+	for _, tn := range structs {
+		st := tn.Type().Underlying().(*types.Struct)
+		for i := 0; i < st.NumFields(); i++ {
+			owners[st.Field(i)] = tn
+		}
+	}
+	return owners
+}
+
+// exemptField reports whether a field can never be meaningful serialized
+// state: blank fields, funcs, channels, sync primitives, empty structs.
+func exemptField(f *types.Var) bool {
+	if f.Name() == "_" {
+		return true
+	}
+	t := f.Type()
+	switch t.Underlying().(type) {
+	case *types.Signature, *types.Chan:
+		return true
+	}
+	if n := namedOf(t); n != nil && n.Obj().Pkg() != nil {
+		switch n.Obj().Pkg().Path() {
+		case "sync", "sync/atomic":
+			return true
+		}
+	}
+	if st, ok := derefStruct(t); ok && st.NumFields() == 0 {
+		return true
+	}
+	return false
+}
+
+// derefStruct unwraps pointers, aliases, and named types to a struct.
+func derefStruct(t types.Type) (*types.Struct, bool) {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Alias:
+			t = types.Unalias(tt)
+		case *types.Named:
+			t = tt.Underlying()
+		case *types.Struct:
+			return tt, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+// hiddenState describes a type whose unexported fields gob would drop.
+type hiddenState struct {
+	name   string
+	fields []string
+}
+
+// hidesState reports whether a captured value of type t (containers
+// unwrapped) would silently lose unexported state through gob: a
+// cross-package named struct with unexported non-exempt fields, no
+// GobEncode/MarshalBinary, no capture method of its own, and no upstream
+// coveredFact. Same-package types are governed by adoption instead.
+func hidesState(pass *Pass, t types.Type) (hiddenState, bool) {
+	t = unwrapContainers(t)
+	n := namedOf(t)
+	if n == nil || n.Obj().Pkg() == nil || n.Obj().Pkg() == pass.Pkg {
+		return hiddenState{}, false
+	}
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return hiddenState{}, false
+	}
+	if key, ok := TypeKey(n); ok {
+		var cf coveredFact
+		if pass.ImportFact(key, &cf) {
+			return hiddenState{}, false
+		}
+	}
+	if hasMethodNamed(n, "GobEncode", "MarshalBinary", "State", "MarshalState", "Save") {
+		return hiddenState{}, false
+	}
+	hidden := hiddenFieldNames(st)
+	if len(hidden) == 0 {
+		return hiddenState{}, false
+	}
+	return hiddenState{name: n.Obj().Name(), fields: hidden}, true
+}
+
+// unwrapContainers strips pointers, slices, arrays, maps, and aliases.
+func unwrapContainers(t types.Type) types.Type {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Slice:
+			t = tt.Elem()
+		case *types.Array:
+			t = tt.Elem()
+		case *types.Map:
+			t = tt.Elem()
+		case *types.Alias:
+			t = types.Unalias(tt)
+		default:
+			return t
+		}
+	}
+}
+
+// hasMethodNamed reports whether *t's method set has any of the names.
+func hasMethodNamed(n *types.Named, names ...string) bool {
+	for _, name := range names {
+		obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(n), true, n.Obj().Pkg(), name)
+		if _, ok := obj.(*types.Func); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// hiddenFieldNames lists the unexported, non-exempt fields of a struct —
+// the ones gob drops without error.
+func hiddenFieldNames(st *types.Struct) []string {
+	var out []string
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Exported() || exemptField(f) {
+			continue
+		}
+		out = append(out, f.Name())
+	}
+	return out
+}
+
+// checkZeroStateReliance flags runtime-mutated fields of types whose only
+// MarshalState is promoted from an embedded type: the promoted method
+// cannot capture the outer type's fields, so every such assignment is
+// state that a checkpoint silently loses (the unserialized done-flag bug
+// class).
+func checkZeroStateReliance(pass *Pass, structs []*types.TypeName, owners map[*types.Var]*types.TypeName, rootTypes, checked map[*types.TypeName]bool) {
+	reliant := make(map[*types.TypeName]bool)
+	for _, tn := range structs {
+		if rootTypes[tn] || checked[tn] {
+			continue // its own capture method / adoption governs coverage
+		}
+		if promotedMarshalState(pass, tn) {
+			reliant[tn] = true
+		}
+	}
+	if len(reliant) == 0 {
+		return
+	}
+	flagged := make(map[*types.Var]bool)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || isConstructorOrRestore(pass, fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				for _, lhs := range as.Lhs {
+					se, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					f := selectedField(pass, se)
+					if f == nil || flagged[f] {
+						continue
+					}
+					if tn := owners[f]; tn != nil && reliant[tn] {
+						flagged[f] = true
+						pass.Reportf(f.Pos(),
+							"field %s.%s is mutated at runtime but %s only inherits a promoted MarshalState that cannot capture it; serialize it or mark it //geomancy:ephemeral",
+							tn.Name(), f.Name(), tn.Name())
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// promotedMarshalState reports whether tn's MarshalState exists only via
+// an embedded type (its receiver is not tn).
+func promotedMarshalState(pass *Pass, tn *types.TypeName) bool {
+	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(tn.Type()), true, pass.Pkg, "MarshalState")
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := namedOf(receiverType(fn))
+	return recv != nil && recv.Obj() != tn
+}
+
+// isConstructorOrRestore reports whether fd is a constructor (returns the
+// package's own named type) or a restore-side method, whose field writes
+// are rebuilding state rather than carrying it.
+func isConstructorOrRestore(pass *Pass, fd *ast.FuncDecl) bool {
+	switch fd.Name.Name {
+	case "UnmarshalState", "RestoreState", "Reset":
+		return true
+	}
+	fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if n := namedOf(sig.Results().At(i).Type()); n != nil && n.Obj().Pkg() == pass.Pkg {
+			return true
+		}
+	}
+	return false
+}
+
+// checkGobPayloads walks the payload type of every
+// (*gob.Encoder).Encode call in the package, across package boundaries,
+// and flags reachable named structs whose unexported fields gob would
+// silently drop. One report per type per package.
+func checkGobPayloads(pass *Pass) {
+	w := &gobWalker{pass: pass, visited: make(map[string]bool)}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 || !isGobEncodeCall(pass.TypesInfo, call) {
+				return true
+			}
+			if tv, ok := pass.TypesInfo.Types[call.Args[0]]; ok {
+				w.pos = call.Pos()
+				w.walk(tv.Type)
+			}
+			return true
+		})
+	}
+}
+
+type gobWalker struct {
+	pass    *Pass
+	pos     token.Pos
+	visited map[string]bool
+}
+
+func (w *gobWalker) walk(t types.Type) {
+	t = types.Unalias(t)
+	if w.visited[t.String()] {
+		return
+	}
+	w.visited[t.String()] = true
+	switch tt := t.(type) {
+	case *types.Pointer:
+		w.walk(tt.Elem())
+	case *types.Slice:
+		w.walk(tt.Elem())
+	case *types.Array:
+		w.walk(tt.Elem())
+	case *types.Map:
+		w.walk(tt.Key())
+		w.walk(tt.Elem())
+	case *types.Struct:
+		w.walkStruct(nil, tt)
+	case *types.Named:
+		if hasMethodNamed(tt, "GobEncode", "MarshalBinary") {
+			return // the type serializes itself; gob defers to it
+		}
+		if st, ok := tt.Underlying().(*types.Struct); ok {
+			w.walkStruct(tt, st)
+			return
+		}
+		w.walk(tt.Underlying())
+	}
+}
+
+func (w *gobWalker) walkStruct(n *types.Named, st *types.Struct) {
+	if n != nil {
+		if hidden := hiddenFieldNames(st); len(hidden) > 0 {
+			name := n.Obj().Name()
+			if p := n.Obj().Pkg(); p != nil {
+				name = p.Name() + "." + name
+			}
+			w.pass.Reportf(w.pos,
+				"gob payload reaches %s, whose unexported fields (%s) gob silently drops; give it GobEncode/MarshalBinary or restructure the payload",
+				name, strings.Join(hidden, ", "))
+		}
+	}
+	// gob only encodes exported fields; unexported ones are already
+	// reported above and have no reachable payload of their own.
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() || exemptField(f) {
+			continue
+		}
+		w.walk(f.Type())
+	}
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestStateCheck(t *testing.T) {
+	RunTest(t, StateCheckAnalyzer, "statecheck", "statecheck/lib", "statecheck/use")
+}

@@ -53,4 +53,28 @@ func synthesize() context.Context {
 	return context.Background() // want `context\.Background synthesized in library code`
 }
 
-var _ = []any{Dial, Exempt, synthesize}
+// flush is the I/O-owning helper the one-level rule sees through.
+func (s *Server) flush(b []byte) error {
+	_, err := s.conn.Write(b)
+	return err
+}
+
+func (s *Server) Deliver(b []byte) error { // want `exported Server\.Deliver performs I/O through Server\.flush \(net\.Conn\.Write\) but accepts no context\.Context and has no DeliverContext variant`
+	return s.flush(b)
+}
+
+func (s *Server) DeliverWithCtx(ctx context.Context, b []byte) error { // clean: accepts a context
+	_ = ctx
+	return s.flush(b)
+}
+
+func (s *Server) Post(b []byte) error { // clean: PostContext sibling exists
+	return s.flush(b)
+}
+
+func (s *Server) PostContext(ctx context.Context, b []byte) error {
+	_ = ctx
+	return s.flush(b)
+}
+
+var _ = []any{Dial, Exempt, synthesize, (*Server).flush}

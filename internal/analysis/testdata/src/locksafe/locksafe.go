@@ -76,4 +76,47 @@ func (p *Pool) allowedSpawn() {
 
 func (p *Pool) drain() {}
 
+// ship performs network I/O with no lock of its own: callers holding a
+// lock inherit the finding transitively.
+func (p *Pool) ship(b []byte) error {
+	_, err := p.conn.Write(b)
+	return err
+}
+
+// shipVia adds a second hop to the chain.
+func (p *Pool) shipVia(b []byte) error { return p.ship(b) }
+
+func (p *Pool) BadShip(b []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ship(b) // want `call to Pool\.ship transitively performs network I/O \(net\.Conn\.Write\) while p\.mu is held`
+}
+
+func (p *Pool) BadShipVia(b []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.shipVia(b) // want `call to Pool\.shipVia transitively performs network I/O \(net\.Conn\.Write\) while p\.mu is held`
+}
+
+func (p *Pool) GoodShip(b []byte) error {
+	p.mu.Lock()
+	b = append([]byte(nil), b...)
+	p.mu.Unlock()
+	return p.ship(b) // clean: lock released before the transitive I/O
+}
+
+// auditedShip's I/O is allowlisted at the leaf, so no netIOFact
+// propagates to its callers.
+func (p *Pool) auditedShip(b []byte) error {
+	//geomancy:allow locksafe fixture: deadline-bounded write reviewed at the leaf
+	_, err := p.conn.Write(b)
+	return err
+}
+
+func (p *Pool) CallsAudited(b []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.auditedShip(b) // clean: the reviewed leaf does not re-flag its callers
+}
+
 var _ = []any{(*Pool).badSend, (*Pool).writeLocked, (*Pool).allowedSpawn, (*Pool).allowedWrite}

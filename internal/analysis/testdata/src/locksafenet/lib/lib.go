@@ -1,0 +1,13 @@
+// Package lib is the upstream half of locksafe's cross-package fixture:
+// Ping performs network I/O with no lock in sight, so analyzing this
+// package exports a netIOFact that downstream callers are checked
+// against.
+package lib
+
+import "net"
+
+// Ping writes a probe on the connection.
+func Ping(c net.Conn) error {
+	_, err := c.Write([]byte("ping"))
+	return err
+}

@@ -1,0 +1,31 @@
+// Package use is the downstream half of locksafe's cross-package
+// fixture: lib.Ping's netIOFact makes a call to it while a mutex is
+// held a finding, even though this package never touches a connection
+// directly.
+package use
+
+import (
+	"net"
+	"sync"
+
+	"geomancy/internal/analysis/testdata/src/locksafenet/lib"
+)
+
+// Prober serializes probes behind a mutex.
+type Prober struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func (p *Prober) BadProbe() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return lib.Ping(p.conn) // want `call to lib\.Ping transitively performs network I/O \(net\.Conn\.Write\) while p\.mu is held`
+}
+
+func (p *Prober) GoodProbe() error {
+	p.mu.Lock()
+	conn := p.conn
+	p.mu.Unlock()
+	return lib.Ping(conn) // clean: lock released before the probe
+}

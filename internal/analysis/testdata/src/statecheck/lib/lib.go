@@ -1,0 +1,39 @@
+// Package lib is the upstream half of statecheck's cross-package
+// hidden-state fixture: Clock hides unexported state from gob, Covered
+// proves its coverage upstream (exporting a coveredFact), and Sealed
+// serializes itself.
+package lib
+
+// Clock hides unexported state: capturing one by value through gob
+// silently zeroes ticks.
+type Clock struct {
+	ticks int
+}
+
+// Tick advances the clock.
+func (c *Clock) Tick() { c.ticks++ }
+
+// Covered has its own capture method reading every field, so this
+// package's statecheck pass exports a coveredFact for it.
+type Covered struct {
+	pos int
+}
+
+// CoveredState is the wire form.
+type CoveredState struct {
+	Pos int
+}
+
+// State captures pos.
+func (c *Covered) State() CoveredState { return CoveredState{Pos: c.pos} }
+
+// Sealed handles its own encoding.
+type Sealed struct {
+	n int
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s Sealed) MarshalBinary() ([]byte, error) { return []byte{byte(s.n)}, nil }
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (s *Sealed) UnmarshalBinary(b []byte) error { s.n = int(b[0]); return nil }

@@ -1,0 +1,192 @@
+// Package statecheck seeds violations and clean sites for the
+// statecheck analyzer's fixture suite: serialization-coverage (rule 1),
+// zero-state reliance through a promoted MarshalState (rule 2), and the
+// gob payload walk (rule 3). The cross-package hidden-state rule (4)
+// lives in the lib/use sibling packages.
+package statecheck
+
+import (
+	"encoding/gob"
+	"io"
+)
+
+// Adam mirrors the repo's worst historical bug shape: State() captures
+// the step counter but forgets the moment vectors, so a restored
+// optimizer silently restarts with zeroed moments.
+type Adam struct {
+	M []float64 // want `field Adam\.M is not captured by the state serialization of Adam and not marked //geomancy:ephemeral`
+	V []float64 // want `field Adam\.V is not captured by the state serialization of Adam and not marked //geomancy:ephemeral`
+	T int
+}
+
+// AdamState is the (incomplete) wire form.
+type AdamState struct {
+	T int
+}
+
+func (a *Adam) State() AdamState { return AdamState{T: a.T} }
+
+// GoodAdam captures every field.
+type GoodAdam struct {
+	M []float64
+	V []float64
+	T int
+}
+
+// GoodAdamState is the complete wire form.
+type GoodAdamState struct {
+	M, V []float64
+	T    int
+}
+
+func (a *GoodAdam) State() GoodAdamState {
+	return GoodAdamState{M: a.M, V: a.V, T: a.T}
+}
+
+// Engine mixes a captured field, an annotated ephemeral, and a leak.
+type Engine struct {
+	Steps   int
+	rate    float64   // want `field Engine\.rate is not captured by the state serialization of Engine and not marked //geomancy:ephemeral`
+	scratch []float64 //geomancy:ephemeral forward-pass scratch, recomputed every step
+}
+
+// EngineState is the wire form.
+type EngineState struct {
+	Steps int
+}
+
+func (e *Engine) State() EngineState { return EngineState{Steps: e.Steps} }
+
+// Loop captures one field through a same-package helper: the closure
+// walk must follow the call.
+type Loop struct {
+	count int
+	last  float64
+}
+
+// LoopState is the wire form.
+type LoopState struct {
+	Count int
+	Last  float64
+}
+
+func (l *Loop) State() LoopState { return LoopState{Count: l.count, Last: l.captureLast()} }
+
+func (l *Loop) captureLast() float64 { return l.last }
+
+// Sched has no capture method of its own; Outer's closure reading
+// Window adopts it, which holds Slack to the same standard.
+type Sched struct {
+	Window int
+	Slack  float64 // want `field Sched\.Slack is not captured by the state serialization of Sched and not marked //geomancy:ephemeral`
+}
+
+// Outer owns a Sched and serializes only half of it.
+type Outer struct {
+	sched *Sched
+}
+
+// OuterState is the wire form.
+type OuterState struct {
+	Window int
+}
+
+func (o *Outer) State() OuterState { return OuterState{Window: o.sched.Window} }
+
+// Stateless is the promoted-MarshalState embed (policy.Stateless's
+// shape): embedding it satisfies an interface without serializing the
+// outer type's fields.
+type Stateless struct{}
+
+// MarshalState implements the checkpoint interface with no state.
+func (Stateless) MarshalState() ([]byte, error) { return nil, nil }
+
+// UnmarshalState implements the checkpoint interface with no state.
+func (Stateless) UnmarshalState([]byte) error { return nil }
+
+// Counter mutates a field at runtime that its promoted MarshalState can
+// never capture — the unserialized done-flag bug class.
+type Counter struct {
+	Stateless
+	n int // want `field Counter\.n is mutated at runtime but Counter only inherits a promoted MarshalState that cannot capture it; serialize it or mark it //geomancy:ephemeral`
+}
+
+// Bump is a runtime mutation (not a constructor or restore path).
+func (c *Counter) Bump() { c.n = c.n + 1 }
+
+// TelemetryCounter is the same shape with the mutation annotated away.
+type TelemetryCounter struct {
+	Stateless
+	hits int //geomancy:ephemeral fixture: telemetry counter, recomputed after restore
+}
+
+// Note is a runtime mutation covered by the ephemeral directive.
+func (t *TelemetryCounter) Note() { t.hits = t.hits + 1 }
+
+// GoodCounter overrides the promoted MarshalState with its own capture.
+type GoodCounter struct {
+	Stateless
+	n int
+}
+
+// MarshalState captures n, so runtime mutations are fine.
+func (c *GoodCounter) MarshalState() ([]byte, error) {
+	_ = c.n
+	return nil, nil
+}
+
+// Tally is a runtime mutation of a properly captured field.
+func (c *GoodCounter) Tally() { c.n = c.n + 1 }
+
+// Net's Save is a gob-capture root: it feeds receiver-derived data to
+// (*gob.Encoder).Encode, so its closure governs Net's coverage.
+type Net struct {
+	W    []float64
+	bias []float64 // want `field Net\.bias is not captured by the state serialization of Net and not marked //geomancy:ephemeral`
+}
+
+type netSnapshot struct {
+	W []float64
+}
+
+// Save writes the (incomplete) snapshot.
+func (n *Net) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(netSnapshot{W: n.W})
+}
+
+// hiddenClock carries unexported state and no GobEncode/MarshalBinary:
+// gob drops ticks without error.
+type hiddenClock struct {
+	ticks int
+}
+
+// Snapshot embeds the leaky type in an otherwise exported payload.
+type Snapshot struct {
+	Clock hiddenClock
+}
+
+// SaveSnapshot trips the gob payload walk.
+func SaveSnapshot(w io.Writer, s *Snapshot) error {
+	return gob.NewEncoder(w).Encode(s) // want `gob payload reaches statecheck\.hiddenClock, whose unexported fields \(ticks\) gob silently drops; give it GobEncode/MarshalBinary or restructure the payload`
+}
+
+// sealed serializes itself, so the walk stops at it.
+type sealed struct {
+	n int
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s sealed) MarshalBinary() ([]byte, error) { return []byte{byte(s.n)}, nil }
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (s *sealed) UnmarshalBinary(b []byte) error { s.n = int(b[0]); return nil }
+
+// CleanSnapshot's only unexported-state type handles its own encoding.
+type CleanSnapshot struct {
+	S sealed
+}
+
+// SaveClean is a clean gob payload.
+func SaveClean(w io.Writer, s *CleanSnapshot) error {
+	return gob.NewEncoder(w).Encode(s) // clean: sealed implements MarshalBinary
+}

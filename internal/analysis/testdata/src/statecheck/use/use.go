@@ -1,0 +1,28 @@
+// Package use is the downstream half of statecheck's cross-package
+// hidden-state fixture: capturing lib.Clock by plain value is flagged
+// (its unexported ticks never reach gob), while lib.Covered (upstream
+// coveredFact) and lib.Sealed (MarshalBinary) pass.
+package use
+
+import "geomancy/internal/analysis/testdata/src/statecheck/lib"
+
+// Engine captures three upstream types by value.
+type Engine struct {
+	Clock   lib.Clock // want `field Engine\.Clock is captured by value, but Clock hides unexported state \(ticks\) from gob; delegate to its capture method or implement GobEncode`
+	Covered lib.Covered
+	Sealed  lib.Sealed
+	Steps   int
+}
+
+// EngineState is the wire form.
+type EngineState struct {
+	Clock   lib.Clock
+	Covered lib.Covered
+	Sealed  lib.Sealed
+	Steps   int
+}
+
+// State copies every field into the payload by value.
+func (e *Engine) State() EngineState {
+	return EngineState{Clock: e.Clock, Covered: e.Covered, Sealed: e.Sealed, Steps: e.Steps}
+}

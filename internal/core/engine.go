@@ -202,13 +202,13 @@ type TelemetryStore interface {
 
 // Engine is the DRL engine.
 type Engine struct {
-	cfg Config
-	db  TelemetryStore
+	cfg Config         //geomancy:ephemeral construction config, re-supplied by NewEngine on restore
+	db  TelemetryStore //geomancy:ephemeral external store handle, re-wired at construction
 	rng *rng.RNG
 
 	net      *nn.Network
 	devices  []string
-	devIndex map[string]int
+	devIndex map[string]int //geomancy:ephemeral derived index over devices, rebuilt at construction
 
 	featScaler   features.MinMaxScaler
 	targetScaler features.ScalarScaler
@@ -218,11 +218,12 @@ type Engine struct {
 	rewards []float64
 
 	// Batched-inference buffers, reused across decisions.
-	scratch nn.Scratch
-	inFlat  *mat.Matrix
-	inSeq   []*mat.Matrix
+	scratch nn.Scratch    //geomancy:ephemeral scratch buffer, content meaningless between decisions
+	inFlat  *mat.Matrix   //geomancy:ephemeral reusable inference buffer, overwritten per decision
+	inSeq   []*mat.Matrix //geomancy:ephemeral reusable inference buffer, overwritten per decision
 
 	// Candidate-pruning state (cfg.TopK > 0); see prune.go.
+	//geomancy:ephemeral store-backed change feed, re-wired at construction; progress is serialized as LastWatermark
 	tracker       ChangeTracker
 	summarySource SummarySource
 	decisionCount uint64
@@ -230,7 +231,7 @@ type Engine struct {
 	lastWatermark uint64
 	cache         map[int64]*fileCache
 
-	metrics engineMetrics
+	metrics engineMetrics //geomancy:ephemeral telemetry handles, re-installed by SetMetrics
 }
 
 // engineMetrics holds the engine's pre-resolved telemetry handles; all

@@ -228,3 +228,39 @@ func TestGapPredictorBurstyReleaseGaps(t *testing.T) {
 		t.Errorf("bursty file should be movable in its release gap (deferred %+v, mean %v dev %v)", deferred, mean, dev)
 	}
 }
+
+// A restored loop must keep the scheduler's configured headroom: before
+// LoopState carried it, RestoreState rebuilt the scheduler through
+// EnableGapScheduling and silently reverted a custom headroom to the 1.5
+// default, so the restored run deferred moves the original approved.
+func TestLoopStateRoundTripPreservesHeadroom(t *testing.T) {
+	l := &Loop{}
+	g := l.EnableGapScheduling()
+	l.Scheduler.Headroom = 1.0
+	for i := 0; i < 10; i++ {
+		g.Observe(1, float64(i)*12) // 12s gaps, low dev
+	}
+	current := map[int64]string{1: "a"}
+	layout := map[int64]string{1: "b"}
+	estimate := func(int64, string) float64 { return 10 }
+	// 10s move × 1.0 headroom = 10s < 12s window → approved.
+	approved, _ := l.Scheduler.Filter(layout, current, estimate)
+	if approved[1] != "b" {
+		t.Fatal("original loop should approve the move at headroom 1.0")
+	}
+
+	restored := &Loop{}
+	restored.RestoreState(l.State())
+	if restored.Scheduler == nil {
+		t.Fatal("restore did not enable gap scheduling")
+	}
+	if got := restored.Scheduler.Headroom; got != 1.0 {
+		t.Fatalf("restored headroom = %v, want 1.0 (custom headroom lost)", got)
+	}
+	// Behavioral check: the restored loop must make the same call. At the
+	// default 1.5 headroom this move would be deferred (15s > 12s window).
+	approvedR, deferredR := restored.Scheduler.Filter(layout, current, estimate)
+	if approvedR[1] != "b" || len(deferredR) != 0 {
+		t.Fatalf("restored loop diverged: approved=%v deferred=%+v", approvedR, deferredR)
+	}
+}

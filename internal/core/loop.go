@@ -68,23 +68,28 @@ type Workload interface {
 type Loop struct {
 	// Policy decides layouts. NewNamedLoop installs a catalogue policy;
 	// NewPolicyLoop accepts any implementation.
+	//geomancy:ephemeral serialized separately as the checkpoint's policy blob (Snapshot.Policy)
 	Policy policy.Policy
 	// Engine is the DRL engine behind an engine-backed Policy; nil when
 	// the policy is a baseline heuristic.
+	//geomancy:ephemeral snapshots itself as Snapshot.Engine (EngineState)
 	Engine *Engine
 	// Workload is the driven workload (the paper's BELLE II runner by
 	// default; any scenario.Workload otherwise).
+	//geomancy:ephemeral snapshots itself as the checkpoint's workload blob
 	Workload Workload
-	DB       *replaydb.DB
-	Cluster  *storagesim.Cluster
-	Checker  *agents.ActionChecker
+	DB       *replaydb.DB          //geomancy:ephemeral external store handle, re-wired at restore
+	Cluster  *storagesim.Cluster   //geomancy:ephemeral snapshots itself as Snapshot.Cluster (ClusterState)
+	Checker  *agents.ActionChecker //geomancy:ephemeral stateless wiring over the shared RNG, rebuilt at construction
 
 	// model is the policy-plane bridge of an engine-backed policy; its
 	// training reports drain into trainLog after every proposal.
+	//geomancy:ephemeral rebuilt by loop construction; pending reports drain into the serialized trainLog
 	model *EngineModel
 	// decideEvery is the decision cadence in runs (CooldownRuns for
 	// constructed loops); ≤ 0 disables the automatic cadence, leaving
 	// decisions to explicit Decide calls.
+	//geomancy:ephemeral construction config (CooldownRuns), re-supplied on rebuild
 	decideEvery int
 	// lastRun is the index of the last completed workload run, so
 	// out-of-cadence Decide calls attribute their movement events.
@@ -107,6 +112,7 @@ type Loop struct {
 	Recorder func(res storagesim.AccessResult, wl, run int) error
 	// Pusher, when set, applies decided layouts through the distributed
 	// control plane instead of Runner.ApplyLayout.
+	//geomancy:ephemeral deployment wiring, re-installed on rebuild
 	Pusher LayoutPusher
 	// Flusher, when set, drains buffered telemetry (the monitoring agents'
 	// partial batches) after every run, so each run's accesses are fully
@@ -117,6 +123,7 @@ type Loop struct {
 	// the loop keeps serving the last-known layout, records the cycle in
 	// Skipped, and counts it on the degraded-decisions metric instead of
 	// returning an error.
+	//geomancy:ephemeral operator config, re-supplied on rebuild
 	FailOpen bool
 	// Scheduler, when set, gates movements on predicted access gaps (the
 	// paper's §X extension). Use EnableGapScheduling to install one wired
@@ -126,11 +133,11 @@ type Loop struct {
 	// metrics instrumentation, installed by SetMetrics; all handles no-op
 	// while nil.
 	metricsObs   workload.Observer
-	movesCtr     *telemetry.Counter
-	movedBytes   *telemetry.Counter
-	deferralsCtr *telemetry.Counter
-	exploreCtr   *telemetry.Counter
-	degradedCtr  *telemetry.Counter
+	movesCtr     *telemetry.Counter //geomancy:ephemeral telemetry counter, re-registered by SetMetrics
+	movedBytes   *telemetry.Counter //geomancy:ephemeral telemetry counter, re-registered by SetMetrics
+	deferralsCtr *telemetry.Counter //geomancy:ephemeral telemetry counter, re-registered by SetMetrics
+	exploreCtr   *telemetry.Counter //geomancy:ephemeral telemetry counter, re-registered by SetMetrics
+	degradedCtr  *telemetry.Counter //geomancy:ephemeral telemetry counter, re-registered by SetMetrics
 }
 
 // SetMetrics wires the loop (and its engine, when the policy has one) to

@@ -69,8 +69,8 @@ func (e *Engine) SetSummarySource(src SummarySource) { e.summarySource = src }
 // never scored; entries are laid out in e.devices index order.
 type fileCache struct {
 	size      int64
-	featValid bool
-	feat      fileFeatures
+	featValid bool         //geomancy:ephemeral feature-cache validity bit, recomputed from telemetry after restore
+	feat      fileFeatures //geomancy:ephemeral raw feature ingredients, recomputed from telemetry after restore
 	scores    []float64
 	gens      []uint64
 }

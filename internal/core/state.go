@@ -195,6 +195,11 @@ type LoopState struct {
 	Skipped     []SkippedDecision
 	Heat        []FileHeatState
 	Gaps        *GapPredictorState
+	// Headroom is the move scheduler's configured safety factor. Zero
+	// means the snapshot predates the field (or the loop has no
+	// scheduler); RestoreState then keeps the scheduler's current value
+	// rather than silently resetting admission headroom to zero.
+	Headroom float64
 }
 
 // State captures the loop's counters and logs. Heat entries are sorted
@@ -212,9 +217,12 @@ func (l *Loop) State() LoopState {
 		st.Heat = append(st.Heat, FileHeatState{FileID: id, LastAccess: t, Accesses: l.accesses[id]})
 	}
 	sort.Slice(st.Heat, func(i, j int) bool { return st.Heat[i].FileID < st.Heat[j].FileID })
-	if l.Scheduler != nil && l.Scheduler.Gaps != nil {
-		g := l.Scheduler.Gaps.State()
-		st.Gaps = &g
+	if l.Scheduler != nil {
+		st.Headroom = l.Scheduler.Headroom
+		if l.Scheduler.Gaps != nil {
+			g := l.Scheduler.Gaps.State()
+			st.Gaps = &g
+		}
 	}
 	return st
 }
@@ -240,5 +248,8 @@ func (l *Loop) RestoreState(st LoopState) {
 			l.EnableGapScheduling()
 		}
 		l.Scheduler.Gaps.RestoreState(*st.Gaps)
+	}
+	if l.Scheduler != nil && st.Headroom > 0 {
+		l.Scheduler.Headroom = st.Headroom
 	}
 }

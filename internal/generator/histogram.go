@@ -24,7 +24,7 @@ type SizeBucket struct {
 // the shape the paper's fixed 24-file working set never probes.
 type SizeHistogram struct {
 	buckets []SizeBucket
-	total   float64
+	total   float64 //geomancy:ephemeral derived sum of bucket weights, recomputed wherever buckets are rebuilt
 }
 
 // NewSizeHistogram builds a histogram generator; buckets must be

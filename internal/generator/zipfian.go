@@ -31,8 +31,9 @@ type Zipfian struct {
 	zetan        float64
 
 	// Derived constants (functions of theta only).
+	//geomancy:ephemeral recomputed from theta by deriveConstants on construction and restore
 	zeta2theta float64
-	alpha      float64
+	alpha      float64 //geomancy:ephemeral recomputed from theta by deriveConstants on construction and restore
 }
 
 // NewZipfian returns a zipfian generator over ranks [0, items) with

@@ -45,13 +45,13 @@ type seqLayer interface {
 
 // Dense is a fully connected layer computing act(X·W + b).
 type Dense struct {
-	In, Out int
+	In, Out int //geomancy:ephemeral In is re-derived from the previous layer's width when rebuilding from LayerSpecs
 	Act     Activation
 
 	W, B   *mat.Matrix // weights In×Out, bias 1×Out
-	dW, dB *mat.Matrix
+	dW, dB *mat.Matrix //geomancy:ephemeral gradient scratch, recomputed by every backward pass
 
-	lastIn, lastOut *mat.Matrix // forward-pass cache for backward
+	lastIn, lastOut *mat.Matrix //geomancy:ephemeral forward-pass cache for backward, overwritten every step
 }
 
 // NewDense returns a dense layer with Xavier-initialized weights.

@@ -10,15 +10,15 @@ import (
 // It consumes a window of consecutive accesses and emits the final hidden
 // state, which downstream dense layers turn into a throughput prediction.
 type SimpleRNN struct {
-	In, Out int
+	In, Out int //geomancy:ephemeral In is re-derived from the input width when rebuilding from LayerSpecs
 	Act     Activation
 
 	Wx, Wh, B    *mat.Matrix
-	dWx, dWh, dB *mat.Matrix
+	dWx, dWh, dB *mat.Matrix //geomancy:ephemeral gradient scratch, recomputed by every backward pass
 
 	// forward cache for BPTT
-	inputs []*mat.Matrix // T steps of B×In
-	hs     []*mat.Matrix // T steps of B×Out (post-activation)
+	inputs []*mat.Matrix //geomancy:ephemeral forward cache (T steps of B×In), overwritten every window
+	hs     []*mat.Matrix //geomancy:ephemeral forward cache (T steps of B×Out, post-activation), overwritten every window
 }
 
 // NewSimpleRNN returns a SimpleRNN layer with Xavier-initialized weights.
@@ -92,7 +92,7 @@ func (r *SimpleRNN) backwardSeq(dOut *mat.Matrix) {
 //
 // with the candidate/output activation act configurable (Table I uses ReLU).
 type LSTM struct {
-	In, Out int
+	In, Out int //geomancy:ephemeral In is re-derived from the input width when rebuilding from LayerSpecs
 	Act     Activation
 
 	Wi, Ui, Bi *mat.Matrix
@@ -100,15 +100,15 @@ type LSTM struct {
 	Wo, Uo, Bo *mat.Matrix
 	Wg, Ug, Bg *mat.Matrix
 
-	dWi, dUi, dBi *mat.Matrix
-	dWf, dUf, dBf *mat.Matrix
-	dWo, dUo, dBo *mat.Matrix
-	dWg, dUg, dBg *mat.Matrix
+	dWi, dUi, dBi *mat.Matrix //geomancy:ephemeral gradient scratch, recomputed by every backward pass
+	dWf, dUf, dBf *mat.Matrix //geomancy:ephemeral gradient scratch, recomputed by every backward pass
+	dWo, dUo, dBo *mat.Matrix //geomancy:ephemeral gradient scratch, recomputed by every backward pass
+	dWg, dUg, dBg *mat.Matrix //geomancy:ephemeral gradient scratch, recomputed by every backward pass
 
 	// forward cache
-	inputs                 []*mat.Matrix
-	is, fs, os, gs, cs, hs []*mat.Matrix
-	acs                    []*mat.Matrix // act(c_t)
+	inputs                 []*mat.Matrix //geomancy:ephemeral forward cache, overwritten every window
+	is, fs, os, gs, cs, hs []*mat.Matrix //geomancy:ephemeral gate/state forward cache, overwritten every window
+	acs                    []*mat.Matrix //geomancy:ephemeral act(c_t) forward cache, overwritten every window
 }
 
 // NewLSTM returns an LSTM layer with Xavier-initialized weights and a
@@ -263,19 +263,19 @@ func (l *LSTM) backwardSeq(dOut *mat.Matrix) {
 //	ĥ = act(x·Wh + (r∘h)·Uh + bh)
 //	h_t = (1-z)∘h_{t-1} + z∘ĥ
 type GRU struct {
-	In, Out int
+	In, Out int //geomancy:ephemeral In is re-derived from the input width when rebuilding from LayerSpecs
 	Act     Activation
 
 	Wz, Uz, Bz *mat.Matrix
 	Wr, Ur, Br *mat.Matrix
 	Wh, Uh, Bh *mat.Matrix
 
-	dWz, dUz, dBz *mat.Matrix
-	dWr, dUr, dBr *mat.Matrix
-	dWh, dUh, dBh *mat.Matrix
+	dWz, dUz, dBz *mat.Matrix //geomancy:ephemeral gradient scratch, recomputed by every backward pass
+	dWr, dUr, dBr *mat.Matrix //geomancy:ephemeral gradient scratch, recomputed by every backward pass
+	dWh, dUh, dBh *mat.Matrix //geomancy:ephemeral gradient scratch, recomputed by every backward pass
 
-	inputs          []*mat.Matrix
-	zs, rs, hhs, hs []*mat.Matrix
+	inputs          []*mat.Matrix //geomancy:ephemeral forward cache, overwritten every window
+	zs, rs, hhs, hs []*mat.Matrix //geomancy:ephemeral gate/state forward cache, overwritten every window
 }
 
 // NewGRU returns a GRU layer with Xavier-initialized weights.

@@ -63,7 +63,7 @@ func countExplored(preds []Prediction) int {
 type Geomancy struct {
 	Stateless
 	Model    Model
-	explored int
+	explored int //geomancy:ephemeral last-proposal telemetry (LastExplored), overwritten by the next Propose
 }
 
 // Name implements Policy.
@@ -103,14 +103,15 @@ const DefaultRetrainEvery = 4
 // after the shift, which is exactly when the periodic retrainer keeps
 // reproducing the stale placement.
 type Online struct {
-	Model Model
+	Model Model //geomancy:ephemeral serializes through the engine half of the checkpoint
 	// RetrainEvery is the full-retrain cadence in proposals; proposal 0
 	// and every RetrainEvery-th after it retrain fully, the rest update
 	// incrementally. 0 selects DefaultRetrainEvery.
+	//geomancy:ephemeral construction config, re-supplied by policy wiring
 	RetrainEvery int
 
 	calls    int64
-	explored int
+	explored int //geomancy:ephemeral last-proposal telemetry (LastExplored), overwritten by the next Propose
 }
 
 // Name implements Policy.
@@ -188,7 +189,7 @@ func (p *Online) Layout(s State) map[int64]string { return layoutCompat(p, s) }
 type Tiered struct {
 	Stateless
 	Model    Model
-	explored int
+	explored int //geomancy:ephemeral last-proposal telemetry (LastExplored), overwritten by the next Propose
 }
 
 // Name implements Policy.

@@ -370,8 +370,9 @@ type oneShotState struct {
 // layout came from.
 type Static struct {
 	// Desc names the layout's origin, e.g. "Geomancy static".
+	//geomancy:ephemeral construction config, re-supplied when the policy is rebuilt
 	Desc   string
-	Target map[int64]string
+	Target map[int64]string //geomancy:ephemeral construction config, re-supplied when the policy is rebuilt
 	done   bool
 }
 
@@ -415,7 +416,7 @@ func (p *Static) Layout(s State) map[int64]string { return layoutCompat(p, s) }
 // SingleMount places every file on one device — experiment 2's
 // all-data-on-one-storage-point base case.
 type SingleMount struct {
-	Device string
+	Device string //geomancy:ephemeral construction config, re-supplied when the policy is rebuilt
 	done   bool
 }
 

@@ -212,6 +212,7 @@ func (db *DB) writeFrame(typ recordType, payload []byte) error {
 	}
 	db.unsynced++
 	if db.opts.SyncEvery > 0 && db.unsynced >= db.opts.SyncEvery {
+		//geomancy:allow locksafe journal flush to the local data file, bounded by disk latency, not a network peer
 		if err := db.w.Flush(); err != nil {
 			return err
 		}

@@ -60,8 +60,8 @@ func (s *source) Seed(seed int64) {
 // stream from its state. RNG is not safe for concurrent use, matching
 // *rand.Rand.
 type RNG struct {
-	src source
-	*rand.Rand
+	src        source
+	*rand.Rand //geomancy:ephemeral rebuilt over src by New/FromState; the stream is fully determined by src.state
 }
 
 // New returns an RNG seeded with seed. Equal seeds yield identical

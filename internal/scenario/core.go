@@ -74,9 +74,9 @@ type CoreConfig struct {
 // pure function of (config, run counter, stream), so a Core restored
 // from MarshalState continues bit-identically.
 type Core struct {
-	cfg     CoreConfig
-	files   []trace.BelleFile
-	cluster *storagesim.Cluster
+	cfg     CoreConfig          //geomancy:ephemeral construction config, re-supplied by NewCore on restore
+	files   []trace.BelleFile   //geomancy:ephemeral construction arg, re-supplied by NewCore on restore
+	cluster *storagesim.Cluster //geomancy:ephemeral serialized separately as the checkpoint's ClusterState
 	rng     *rng.RNG
 	runs    int
 	chooser generator.Generator

@@ -68,7 +68,7 @@ type Cluster struct {
 	mu      sync.Mutex
 	now     float64
 	rng     *rng.RNG
-	cfg     Config
+	cfg     Config //geomancy:ephemeral construction config, re-supplied by NewCluster before RestoreState
 	devices map[string]*Device
 	order   []string // device names in profile order
 	files   map[int64]*FileState

@@ -75,7 +75,7 @@ type DeviceProfile struct {
 
 // Device is the live state of a simulated device.
 type Device struct {
-	Profile DeviceProfile
+	Profile DeviceProfile //geomancy:ephemeral topology config; RestoreState requires a cluster rebuilt from the same profiles
 
 	// Available mirrors mount availability; the Action Checker consults
 	// it before approving moves.

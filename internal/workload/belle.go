@@ -71,10 +71,11 @@ func MetricsObserver(reg *telemetry.Registry) Observer {
 // scenario.Workload interface requires lives here.
 type Runner struct {
 	// ID distinguishes concurrent workloads (experiment 3 runs two).
+	//geomancy:ephemeral construction arg, re-supplied by NewRunner on restore
 	ID int
 
-	files   []trace.BelleFile
-	cluster *storagesim.Cluster
+	files   []trace.BelleFile   //geomancy:ephemeral construction arg, re-supplied by NewRunner on restore
+	cluster *storagesim.Cluster //geomancy:ephemeral serialized separately as the checkpoint's ClusterState
 	rng     *rng.RNG
 	runs    int
 }
