@@ -9,7 +9,9 @@
 package geomancy
 
 import (
+	"context"
 	"encoding/json"
+	"fmt"
 	"math/rand"
 	"os"
 	"testing"
@@ -252,6 +254,103 @@ func BenchmarkScoringTopK(b *testing.B) {
 	}
 }
 
+// shardedScoringFixture builds a warehouse-scale sharded coordinator:
+// nDev synthetic devices across eight hardware classes partitioned into
+// nShards device groups, nFiles files with seeded telemetry, and the
+// global engine trained once. The returned dirty function mirrors the
+// warehouseFixture's steady-state telemetry churn.
+func shardedScoringFixture(tb testing.TB, nFiles, nDev, nShards int) (*core.Sharded, []core.FileMeta, func()) {
+	tb.Helper()
+	profiles := make([]storagesim.DeviceProfile, nDev)
+	speeds := make([]float64, nDev)
+	for i := range profiles {
+		class := i % 8
+		speeds[i] = float64(8-class)*1e9 + float64(i/8)*3e7
+		profiles[i] = storagesim.DeviceProfile{
+			Name:     fmt.Sprintf("dev%03d", i),
+			Class:    fmt.Sprintf("class%d", class),
+			ReadBW:   speeds[i],
+			WriteBW:  speeds[i],
+			Capacity: 1e13,
+		}
+	}
+	cluster, err := storagesim.NewCluster(profiles, storagesim.Config{Seed: 7})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	db, err := replaydb.Open(replaydb.Options{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { db.Close() })
+	r := rand.New(rand.NewSource(31))
+	now := 0
+	appendFor := func(id int64, dev int) {
+		now++
+		if _, err := db.AppendAccess(replaydb.AccessRecord{
+			Time:       float64(now),
+			FileID:     id,
+			Device:     profiles[dev].Name,
+			BytesRead:  int64(1e8 + r.Float64()*9e8),
+			OpenTS:     int64(now),
+			CloseTS:    int64(now),
+			CloseTMS:   500,
+			Throughput: speeds[dev] * (0.7 + 0.6*r.Float64()),
+		}); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	files := make([]core.FileMeta, nFiles)
+	for i := range files {
+		id := int64(i + 1)
+		dev := r.Intn(nDev)
+		files[i] = core.FileMeta{
+			ID:     id,
+			Path:   fmt.Sprintf("/wh/f%04d", i),
+			Size:   int64(1e8 + r.Float64()*4e8),
+			Device: profiles[dev].Name,
+		}
+		appendFor(id, dev)
+	}
+	cfg := core.Config{Epochs: 4, WindowX: 600, Seed: 31, Epsilon: 0.05}
+	sharded, err := core.NewSharded(db, cluster, nShards, nil, cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := sharded.Model().Retrain(context.Background()); err != nil {
+		tb.Fatal(err)
+	}
+	dirty := func(fraction float64) {
+		n := int(float64(nFiles) * fraction)
+		for k := 0; k < n; k++ {
+			i := r.Intn(nFiles)
+			appendFor(files[i].ID, r.Intn(nDev))
+		}
+	}
+	return sharded, files, func() { dirty(0.25) }
+}
+
+// BenchmarkScoringSharded16 measures the sharded decision cycle over the
+// BenchmarkScoringExhaustive2k population split into 16 device groups:
+// per-shard candidate preparation, ONE cross-shard batched inference,
+// concurrent ε-greedy selection, and the escalation merge. See
+// TestShardedSpeedup (internal/core) for the asserted ≥4× ratio against
+// the unsharded pass at 4096×256.
+func BenchmarkScoringSharded16(b *testing.B) {
+	sharded, files, dirty := shardedScoringFixture(b, 2048, 64, 16)
+	ctx := context.Background()
+	if _, _, err := sharded.DecideLayout(ctx, files); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dirty()
+		if _, _, err := sharded.DecideLayout(ctx, files); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // gemmFixture builds a GEMM triple shaped like batched candidate scoring:
 // (files×devices) stacked feature rows through a hidden layer.
 func gemmFixture(rows, inner, cols int) (dst, a, bm *mat.Matrix) {
@@ -313,6 +412,7 @@ func TestBenchBaseline(t *testing.T) {
 		{"ScoringProposeLayout", BenchmarkScoringProposeLayout},
 		{"ScoringExhaustive2k", BenchmarkScoringExhaustive2k},
 		{"ScoringTopK", BenchmarkScoringTopK},
+		{"ScoringSharded16", BenchmarkScoringSharded16},
 		{"ScoringGEMM", BenchmarkScoringGEMM},
 		{"ScoringGEMMParallel", BenchmarkScoringGEMMParallel},
 	} {

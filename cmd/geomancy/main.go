@@ -12,6 +12,7 @@
 //	         [-policy geomancy] [-list-policies]
 //	         [-cooldown 5] [-bootstrap 5] [-db replay.wal] [-model 1]
 //	         [-epsilon 0.1] [-target throughput|latency] [-parallel 0]
+//	         [-shards 0]
 //	         [-checkpoint-dir state/] [-checkpoint-every 5]
 //	         [-retry-attempts 4] [-retry-base 5ms] [-io-timeout 5s]
 //	         [-fail-open] [-fault-drop 0] [-fault-delay 0] [-fault-partial 0]
@@ -55,6 +56,7 @@ func main() {
 	epsilon := flag.Float64("epsilon", 0.1, "exploration rate")
 	target := flag.String("target", "throughput", "modeling target: throughput or latency")
 	parallel := flag.Int("parallel", 0, "engine worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	shards := flag.Int("shards", 0, "partition devices into N placement shards with one batched inference per cycle (0 = unsharded)")
 	topK := flag.Int("topk", 0, "candidate pruning: score only the top-k devices per class by recent throughput (0 = exhaustive scoring)")
 	fullRescan := flag.Int("full-rescan-every", 0, "with -topk: every Nth decision re-scores the full candidate space (0 = default 8)")
 	ckptDir := flag.String("checkpoint-dir", "", "snapshot directory: resume from it on start, checkpoint into it while running (empty = disabled)")
@@ -115,6 +117,9 @@ func main() {
 	}
 	if *dbPath != "" {
 		opts = append(opts, geomancy.WithReplayDB(*dbPath))
+	}
+	if *shards > 0 {
+		opts = append(opts, geomancy.WithShards(*shards))
 	}
 	if *topK > 0 {
 		opts = append(opts, geomancy.WithTopK(*topK))

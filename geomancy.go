@@ -174,6 +174,8 @@ type config struct {
 	scenario      string
 	workload      WorkloadBuilder
 	policy        string
+	shards        int
+	shardBy       func(string) int
 }
 
 // Option customizes New.
@@ -265,6 +267,30 @@ func WithTopK(k int) Option { return func(c *config) { c.topK = k } }
 // Default 8. Ignored without WithTopK.
 func WithFullRescanEvery(n int) Option { return func(c *config) { c.fullRescan = n } }
 
+// WithShards partitions the cluster's devices into n shards and drives
+// placement through the sharded coordinator: each shard owns a
+// lightweight engine deciding over its own device subset, every shard's
+// candidate rows forward through the shared network in ONE batched
+// inference per cycle, and placements a shard clearly cannot serve
+// escalate to the cluster-wide throughput digest under two-phase
+// capacity reservations. Shard decisions run concurrently under the
+// WithParallelism worker bound, yet equal seeds replay identically at
+// any parallelism (fixed merge order, per-shard RNG streams). n = 1 is
+// bit-identical to the unsharded engine; n = 0 (the default) disables
+// sharding entirely. Devices are grouped contiguously in profile order
+// unless WithShardBy overrides the assignment. Only the default
+// "geomancy" policy shards — combining WithShards with another
+// WithPolicy fails New — and recurrent architectures (WithModel) are
+// rejected for n > 1.
+func WithShards(n int) Option { return func(c *config) { c.shards = n } }
+
+// WithShardBy overrides the sharded coordinator's device→shard
+// assignment: fn maps a device name to a shard index in [0, n). Only
+// meaningful with WithShards.
+func WithShardBy(fn func(device string) int) Option {
+	return func(c *config) { c.shardBy = fn }
+}
+
 // WithObserver taps every access's telemetry: fn runs synchronously for
 // each AccessResult the workload produces, during bootstrap and tuned runs
 // alike. Use it to stream per-access data into custom sinks without
@@ -332,6 +358,10 @@ type System struct {
 	db      *replaydb.DB
 	runner  scenario.Workload
 	loop    *core.Loop
+
+	// sharded plane (nil without WithShards)
+	sharded *core.Sharded
+	shards  int
 
 	// distributed plane (nil without WithDistributed)
 	daemon     *agents.Daemon
@@ -433,7 +463,7 @@ func New(opts ...Option) (*System, error) {
 		}
 		store = sys.store
 	}
-	loop, err := core.NewNamedLoop(store, db, cluster, runner, cfg.policy, core.Config{
+	engCfg := core.Config{
 		ModelNumber:     cfg.model,
 		Epsilon:         cfg.epsilon,
 		CooldownRuns:    cfg.cooldown,
@@ -444,11 +474,32 @@ func New(opts ...Option) (*System, error) {
 		Parallelism:     cfg.parallelism,
 		TopK:            cfg.topK,
 		FullRescanEvery: cfg.fullRescan,
-	})
-	if err != nil {
-		sys.teardownAgents()
-		db.Close()
-		return nil, fmt.Errorf("geomancy: building loop: %w", err)
+	}
+	var loop *core.Loop
+	if cfg.shards > 0 {
+		if cfg.policy != "" && cfg.policy != "geomancy" {
+			sys.teardownAgents()
+			db.Close()
+			return nil, fmt.Errorf("geomancy: WithShards drives the %q policy; it cannot combine with WithPolicy(%q)",
+				"geomancy", cfg.policy)
+		}
+		sharded, err := core.NewSharded(store, cluster, cfg.shards, cfg.shardBy, engCfg)
+		if err != nil {
+			sys.teardownAgents()
+			db.Close()
+			return nil, fmt.Errorf("geomancy: building sharded coordinator: %w", err)
+		}
+		loop = core.NewPolicyLoop(db, cluster, runner, sharded, cfg.cooldown)
+		loop.SetModel(sharded.Model())
+		sys.sharded = sharded
+		sys.shards = cfg.shards
+	} else {
+		loop, err = core.NewNamedLoop(store, db, cluster, runner, cfg.policy, engCfg)
+		if err != nil {
+			sys.teardownAgents()
+			db.Close()
+			return nil, fmt.Errorf("geomancy: building loop: %w", err)
+		}
 	}
 	sys.loop = loop
 	if cfg.distributed {
@@ -704,6 +755,10 @@ func (s *System) Devices() []string { return s.cluster.DeviceNames() }
 // system (e.g. "Geomancy dynamic" for the default).
 func (s *System) Policy() string { return s.loop.Policy.Name() }
 
+// Shards returns the sharded coordinator's partition width, or 0 when
+// the system runs unsharded (no WithShards).
+func (s *System) Shards() int { return s.shards }
+
 // Telemetry returns the number of access records collected.
 func (s *System) Telemetry() int { return s.db.Len() }
 
@@ -776,6 +831,13 @@ func (s *System) buildSnapshot() (*checkpoint.Snapshot, error) {
 		PolicyName:      s.loop.Policy.Name(),
 		Policy:          pstate,
 		ReplayWatermark: s.db.Watermark(),
+	}
+	if s.sharded != nil {
+		snap.Shards = s.sharded.ShardCount()
+		snap.ShardStates, err = s.sharded.ShardStates()
+		if err != nil {
+			return nil, fmt.Errorf("geomancy: capturing shard states: %w", err)
+		}
 	}
 	if s.replayPath == "" {
 		snap.Accesses = s.db.All()
@@ -864,6 +926,10 @@ func (s *System) applySnapshot(snap *checkpoint.Snapshot) error {
 	if snap.Seed != s.seed {
 		return fmt.Errorf("geomancy: snapshot was taken with seed %d, options configure seed %d", snap.Seed, s.seed)
 	}
+	if snap.Shards != s.shards {
+		return fmt.Errorf("geomancy: snapshot was taken with %d shards, options configure %d — shard RNG streams do not translate across partitions",
+			snap.Shards, s.shards)
+	}
 	if s.replayPath == "" {
 		if err := s.db.Bulkload(snap.Accesses, snap.Movements); err != nil {
 			return fmt.Errorf("geomancy: restoring replay records: %w", err)
@@ -895,6 +961,11 @@ func (s *System) applySnapshot(snap *checkpoint.Snapshot) error {
 	if s.loop.Engine != nil {
 		if err := s.loop.Engine.RestoreState(snap.Engine); err != nil {
 			return fmt.Errorf("geomancy: restoring engine: %w", err)
+		}
+	}
+	if s.sharded != nil {
+		if err := s.sharded.RestoreShardStates(snap.ShardStates); err != nil {
+			return fmt.Errorf("geomancy: restoring shard states: %w", err)
 		}
 	}
 	s.loop.RestoreState(snap.Loop)

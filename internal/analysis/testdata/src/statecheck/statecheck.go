@@ -6,6 +6,7 @@
 package statecheck
 
 import (
+	"bytes"
 	"encoding/gob"
 	"io"
 )
@@ -137,6 +138,57 @@ func (c *GoodCounter) MarshalState() ([]byte, error) {
 
 // Tally is a runtime mutation of a properly captured field.
 func (c *GoodCounter) Tally() { c.n = c.n + 1 }
+
+// Coordinator mirrors the sharded-coordinator shape: MarshalState
+// delegates to a per-unit capture helper (one opaque blob per unit), the
+// reusable inference buffer is annotated ephemeral, and the scorer
+// generation gate leaks — a restored coordinator would silently skip
+// re-adopting the shared scorer.
+type Coordinator struct {
+	units    []coordUnit
+	adopted  uint64 // want `field Coordinator\.adopted is not captured by the state serialization of Coordinator and not marked //geomancy:ephemeral`
+	explored int
+	combined []float64 //geomancy:ephemeral fixture: reusable inference buffer, overwritten per cycle
+}
+
+// coordUnit is one unit's wire-clean state.
+type coordUnit struct {
+	Decisions int
+}
+
+// coordState is the coordinator's wire form.
+type coordState struct {
+	Explored int
+	Units    [][]byte
+}
+
+// unitStates captures one blob per unit — the helper MarshalState
+// delegates to, so the closure walk must follow the call and count the
+// units field as captured.
+func (c *Coordinator) unitStates() ([][]byte, error) {
+	out := make([][]byte, 0, len(c.units))
+	for i := range c.units {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(c.units[i]); err != nil {
+			return nil, err
+		}
+		out = append(out, buf.Bytes())
+	}
+	return out, nil
+}
+
+// MarshalState assembles the wire form from the per-unit blobs.
+func (c *Coordinator) MarshalState() ([]byte, error) {
+	units, err := c.unitStates()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(coordState{Explored: c.explored, Units: units}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
 
 // Net's Save is a gob-capture root: it feeds receiver-derived data to
 // (*gob.Encoder).Encode, so its closure governs Net's coverage.

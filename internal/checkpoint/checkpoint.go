@@ -4,7 +4,7 @@
 // and every loop counter — serialized as one versioned, CRC-framed blob,
 // so an interrupted run restores and continues bit-for-bit.
 //
-// A checkpoint file is the 8-byte magic "GCKP0003" (format version in the
+// A checkpoint file is the 8-byte magic "GCKP0004" (format version in the
 // magic, like the replay WAL's "GRDB0001") followed by one frame: a type
 // byte, a little-endian uint32 payload length, the gob-encoded Snapshot,
 // and a CRC-32 (IEEE) of the payload. Truncated or bit-flipped files fail
@@ -37,8 +37,10 @@ import (
 	"geomancy/internal/workload"
 )
 
-// magic identifies a checkpoint file and its format version.
-var magic = []byte("GCKP0003")
+// magic identifies a checkpoint file and its format version. GCKP0004
+// added the sharded-placement fields (Shards + per-shard opaque states);
+// older snapshots predate the sharded plane and do not restore into it.
+var magic = []byte("GCKP0004")
 
 // frameSnapshot is the type byte of a Snapshot frame. Future format
 // extensions get new type bytes; readers reject types they do not know.
@@ -74,6 +76,15 @@ type Snapshot struct {
 	Engine  core.EngineState
 	Loop    core.LoopState
 	Cluster storagesim.ClusterState
+
+	// Shards is the sharded coordinator's partition width when the
+	// snapshot was taken (0 = unsharded), and ShardStates its per-shard
+	// opaque blobs (shard engine + device-group accounting, one per
+	// shard). Restore rejects a snapshot whose partition width disagrees
+	// with the configured one: shard RNG streams and score caches are
+	// meaningless under a different partition.
+	Shards      int
+	ShardStates [][]byte
 
 	// WorkloadName names the scenario the snapshot was taken under
 	// ("belle" for the classic runner); restore refuses a snapshot whose

@@ -222,6 +222,13 @@ type Engine struct {
 	inFlat  *mat.Matrix   //geomancy:ephemeral reusable inference buffer, overwritten per decision
 	inSeq   []*mat.Matrix //geomancy:ephemeral reusable inference buffer, overwritten per decision
 
+	// fsids maps a local device index to the fsid feature value the
+	// model was trained with. Nil means identity (the engine trained over
+	// its own device list); the sharded coordinator points shard-local
+	// engines at the global indices so a shard scores candidates with the
+	// device IDs the shared network actually learned.
+	fsids []int //geomancy:ephemeral structural wiring, re-supplied by NewSharded on restore
+
 	// Candidate-pruning state (cfg.TopK > 0); see prune.go.
 	//geomancy:ephemeral store-backed change feed, re-wired at construction; progress is serialized as LastWatermark
 	tracker       ChangeTracker
@@ -740,10 +747,18 @@ func (e *Engine) gatherFileFeatures(f FileMeta, withHist bool) fileFeatures {
 	return ff
 }
 
+// fsidOf translates a local device index to the model's fsid feature.
+func (e *Engine) fsidOf(devIdx int) float64 {
+	if e.fsids != nil && devIdx < len(e.fsids) {
+		return float64(e.fsids[devIdx])
+	}
+	return float64(devIdx)
+}
+
 // candidateRow builds the normalized candidate feature row for placing a
 // file with ingredients ff on the device at devIdx.
 func (e *Engine) candidateRow(ff fileFeatures, fileID int64, devIdx int) []float64 {
-	row := []float64{logBytes(ff.rb), logBytes(ff.wb), ff.ts, ff.ts, float64(fileID), float64(devIdx)}
+	row := []float64{logBytes(ff.rb), logBytes(ff.wb), ff.ts, ff.ts, float64(fileID), e.fsidOf(devIdx)}
 	for c, v := range row {
 		row[c] = e.featScaler.TransformValue(c, v)
 	}
@@ -862,6 +877,17 @@ func (e *Engine) seqBufs(w, rows, cols int) []*mat.Matrix {
 	return e.inSeq
 }
 
+// forwardRows runs the engine's (timed, observed) batched forward pass
+// over already-assembled input rows.
+func (e *Engine) forwardRows(flat *mat.Matrix, seq []*mat.Matrix, total int) *mat.Matrix {
+	start := time.Now() //geomancy:nondeterministic telemetry timestamp: inference duration is reported, never fed back into decisions
+	e.scratch.Parallelism = e.cfg.Parallelism
+	out := e.net.ForwardBatch(flat, seq, &e.scratch)
+	e.metrics.inferSeconds.Set(time.Since(start).Seconds()) //geomancy:nondeterministic telemetry timestamp: inference duration is reported, never fed back into decisions
+	e.metrics.inferBatch.Observe(float64(total))
+	return out
+}
+
 // candidateScores evaluates every (file, device) pairing in one batched
 // inference: feature assembly fans out over the worker pool (one ReplayDB
 // fetch per file instead of one per pairing), all len(files)×len(devices)
@@ -876,71 +902,11 @@ func (e *Engine) candidateScores(ctx context.Context, files []FileMeta) ([][]flo
 	if total == 0 {
 		return nil, nil
 	}
-	cols := e.net.InSize
-	recurrent := e.net.IsRecurrent()
-	var flat *mat.Matrix
-	var seq []*mat.Matrix
-	w := 1
-	if recurrent {
-		w = e.net.Window
-		seq = e.seqBufs(w, total, cols)
-	} else {
-		flat = e.flatBuf(total, cols)
-	}
-
-	// Assemble candidate feature rows; nothing here consumes e.rng.
-	err := parallelFor(ctx, len(files), e.cfg.Parallelism, func(i int) {
-		f := files[i]
-		// Candidate feature row: the file's typical access at this
-		// location, stamped at the most recent known time.
-		ff := e.gatherFileFeatures(f, recurrent)
-		// History rows (normalized) are shared by every device pairing of
-		// this file; only the candidate row itself differs per device.
-		var hist [][]float64
-		if recurrent {
-			hist = make([][]float64, len(ff.hist))
-			for k, raw := range ff.hist {
-				nrm := make([]float64, len(raw))
-				for c, v := range raw {
-					nrm[c] = e.featScaler.TransformValue(c, v)
-				}
-				hist[k] = nrm
-			}
-		}
-		for j := range e.devices {
-			norm := e.candidateRow(ff, f.ID, j)
-			r := i*nDev + j
-			if !recurrent {
-				flat.SetRow(r, norm)
-				continue
-			}
-			// The window is the file's history padded by repeating the
-			// candidate row, then the candidate row last — the batched form
-			// of predictCandidate's prepend-and-slice.
-			need := w - 1
-			for t := 0; t < need; t++ {
-				if k := len(hist) - need + t; k >= 0 {
-					seq[t].SetRow(r, hist[k])
-				} else {
-					seq[t].SetRow(r, norm)
-				}
-			}
-			seq[need].SetRow(r, norm)
-		}
-	})
+	flat, seq, err := e.assembleTasks(ctx, files, exhaustiveTasks(len(files), nDev), total)
 	if err != nil {
 		return nil, err
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-
-	// One batched forward pass over every candidate row.
-	start := time.Now() //geomancy:nondeterministic telemetry timestamp: inference duration is reported, never fed back into decisions
-	e.scratch.Parallelism = e.cfg.Parallelism
-	out := e.net.ForwardBatch(flat, seq, &e.scratch)
-	e.metrics.inferSeconds.Set(time.Since(start).Seconds()) //geomancy:nondeterministic telemetry timestamp: inference duration is reported, never fed back into decisions
-	e.metrics.inferBatch.Observe(float64(total))
+	out := e.forwardRows(flat, seq, total)
 
 	// Denormalize and MAE-adjust every prediction.
 	scores := make([][]float64, len(files))
@@ -983,48 +949,23 @@ type scored struct {
 }
 
 // ProposeLayoutContext is ProposeLayout with cancellation: ctx is checked
-// between candidate-scoring batches. All candidate predictions happen in
-// one batched inference (candidateScores, or the pruned subset pass when
-// Config.TopK > 0) and the per-file validity filters fan out over the
-// worker pool; only the ε-greedy selection — the part that draws from
-// e.rng — runs serially in file order, so a fixed seed replays
-// identically at any Parallelism.
+// between candidate-scoring batches. The decision runs through the
+// three-stage pipeline in propose.go — prepare (mode selection and row
+// assembly, exhaustive or pruned when Config.TopK > 0), one batched
+// forward pass, finish (denormalization, cache writeback, selection). The
+// per-file validity filters fan out over the worker pool; only the
+// ε-greedy selection — the part that draws from e.rng — runs serially in
+// file order, so a fixed seed replays identically at any Parallelism.
 func (e *Engine) ProposeLayoutContext(ctx context.Context, files []FileMeta, checker *agents.ActionChecker, valid agents.Validator) (map[int64]string, []Decision, error) {
-	if !e.trained {
-		return nil, nil, ErrNotTrained
-	}
-	if checker == nil {
-		checker = agents.NewActionChecker(e.rng, e.devices)
-	}
-	pruned := e.cfg.TopK > 0 && !e.fullRescanDue()
-	e.decisionCount++
-	if pruned {
-		return e.proposePruned(ctx, files, checker, valid)
-	}
-	scores, err := e.candidateScores(ctx, files)
+	pd, err := e.prepareProposal(ctx, files, checker, valid)
 	if err != nil {
 		return nil, nil, err
 	}
-	if e.cfg.TopK > 0 {
-		e.refreshCacheFull(files, scores)
+	var out *mat.Matrix
+	if pd.rows() > 0 {
+		out = e.forwardRows(pd.flat, pd.seq, pd.total)
 	}
-	pre := make([]scored, len(files))
-	err = parallelFor(ctx, len(files), e.cfg.Parallelism, func(i int) {
-		f := files[i]
-		d := Decision{FileID: f.ID, Current: f.Device, Predictions: make(map[string]float64, len(e.devices))}
-		cands := make([]agents.Candidate, 0, len(e.devices))
-		for j, dev := range e.devices {
-			p := scores[i][j]
-			d.Predictions[dev] = p
-			// Candidate scores are maximize-me: latency negates.
-			cands = append(cands, agents.Candidate{Device: dev, Predicted: e.betterScore(p)})
-		}
-		pre[i] = scored{d: d, cands: cands, passing: checker.Filter(cands, f.Size, valid), explore: cands}
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-	return e.selectLayout(files, pre, checker, valid)
+	return pd.finish(ctx, out, 0)
 }
 
 // selectLayout runs the serial ε-greedy selection over prepared decision

@@ -155,6 +155,11 @@ func (l *Loop) SetMetrics(reg *telemetry.Registry) {
 	if l.Engine != nil {
 		l.Engine.SetMetrics(reg)
 	}
+	// Policies carrying their own instrumentation (the sharded
+	// coordinator's per-shard counters) register on the same registry.
+	if pm, ok := l.Policy.(interface{ SetMetrics(*telemetry.Registry) }); ok {
+		pm.SetMetrics(reg)
+	}
 }
 
 // NewLoop assembles a geomancy-policy loop over an existing

@@ -1,0 +1,325 @@
+package core
+
+import (
+	"context"
+	"sort"
+
+	"geomancy/internal/agents"
+	"geomancy/internal/mat"
+	"geomancy/internal/nn"
+)
+
+// The decision pipeline is split into three stages so a sharded
+// coordinator can interleave many engines' decisions around ONE batched
+// inference per cycle (ROADMAP item 2's amortized inference):
+//
+//	prepare — dirty tracking, shortlist/task construction, and candidate
+//	          row assembly into the engine's input buffer. Draws no
+//	          randomness and runs no GEMM, so shards prepare concurrently.
+//	forward — one nn.ForwardBatch over the assembled rows. The legacy
+//	          single-engine path forwards its own rows; the coordinator
+//	          concatenates every shard's rows and forwards once.
+//	finish  — denormalization, cache writeback, and the serial ε-greedy
+//	          selection (the only stage that draws from e.rng).
+//
+// ProposeLayoutContext composes the three stages over one engine and is
+// bit-identical to the pre-split implementation: the same rows are
+// assembled in the same order, forwarded through the same network, and
+// selected with the same RNG stream.
+
+// pendingDecision is a prepared-but-not-yet-scored decision: the task
+// list mapping batch rows to (file, device) pairings, plus the assembled
+// input rows in the owning engine's reusable buffers. The buffers are
+// valid until the engine's next prepare.
+type pendingDecision struct {
+	eng     *Engine
+	files   []FileMeta
+	checker *agents.ActionChecker
+	valid   agents.Validator
+
+	// pruned marks the shortlist path; entries holds each file's cache
+	// entry (pruned only), tasks the rows to score, total the row count.
+	pruned  bool
+	entries []*fileCache
+	tasks   []scoreTask
+	total   int
+
+	// Assembled input: flat for dense models, seq for recurrent ones.
+	// Aliases of the engine's reusable buffers.
+	flat *mat.Matrix
+	seq  []*mat.Matrix
+}
+
+// exhaustiveTasks builds the full-grid task list: every file against
+// every device, rows laid out file-major exactly like candidateScores.
+func exhaustiveTasks(nFiles, nDev int) []scoreTask {
+	all := make([]int, nDev)
+	for j := range all {
+		all[j] = j
+	}
+	tasks := make([]scoreTask, nFiles)
+	for i := range tasks {
+		tasks[i] = scoreTask{file: i, devs: all, base: i * nDev}
+	}
+	return tasks
+}
+
+// prepareProposal runs the decision pipeline up to (but excluding) the
+// batched inference: mode selection, dirty-set maintenance, task-list
+// construction, and candidate-row assembly. It advances the decision
+// counter and watermark, so every prepare must be followed by exactly one
+// finish.
+func (e *Engine) prepareProposal(ctx context.Context, files []FileMeta, checker *agents.ActionChecker, valid agents.Validator) (*pendingDecision, error) {
+	if !e.trained {
+		return nil, ErrNotTrained
+	}
+	if checker == nil {
+		checker = agents.NewActionChecker(e.rng, e.devices)
+	}
+	pruned := e.cfg.TopK > 0 && !e.fullRescanDue()
+	e.decisionCount++
+
+	pd := &pendingDecision{eng: e, files: files, checker: checker, valid: valid, pruned: pruned}
+	if pruned {
+		// Dirty set: drop caches of files whose telemetry moved past the
+		// last scoring watermark. Without a ChangeTracker nothing can be
+		// trusted across decisions; the shortlist still prunes the device
+		// axis.
+		if e.tracker != nil {
+			for _, id := range e.tracker.FilesChangedSince(e.lastWatermark) {
+				if ent, ok := e.cache[id]; ok {
+					ent.invalidate()
+				}
+			}
+			e.lastWatermark = e.tracker.Watermark()
+		} else {
+			for _, ent := range e.cache {
+				ent.invalidate()
+			}
+		}
+		short := e.deviceShortlist()
+		pd.entries, pd.tasks, pd.total = e.pruneTasks(files, short)
+	} else {
+		pd.total = len(files) * len(e.devices)
+		pd.tasks = exhaustiveTasks(len(files), len(e.devices))
+	}
+	if pd.total > 0 {
+		var err error
+		pd.flat, pd.seq, err = e.assembleTasks(ctx, files, pd.tasks, pd.total)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return pd, nil
+}
+
+// rows returns the number of candidate rows awaiting inference.
+func (pd *pendingDecision) rows() int { return pd.total }
+
+// fillInto copies the assembled candidate rows into dst starting at row
+// base — the coordinator's concatenation step. Dense models only; the
+// coordinator rejects recurrent architectures at construction.
+func (pd *pendingDecision) fillInto(dst *mat.Matrix, base int) {
+	if pd.total == 0 {
+		return
+	}
+	cols := pd.flat.Cols
+	copy(dst.Data[base*cols:(base+pd.total)*cols], pd.flat.Data[:pd.total*cols])
+}
+
+// finish consumes the inference output rows [base, base+total) of out and
+// completes the decision: denormalization, cache writeback (pruned) or
+// full-cache refresh (exhaustive with TopK), candidate filtering, and the
+// serial ε-greedy selection. out may be nil when rows() was 0.
+func (pd *pendingDecision) finish(ctx context.Context, out *mat.Matrix, base int) (map[int64]string, []Decision, error) {
+	e := pd.eng
+	files := pd.files
+	denorm := func(r int) float64 {
+		raw := DecodeTarget(e.targetScaler.Inverse(clamp01(out.At(base+r, 0))))
+		return nn.AdjustPrediction(raw, e.valMetrics)
+	}
+
+	if !pd.pruned {
+		nDev := len(e.devices)
+		scores := make([][]float64, len(files))
+		err := parallelFor(ctx, len(files), e.cfg.Parallelism, func(i int) {
+			s := make([]float64, nDev)
+			for j := 0; j < nDev; j++ {
+				s[j] = denorm(i*nDev + j)
+			}
+			scores[i] = s
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		if e.cfg.TopK > 0 {
+			e.refreshCacheFull(files, scores)
+		}
+		pre := make([]scored, len(files))
+		err = parallelFor(ctx, len(files), e.cfg.Parallelism, func(i int) {
+			f := files[i]
+			d := Decision{FileID: f.ID, Current: f.Device, Predictions: make(map[string]float64, len(e.devices))}
+			cands := make([]agents.Candidate, 0, len(e.devices))
+			for j, dev := range e.devices {
+				p := scores[i][j]
+				d.Predictions[dev] = p
+				// Candidate scores are maximize-me: latency negates.
+				cands = append(cands, agents.Candidate{Device: dev, Predicted: e.betterScore(p)})
+			}
+			pre[i] = scored{d: d, cands: cands, passing: pd.checker.Filter(cands, f.Size, pd.valid), explore: cands}
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return e.selectLayout(files, pre, pd.checker, pd.valid)
+	}
+
+	// Pruned path: write the fresh scores back into the caches under the
+	// current generation, then decide from every current-generation score.
+	err := parallelFor(ctx, len(pd.tasks), e.cfg.Parallelism, func(ti int) {
+		t := pd.tasks[ti]
+		for k, j := range t.devs {
+			t.ent.scores[j] = denorm(t.base + k)
+			t.ent.gens[j] = e.modelGen
+		}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Prepared decision material: candidates are every device scored
+	// under the current generation — the full width for clean files still
+	// carrying an exhaustive pass, the shortlist for freshly scored ones.
+	// explore stays nil; selectLayout widens it to the full device list
+	// only for the ε fraction of files that actually explore.
+	pre := make([]scored, len(files))
+	err = parallelFor(ctx, len(files), e.cfg.Parallelism, func(i int) {
+		f := files[i]
+		ent := pd.entries[i]
+		d := Decision{FileID: f.ID, Current: f.Device, Predictions: make(map[string]float64)}
+		cands := make([]agents.Candidate, 0, len(e.devices))
+		for j, dev := range e.devices {
+			if ent.gens[j] != e.modelGen {
+				continue
+			}
+			p := ent.scores[j]
+			d.Predictions[dev] = p
+			cands = append(cands, agents.Candidate{Device: dev, Predicted: e.betterScore(p)})
+		}
+		pre[i] = scored{d: d, cands: cands, passing: pd.checker.Filter(cands, f.Size, pd.valid)}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return e.selectLayout(files, pre, pd.checker, pd.valid)
+}
+
+// pruneTasks builds the pruned work list: per file, the shortlist ∪
+// {current device} entries not yet scored under the current model
+// generation.
+func (e *Engine) pruneTasks(files []FileMeta, short []int) (entries []*fileCache, tasks []scoreTask, total int) {
+	entries = make([]*fileCache, len(files))
+	tasks = make([]scoreTask, 0, len(files))
+	for i, f := range files {
+		ent := e.ensureCache(f)
+		entries[i] = ent
+		var need []int
+		cur, curOK := e.devIndex[f.Device]
+		curListed := false
+		for _, j := range short {
+			if curOK && j == cur {
+				curListed = true
+			}
+			if ent.gens[j] != e.modelGen {
+				need = append(need, j)
+			}
+		}
+		if curOK && !curListed && ent.gens[cur] != e.modelGen {
+			pos := sort.SearchInts(need, cur)
+			need = append(need, 0)
+			copy(need[pos+1:], need[pos:])
+			need[pos] = cur
+		}
+		if len(need) > 0 {
+			tasks = append(tasks, scoreTask{file: i, ent: ent, devs: need, base: total})
+			total += len(need)
+		}
+	}
+	return entries, tasks, total
+}
+
+// assembleTasks builds the candidate feature rows for every task into the
+// engine's reusable input buffers. A task with a cache entry reuses (and
+// fills) the entry's raw feature ingredients; a task without one (the
+// exhaustive grid) fetches them directly. Nothing here consumes e.rng,
+// and tasks touch disjoint rows and cache entries, so the fan-out is
+// race-free.
+func (e *Engine) assembleTasks(ctx context.Context, files []FileMeta, tasks []scoreTask, total int) (*mat.Matrix, []*mat.Matrix, error) {
+	cols := e.net.InSize
+	recurrent := e.net.IsRecurrent()
+	var flat *mat.Matrix
+	var seq []*mat.Matrix
+	w := 1
+	if recurrent {
+		w = e.net.Window
+		seq = e.seqBufs(w, total, cols)
+	} else {
+		flat = e.flatBuf(total, cols)
+	}
+	err := parallelFor(ctx, len(tasks), e.cfg.Parallelism, func(ti int) {
+		t := tasks[ti]
+		f := files[t.file]
+		// Candidate feature row ingredients: the file's typical access,
+		// stamped at the most recent known time.
+		var ff fileFeatures
+		if t.ent != nil {
+			if !t.ent.featValid {
+				t.ent.feat = e.gatherFileFeatures(f, recurrent)
+				t.ent.featValid = true
+			}
+			ff = t.ent.feat
+		} else {
+			ff = e.gatherFileFeatures(f, recurrent)
+		}
+		// History rows (normalized) are shared by every device pairing of
+		// this file; only the candidate row itself differs per device.
+		var hist [][]float64
+		if recurrent {
+			hist = make([][]float64, len(ff.hist))
+			for k, raw := range ff.hist {
+				nrm := make([]float64, len(raw))
+				for c, v := range raw {
+					nrm[c] = e.featScaler.TransformValue(c, v)
+				}
+				hist[k] = nrm
+			}
+		}
+		for k, j := range t.devs {
+			norm := e.candidateRow(ff, f.ID, j)
+			r := t.base + k
+			if !recurrent {
+				flat.SetRow(r, norm)
+				continue
+			}
+			// The window is the file's history padded by repeating the
+			// candidate row, then the candidate row last — the batched form
+			// of predictCandidate's prepend-and-slice.
+			need := w - 1
+			for x := 0; x < need; x++ {
+				if h := len(hist) - need + x; h >= 0 {
+					seq[x].SetRow(r, hist[h])
+				} else {
+					seq[x].SetRow(r, norm)
+				}
+			}
+			seq[need].SetRow(r, norm)
+		}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	return flat, seq, nil
+}

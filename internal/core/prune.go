@@ -1,13 +1,8 @@
 package core
 
 import (
-	"context"
 	"sort"
-	"time"
 
-	"geomancy/internal/agents"
-	"geomancy/internal/mat"
-	"geomancy/internal/nn"
 	"geomancy/internal/storagesim"
 )
 
@@ -133,8 +128,15 @@ func (e *Engine) refreshCacheFull(files []FileMeta, scores [][]float64) {
 // deviceShortlist returns the sorted device indices a pruned decision
 // scores dirty files against: the top-K devices per device class by
 // recent effective throughput, skipping devices no move could target
-// (unavailable or read-only). Ties break toward profile order, and the
-// result is ascending by device index, so shortlists are deterministic.
+// (unavailable or read-only). Devices whose summary carries only the
+// nominal-bandwidth fallback (DeviceSummary.Nominal — never probed by any
+// access) are always shortlisted regardless of rank: their fallback
+// throughput is a spec-sheet guess, and a device whose guess ranks below
+// its classmates' measured rates would otherwise never be probed until
+// the next full rescan. Ties break toward profile order, and the result
+// is ascending by device index, so shortlists are deterministic — in
+// particular, a shortlist built from restored summaries equals the one
+// the original run built.
 // Without a summary source every device is shortlisted.
 func (e *Engine) deviceShortlist() []int {
 	if e.summarySource == nil {
@@ -150,10 +152,14 @@ func (e *Engine) deviceShortlist() []int {
 	}
 	byClass := make(map[string][]ranked)
 	var classes []string
+	var nominal []int
 	for _, s := range e.summarySource() {
 		j, ok := e.devIndex[s.Name]
 		if !ok || !s.Available || s.ReadOnly {
 			continue
+		}
+		if s.Nominal {
+			nominal = append(nominal, j)
 		}
 		if _, seen := byClass[s.Class]; !seen {
 			classes = append(classes, s.Class)
@@ -172,180 +178,27 @@ func (e *Engine) deviceShortlist() []int {
 			out = append(out, r.idx)
 		}
 	}
+	out = append(out, nominal...)
 	sort.Ints(out)
-	return out
+	// Nominal devices may double up with top-K winners; dedupe in place.
+	dst := 0
+	for i, v := range out {
+		if i == 0 || v != out[dst-1] {
+			out[dst] = v
+			dst++
+		}
+	}
+	return out[:dst]
 }
 
 // scoreTask is one file's pending inference work: the device indices to
-// score (ascending) and where its rows start in the batch.
+// score (ascending) and where its rows start in the batch. The pruned
+// decision body itself lives in propose.go (prepareProposal builds the
+// task list via pruneTasks; pendingDecision.finish writes scores back),
+// shared with the exhaustive path and the sharded coordinator.
 type scoreTask struct {
 	file int
 	ent  *fileCache
 	devs []int
 	base int
-}
-
-// proposePruned is the pruned counterpart of the exhaustive body of
-// ProposeLayoutContext: dirty-set invalidation, shortlist construction,
-// one batched inference over only the missing (file, device) rows, then
-// the same serial ε-greedy selection.
-func (e *Engine) proposePruned(ctx context.Context, files []FileMeta, checker *agents.ActionChecker, valid agents.Validator) (map[int64]string, []Decision, error) {
-	// Dirty set: drop caches of files whose telemetry moved past the last
-	// scoring watermark. Without a ChangeTracker nothing can be trusted
-	// across decisions; the shortlist still prunes the device axis.
-	if e.tracker != nil {
-		for _, id := range e.tracker.FilesChangedSince(e.lastWatermark) {
-			if ent, ok := e.cache[id]; ok {
-				ent.invalidate()
-			}
-		}
-		e.lastWatermark = e.tracker.Watermark()
-	} else {
-		for _, ent := range e.cache {
-			ent.invalidate()
-		}
-	}
-
-	short := e.deviceShortlist()
-
-	// Work list: per file, the shortlist ∪ {current device} entries not
-	// yet scored under the current model generation.
-	entries := make([]*fileCache, len(files))
-	tasks := make([]scoreTask, 0, len(files))
-	total := 0
-	for i, f := range files {
-		ent := e.ensureCache(f)
-		entries[i] = ent
-		var need []int
-		cur, curOK := e.devIndex[f.Device]
-		curListed := false
-		for _, j := range short {
-			if curOK && j == cur {
-				curListed = true
-			}
-			if ent.gens[j] != e.modelGen {
-				need = append(need, j)
-			}
-		}
-		if curOK && !curListed && ent.gens[cur] != e.modelGen {
-			pos := sort.SearchInts(need, cur)
-			need = append(need, 0)
-			copy(need[pos+1:], need[pos:])
-			need[pos] = cur
-		}
-		if len(need) > 0 {
-			tasks = append(tasks, scoreTask{file: i, ent: ent, devs: need, base: total})
-			total += len(need)
-		}
-	}
-	if total > 0 {
-		if err := e.scoreSubset(ctx, files, tasks, total); err != nil {
-			return nil, nil, err
-		}
-	}
-
-	// Prepared decision material: candidates are every device scored
-	// under the current generation — the full width for clean files still
-	// carrying an exhaustive pass, the shortlist for freshly scored ones.
-	// explore stays nil; selectLayout widens it to the full device list
-	// only for the ε fraction of files that actually explore.
-	pre := make([]scored, len(files))
-	err := parallelFor(ctx, len(files), e.cfg.Parallelism, func(i int) {
-		f := files[i]
-		ent := entries[i]
-		d := Decision{FileID: f.ID, Current: f.Device, Predictions: make(map[string]float64, len(short)+1)}
-		cands := make([]agents.Candidate, 0, len(short)+1)
-		for j, dev := range e.devices {
-			if ent.gens[j] != e.modelGen {
-				continue
-			}
-			p := ent.scores[j]
-			d.Predictions[dev] = p
-			cands = append(cands, agents.Candidate{Device: dev, Predicted: e.betterScore(p)})
-		}
-		pre[i] = scored{d: d, cands: cands, passing: checker.Filter(cands, f.Size, valid)}
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-	return e.selectLayout(files, pre, checker, valid)
-}
-
-// scoreSubset runs one batched inference over the tasks' (file, device)
-// rows and writes denormalized, MAE-adjusted scores into the file caches.
-// Each row's arithmetic is identical to the exhaustive pass's, so a score
-// computed here is bit-identical to the same pairing's exhaustive score.
-func (e *Engine) scoreSubset(ctx context.Context, files []FileMeta, tasks []scoreTask, total int) error {
-	cols := e.net.InSize
-	recurrent := e.net.IsRecurrent()
-	var flat *mat.Matrix
-	var seq []*mat.Matrix
-	w := 1
-	if recurrent {
-		w = e.net.Window
-		seq = e.seqBufs(w, total, cols)
-	} else {
-		flat = e.flatBuf(total, cols)
-	}
-
-	// Assemble the missing candidate rows; nothing here consumes e.rng.
-	// Tasks touch disjoint cache entries, so the fan-out is race-free.
-	err := parallelFor(ctx, len(tasks), e.cfg.Parallelism, func(ti int) {
-		t := tasks[ti]
-		f := files[t.file]
-		if !t.ent.featValid {
-			t.ent.feat = e.gatherFileFeatures(f, recurrent)
-			t.ent.featValid = true
-		}
-		ff := t.ent.feat
-		var hist [][]float64
-		if recurrent {
-			hist = make([][]float64, len(ff.hist))
-			for k, raw := range ff.hist {
-				nrm := make([]float64, len(raw))
-				for c, v := range raw {
-					nrm[c] = e.featScaler.TransformValue(c, v)
-				}
-				hist[k] = nrm
-			}
-		}
-		for k, j := range t.devs {
-			norm := e.candidateRow(ff, f.ID, j)
-			r := t.base + k
-			if !recurrent {
-				flat.SetRow(r, norm)
-				continue
-			}
-			need := w - 1
-			for x := 0; x < need; x++ {
-				if h := len(hist) - need + x; h >= 0 {
-					seq[x].SetRow(r, hist[h])
-				} else {
-					seq[x].SetRow(r, norm)
-				}
-			}
-			seq[need].SetRow(r, norm)
-		}
-	})
-	if err != nil {
-		return err
-	}
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-
-	start := time.Now() //geomancy:nondeterministic telemetry timestamp: inference duration is reported, never fed back into decisions
-	e.scratch.Parallelism = e.cfg.Parallelism
-	out := e.net.ForwardBatch(flat, seq, &e.scratch)
-	e.metrics.inferSeconds.Set(time.Since(start).Seconds()) //geomancy:nondeterministic telemetry timestamp: inference duration is reported, never fed back into decisions
-	e.metrics.inferBatch.Observe(float64(total))
-
-	return parallelFor(ctx, len(tasks), e.cfg.Parallelism, func(ti int) {
-		t := tasks[ti]
-		for k, j := range t.devs {
-			raw := DecodeTarget(e.targetScaler.Inverse(clamp01(out.At(t.base+k, 0))))
-			t.ent.scores[j] = nn.AdjustPrediction(raw, e.valMetrics)
-			t.ent.gens[j] = e.modelGen
-		}
-	})
 }

@@ -331,6 +331,69 @@ func TestPrunedNarrowShortlist(t *testing.T) {
 	}
 }
 
+// TestShortlistSeedsNominalDevices is the regression test for the
+// never-probed-device starvation bug: a device idle since decision 0
+// carries only its nominal-bandwidth fallback in the summaries
+// (DeviceSummary.Nominal), and when that spec-sheet guess ranked below a
+// classmate's measured throughput, the device fell out of the top-K
+// shortlist and was never re-probed until the next full rescan — including
+// on the first pruned decision after a checkpoint restore. Never-probed
+// devices must always be shortlisted.
+func TestShortlistSeedsNominalDevices(t *testing.T) {
+	db := seedDB(t, 1200)
+	cfg := quickCfg()
+	cfg.Epsilon = 0
+	cfg.TopK = 1
+	cfg.FullRescanEvery = 100 // keep cadence rescans out of this test
+	sums := blueskySummaries()
+	// var has never served an access: its summary carries the nominal
+	// fallback, which ranks below its raid1 classmate tmp's measured rate.
+	sums[4].Nominal = true
+	mk := func() *Engine {
+		e, err := NewEngine(db, testDevices, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.SetSummarySource(func() []storagesim.DeviceSummary { return sums })
+		return e
+	}
+	e := mk()
+	if _, err := e.Train(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Shortlist level: var (index 4) loses the raid1 top-1 slot to tmp but
+	// stays a candidate as a never-probed device.
+	if got := e.deviceShortlist(); !reflect.DeepEqual(got, []int{0, 1, 2, 3, 4, 5}) {
+		t.Fatalf("shortlist with nominal device = %v, want it included", got)
+	}
+
+	// Decision level, across a restore: the first pruned decision after the
+	// round-trip still scores the idle device.
+	files := []FileMeta{{ID: 7, Path: "/t", Size: 1e8, Device: "tmp"}}
+	if _, _, err := e.ProposeLayout(files, nil, nil); err != nil { // decision 0: exhaustive
+		t.Fatal(err)
+	}
+	st, err := e.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := mk()
+	if err := r.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Train(); err != nil { // new generation: cached scores stale
+		t.Fatal(err)
+	}
+	_, dec, err := r.ProposeLayout(files, nil, nil) // decision 1: pruned
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := dec[0].Predictions["var"]; !ok {
+		t.Fatalf("first pruned decision after restore never probed the idle device: %v", dec[0].Predictions)
+	}
+}
+
 // TestPrunedStateRoundTrip checks bit-identical resume mid-pruned-stream:
 // a restored engine continues the decision sequence exactly where the
 // original would have, caches and cadence included.

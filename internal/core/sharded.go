@@ -1,0 +1,503 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"strconv"
+
+	"geomancy/internal/agents"
+	"geomancy/internal/mat"
+	"geomancy/internal/policy"
+	"geomancy/internal/rng"
+	"geomancy/internal/storagesim"
+	"geomancy/internal/telemetry"
+)
+
+// Sharded is the sharded placement coordinator (ROADMAP item 2's
+// warehouse-scale decision plane): the cluster's devices are partitioned
+// into shards (storagesim.Shard), each shard owns a lightweight engine
+// that decides only over its own device subset, and the coordinator
+//
+//   - routes every file to the shard owning its current device,
+//   - runs the shards' decision pipelines concurrently under the
+//     repository's deterministic-parallelism rules — shards always merge
+//     in fixed index order and each shard draws from its own RNG stream
+//     (rng.Split of the coordinator seed), so any Parallelism produces
+//     the serial layout bit-for-bit,
+//   - amortizes inference by concatenating every shard's candidate rows
+//     into ONE batched forward pass per cycle through the shared network
+//     (one GEMM per cycle instead of one per shard), and
+//   - escalates: when a shard's best in-shard placement underperforms the
+//     cluster-wide throughput digest by escalationFactor, the coordinator
+//     attempts a cross-shard migration under two-phase accounting
+//     (Shard.Reserve first, so a remote placement that no longer fits is
+//     abandoned without ever touching used-bytes).
+//
+// Only the global engine trains; shard engines adopt its network and
+// normalization after every retrain (adoptScorer) and never train
+// themselves. A 1-shard coordinator routes every decision through the
+// global engine directly and is bit-identical to the unsharded policy.
+type Sharded struct {
+	units []shardUnit
+
+	// Training and batched inference happen on the global engine, which
+	// sees every device; the bridge model wires it into the loop.
+	globalEngine *Engine      //geomancy:ephemeral owned by units[?]/checkpoint engine half; rebuilt by NewSharded
+	global       *EngineModel //geomancy:ephemeral policy-plane bridge, rebuilt by NewSharded
+	cluster      *storagesim.Cluster
+	cfg          Config //geomancy:ephemeral construction config, re-supplied by NewSharded on restore
+
+	// devShard maps a device name to its owning shard index.
+	devShard map[string]int //geomancy:ephemeral derived from the partition, rebuilt by NewSharded
+
+	// combined is the reusable cross-shard inference buffer.
+	combined *mat.Matrix //geomancy:ephemeral reusable inference buffer, overwritten per cycle
+
+	// lastAdopted is the global model generation the shard engines last
+	// copied; every retrain bumps the generation, so adoption re-fires on
+	// the first decision after any (re)train.
+	lastAdopted uint64 //geomancy:ephemeral adoption gate, re-primed by the first post-restore retrain
+
+	explored int
+}
+
+// shardUnit is one shard's decision machinery: the device-group view with
+// its accounting, the shard-local engine, and the shard's own action
+// checker (sharing the shard engine's RNG stream) and validator.
+type shardUnit struct {
+	shard   *storagesim.Shard
+	engine  *Engine
+	checker *agents.ActionChecker //geomancy:ephemeral wraps the shard engine's RNG, whose stream restores with the engine state
+	valid   agents.Validator
+	tele    shardTelemetry //geomancy:ephemeral metrics counters, re-installed by SetMetrics
+}
+
+// shardTelemetry holds one shard's pre-resolved counters; nil until
+// SetMetrics installs a registry (nil counters are no-ops).
+type shardTelemetry struct {
+	decisions   *telemetry.Counter
+	escalations *telemetry.Counter
+	migrations  *telemetry.Counter
+}
+
+// escalationFactor is the cross-shard escalation threshold: a committed
+// in-shard choice is escalated to the global digest device only when the
+// digest's recent throughput exceeds the chosen device's predicted
+// throughput by this factor. The bar is deliberately high — escalations
+// bypass the model's per-pairing prediction with a device-level digest,
+// so only placements the shard is clearly unable to serve go remote.
+const escalationFactor = 4.0
+
+// NewSharded partitions the cluster into n device groups (contiguous in
+// profile order, or by assign when non-nil; see storagesim.ShardBy) and
+// builds the coordinator over them. cfg configures the global engine;
+// shard engines inherit it with a per-shard RNG stream split from
+// cfg.Seed and serial internals (cross-shard concurrency comes from the
+// coordinator's cfg.Parallelism, not nested pools). Recurrent
+// architectures are rejected for n > 1: the cross-shard batch
+// concatenation is dense-only.
+func NewSharded(db TelemetryStore, cluster *storagesim.Cluster, n int, assign func(string) int, cfg Config) (*Sharded, error) {
+	shards, err := cluster.ShardBy(n, assign)
+	if err != nil {
+		return nil, err
+	}
+	globalEngine, err := NewEngine(db, cluster.DeviceNames(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	if n > 1 && globalEngine.net.IsRecurrent() {
+		return nil, fmt.Errorf("core: sharded coordinator requires a dense architecture (model %d is recurrent)", cfg.ModelNumber)
+	}
+	s := &Sharded{
+		globalEngine: globalEngine,
+		global:       globalEngine.NewModel(cluster),
+		cluster:      cluster,
+		cfg:          globalEngine.cfg,
+		devShard:     make(map[string]int),
+	}
+	for i, sh := range shards {
+		for _, name := range sh.DeviceNames() {
+			s.devShard[name] = i
+		}
+		var u shardUnit
+		u.shard = sh
+		if n == 1 {
+			// One shard owns everything: its engine IS the global engine and
+			// its checker/validator are the bridge model's, so the decision
+			// sequence is the unsharded policy's, bit-for-bit.
+			u.engine = globalEngine
+			u.checker = s.global.Checker
+			u.valid = s.global.Valid
+		} else {
+			shardCfg := cfg
+			shardCfg.Seed = rng.Split(cfg.Seed, i)
+			shardCfg.Parallelism = 1
+			eng, err := NewEngine(db, sh.DeviceNames(), shardCfg)
+			if err != nil {
+				return nil, fmt.Errorf("core: shard %d engine: %w", i, err)
+			}
+			eng.SetSummarySource(sh.DeviceSummaries)
+			// The shard scores through the globally-trained network, whose
+			// fsid feature is the device's GLOBAL index.
+			fsids := make([]int, 0, len(sh.DeviceNames()))
+			for _, name := range sh.DeviceNames() {
+				fsids = append(fsids, globalEngine.devIndex[name])
+			}
+			eng.fsids = fsids
+			u.engine = eng
+			u.checker = agents.NewActionChecker(eng.rng, sh.DeviceNames())
+			u.valid = agents.ClusterValidator(cluster)
+		}
+		s.units = append(s.units, u)
+	}
+	return s, nil
+}
+
+// Model returns the policy-plane bridge over the global engine; the loop
+// wires its Engine/Checker and drains training reports through it.
+func (s *Sharded) Model() *EngineModel { return s.global }
+
+// ShardCount returns the partition width.
+func (s *Sharded) ShardCount() int { return len(s.units) }
+
+// Shard returns the i-th device group (for accounting inspection).
+func (s *Sharded) Shard(i int) *storagesim.Shard { return s.units[i].shard }
+
+// SetMetrics installs per-shard decision/escalation/migration counters,
+// labeled {shard="i"}. A nil registry detaches.
+func (s *Sharded) SetMetrics(reg *telemetry.Registry) {
+	for i := range s.units {
+		l := telemetry.L("shard", strconv.Itoa(i))
+		s.units[i].tele = shardTelemetry{
+			decisions:   reg.Counter(telemetry.MetricShardDecisions, l),
+			escalations: reg.Counter(telemetry.MetricShardEscalations, l),
+			migrations:  reg.Counter(telemetry.MetricShardMigrations, l),
+		}
+	}
+}
+
+// adoptScorer points a shard engine's scoring machinery at the freshly
+// trained global engine: the network is shared by pointer (shard engines
+// never mutate weights — they only forward), normalization and the MAE
+// adjustment are copied by value, and the shard's model generation bumps
+// so cached candidate scores from the previous weights go stale.
+func (e *Engine) adoptScorer(src *Engine) {
+	if e == src {
+		return
+	}
+	e.net = src.net
+	e.featScaler = src.featScaler
+	e.targetScaler = src.targetScaler
+	e.valMetrics = src.valMetrics
+	e.trained = src.trained
+	e.modelGen++
+}
+
+// adoptIfStale refreshes every shard engine's scorer after a retrain.
+func (s *Sharded) adoptIfStale() {
+	if s.globalEngine.modelGen == s.lastAdopted {
+		return
+	}
+	for i := range s.units {
+		s.units[i].engine.adoptScorer(s.globalEngine)
+	}
+	s.lastAdopted = s.globalEngine.modelGen
+}
+
+// DecideLayout runs one sharded decision cycle over the working set:
+// route each file to the shard owning its current device, prepare every
+// shard's candidate rows concurrently, forward ALL rows through the
+// shared network in one batched inference, finish each shard's ε-greedy
+// selection concurrently on its own RNG stream, then merge in fixed
+// shard order with cross-shard escalation. The merged decision list is
+// ordered by shard, preserving input file order within each shard.
+func (s *Sharded) DecideLayout(ctx context.Context, files []FileMeta) (map[int64]string, []Decision, error) {
+	s.adoptIfStale()
+
+	if len(s.units) == 1 {
+		u := &s.units[0]
+		layout, decisions, err := u.engine.ProposeLayoutContext(ctx, files, u.checker, u.valid)
+		if err != nil {
+			return nil, nil, err
+		}
+		u.shard.NoteDecision(len(decisions))
+		u.tele.decisions.Add(uint64(len(decisions)))
+		return layout, decisions, nil
+	}
+
+	// Route files to their owning shards, preserving input order.
+	routed := make([][]FileMeta, len(s.units))
+	sizeOf := make(map[int64]int64, len(files))
+	for _, f := range files {
+		i, ok := s.devShard[f.Device]
+		if !ok {
+			return nil, nil, fmt.Errorf("core: file %d is on device %q, which no shard owns", f.ID, f.Device)
+		}
+		routed[i] = append(routed[i], f)
+		sizeOf[f.ID] = f.Size
+	}
+
+	// Stage 1 — prepare concurrently. Preparation draws no randomness and
+	// shards touch disjoint engines, so the fan-out is race-free; errors
+	// surface in fixed shard order for determinism.
+	pds := make([]*pendingDecision, len(s.units))
+	errs := make([]error, len(s.units))
+	if err := parallelFor(ctx, len(s.units), s.cfg.Parallelism, func(i int) {
+		pds[i], errs[i] = s.units[i].engine.prepareProposal(ctx, routed[i], s.units[i].checker, s.units[i].valid)
+	}); err != nil {
+		return nil, nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Stage 2 — concatenate every shard's rows and forward ONCE through
+	// the shared network on the global engine (one timed, observed GEMM
+	// per cycle).
+	total := 0
+	bases := make([]int, len(s.units))
+	for i, pd := range pds {
+		bases[i] = total
+		total += pd.rows()
+	}
+	var out *mat.Matrix
+	if total > 0 {
+		cols := s.globalEngine.net.InSize
+		if s.combined == nil || s.combined.Rows != total || s.combined.Cols != cols {
+			s.combined = mat.New(total, cols)
+		}
+		for i, pd := range pds {
+			pd.fillInto(s.combined, bases[i])
+		}
+		out = s.globalEngine.forwardRows(s.combined, nil, total)
+	}
+
+	// Stage 3 — finish concurrently. Selection draws randomness, but each
+	// shard draws only from its own stream (distinct rng.Split seeds), so
+	// the layouts are independent of scheduling and identical at any
+	// Parallelism.
+	decs := make([][]Decision, len(s.units))
+	if err := parallelFor(ctx, len(s.units), s.cfg.Parallelism, func(i int) {
+		_, decs[i], errs[i] = pds[i].finish(ctx, out, bases[i])
+	}); err != nil {
+		return nil, nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Stage 4 — merge in fixed shard order, escalating placements the
+	// owning shard clearly cannot serve.
+	digest := s.throughputDigest()
+	layout := make(map[int64]string, len(files))
+	decisions := make([]Decision, 0, len(files))
+	for i := range s.units {
+		u := &s.units[i]
+		u.shard.NoteDecision(len(decs[i]))
+		u.tele.decisions.Add(uint64(len(decs[i])))
+		for _, d := range decs[i] {
+			s.escalate(i, &d, digest, sizeOf[d.FileID])
+			layout[d.FileID] = d.Chosen
+			decisions = append(decisions, d)
+		}
+	}
+	// Reservations only gate admission within this cycle; the committed
+	// layout re-validates in Cluster.Move.
+	for i := range s.units {
+		s.units[i].shard.ReleaseReservations()
+	}
+	return layout, decisions, nil
+}
+
+// throughputDigest returns the cluster-wide best-device digest the
+// escalation check compares against: the available, writable device with
+// the highest recent effective throughput (ties break toward profile
+// order). Nil when nothing qualifies or the engine models latency —
+// the digest is a throughput quantity, so under the latency target
+// escalation is disabled rather than comparing unlike metrics.
+func (s *Sharded) throughputDigest() *storagesim.DeviceSummary {
+	if s.cfg.Target != TargetThroughput {
+		return nil
+	}
+	sums := s.cluster.DeviceSummaries()
+	var best *storagesim.DeviceSummary
+	for i := range sums {
+		d := &sums[i]
+		if !d.Available || d.ReadOnly {
+			continue
+		}
+		if best == nil || d.RecentThroughput > best.RecentThroughput {
+			best = d
+		}
+	}
+	return best
+}
+
+// escalate applies the cross-shard escalation rule to one decision owned
+// by shard i: when the globally best device belongs to another shard and
+// its digest throughput exceeds the chosen device's prediction by
+// escalationFactor, reserve space on it (two-phase: admission only) and,
+// if the reservation holds, override the placement. Exploration
+// decisions never escalate — they exist to probe, not to optimize — and
+// a decision with no usable prediction for its choice stays put.
+func (s *Sharded) escalate(i int, d *Decision, digest *storagesim.DeviceSummary, size int64) {
+	if digest == nil || d.Random {
+		return
+	}
+	owner, ok := s.devShard[digest.Name]
+	if !ok || owner == i {
+		return
+	}
+	pred, ok := d.Predictions[d.Chosen]
+	if !ok || pred <= 0 || digest.RecentThroughput <= escalationFactor*pred {
+		return
+	}
+	u := &s.units[i]
+	u.shard.NoteEscalation()
+	u.tele.escalations.Inc()
+	target := &s.units[owner]
+	if err := target.shard.Reserve(digest.Name, size); err != nil {
+		// The remote device cannot cover the file this cycle (capacity
+		// already claimed, gone read-only, ...): keep the in-shard choice.
+		return
+	}
+	d.Chosen = digest.Name
+	target.shard.NoteMigration()
+	target.tele.migrations.Inc()
+}
+
+// ShardedPolicyName is the coordinator's catalogue identity.
+const ShardedPolicyName = "sharded-geomancy"
+
+// Name implements policy.Policy.
+func (s *Sharded) Name() string { return ShardedPolicyName }
+
+// Propose implements policy.Policy: one full retrain of the global
+// engine (shard engines adopt the new scorer on the next decide), then
+// one sharded decision cycle over the snapshot's working set.
+func (s *Sharded) Propose(ctx context.Context, st policy.State) (map[int64]string, error) {
+	if err := s.global.Retrain(ctx); err != nil {
+		return nil, fmt.Errorf("policy: sharded retrain: %w", err)
+	}
+	files := make([]FileMeta, 0, len(st.Files))
+	for _, f := range st.Files {
+		files = append(files, FileMeta{ID: f.ID, Path: f.Path, Size: f.Size, Device: f.Device})
+	}
+	layout, decisions, err := s.DecideLayout(ctx, files)
+	if err != nil {
+		return nil, fmt.Errorf("policy: sharded proposal: %w", err)
+	}
+	explored := 0
+	for _, d := range decisions {
+		if d.Random && d.Chosen != d.Current {
+			explored++
+		}
+	}
+	s.explored = explored
+	return layout, nil
+}
+
+// LastExplored implements policy.Explorer.
+func (s *Sharded) LastExplored() int { return s.explored }
+
+// shardedState is the gob wire form of the coordinator's mutable state:
+// the partition width (restores reject a mismatch — a snapshot taken
+// under a different sharding cannot restore silently) and one opaque
+// blob per shard unit.
+type shardedState struct {
+	Shards   int
+	Explored int
+	Units    [][]byte
+}
+
+// shardUnitState is one unit's wire form: the shard engine's full state
+// (RNG stream, adopted scorer, pruning caches) plus the device group's
+// identity and counters.
+type shardUnitState struct {
+	Engine EngineState
+	Shard  storagesim.ShardState
+}
+
+// ShardStates returns one opaque blob per shard unit — the wire form the
+// checkpoint plane embeds directly (Snapshot.ShardStates).
+func (s *Sharded) ShardStates() ([][]byte, error) {
+	out := make([][]byte, 0, len(s.units))
+	for i := range s.units {
+		es, err := s.units[i].engine.State()
+		if err != nil {
+			return nil, fmt.Errorf("core: sharded state, shard %d: %w", i, err)
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(shardUnitState{Engine: es, Shard: s.units[i].shard.State()}); err != nil {
+			return nil, fmt.Errorf("core: encoding shard %d state: %w", i, err)
+		}
+		out = append(out, buf.Bytes())
+	}
+	return out, nil
+}
+
+// RestoreShardStates restores every shard unit from its opaque blob. The
+// blob count must equal the partition width.
+func (s *Sharded) RestoreShardStates(blobs [][]byte) error {
+	if len(blobs) != len(s.units) {
+		return fmt.Errorf("core: snapshot has %d shards, coordinator has %d — rebuild with the snapshot's shard count", len(blobs), len(s.units))
+	}
+	for i, blob := range blobs {
+		var us shardUnitState
+		if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&us); err != nil {
+			return fmt.Errorf("%w: shard %d: %v", policy.ErrBadState, i, err)
+		}
+		if err := s.units[i].engine.RestoreState(us.Engine); err != nil {
+			return fmt.Errorf("core: restoring shard %d engine: %w", i, err)
+		}
+		if err := s.units[i].shard.RestoreState(us.Shard); err != nil {
+			return fmt.Errorf("core: restoring shard %d: %w", i, err)
+		}
+	}
+	// Restored shard engines carry their own deserialized networks; the
+	// first post-restore retrain bumps the global generation past this
+	// gate and re-aliases them to the shared scorer.
+	s.lastAdopted = 0
+	return nil
+}
+
+// MarshalState implements policy.Policy.
+func (s *Sharded) MarshalState() ([]byte, error) {
+	units, err := s.ShardStates()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(shardedState{Shards: len(s.units), Explored: s.explored, Units: units}); err != nil {
+		return nil, fmt.Errorf("core: encoding sharded state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalState implements policy.Policy. The blob must describe the
+// same partition width this coordinator was built with.
+func (s *Sharded) UnmarshalState(data []byte) error {
+	var st shardedState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("%w: %v", policy.ErrBadState, err)
+	}
+	if st.Shards != len(s.units) {
+		return fmt.Errorf("core: snapshot has %d shards, coordinator has %d — rebuild with the snapshot's shard count", st.Shards, len(s.units))
+	}
+	if err := s.RestoreShardStates(st.Units); err != nil {
+		return err
+	}
+	s.explored = st.Explored
+	return nil
+}
+
+var (
+	_ policy.Policy   = (*Sharded)(nil)
+	_ policy.Explorer = (*Sharded)(nil)
+)

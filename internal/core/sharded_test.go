@@ -1,0 +1,483 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"geomancy/internal/replaydb"
+	"geomancy/internal/rng"
+	"geomancy/internal/storagesim"
+	"geomancy/internal/telemetry"
+)
+
+// shardedBluesky builds a coordinator over a fresh Bluesky cluster and
+// the shared synthetic telemetry DB, trained and ready to decide.
+func shardedBluesky(t *testing.T, db TelemetryStore, n int, cfg Config) *Sharded {
+	t.Helper()
+	s, err := NewSharded(db, storagesim.NewBluesky(1), n, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.globalEngine.Train(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestShardedSingleShardMatchesEngine pins the compatibility contract: a
+// 1-shard coordinator is the unsharded engine, bit-for-bit — same
+// layouts, same decisions, same RNG stream — across decide cycles and
+// retrains.
+func TestShardedSingleShardMatchesEngine(t *testing.T) {
+	db := seedDB(t, 1200)
+	cfg := quickCfg()
+	cfg.Epsilon = 0.3 // exploration exercises the RNG-alignment claim
+
+	cluster := storagesim.NewBluesky(1)
+	plain, err := NewEngine(db, cluster.DeviceNames(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := plain.NewModel(cluster)
+	if _, err := plain.Train(); err != nil {
+		t.Fatal(err)
+	}
+
+	s := shardedBluesky(t, db, 1, cfg)
+
+	files := testFiles()
+	for step := 0; step < 6; step++ {
+		wantLayout, wantDec, err := plain.ProposeLayoutContext(t.Context(), files, model.Checker, model.Valid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotLayout, gotDec, err := s.DecideLayout(t.Context(), files)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(wantLayout, gotLayout) {
+			t.Fatalf("step %d: 1-shard layout %v != engine layout %v", step, gotLayout, wantLayout)
+		}
+		if !reflect.DeepEqual(wantDec, gotDec) {
+			t.Fatalf("step %d: 1-shard decisions diverged from the engine's", step)
+		}
+		if step == 2 {
+			if _, err := plain.Train(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.globalEngine.Train(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if plain.rng.State() != s.globalEngine.rng.State() {
+		t.Fatal("RNG streams diverged between the engine and the 1-shard coordinator")
+	}
+	if got := s.Shard(0).Decisions(); got != 6*int64(len(files)) {
+		t.Errorf("shard 0 decision count = %d, want %d", got, 6*len(files))
+	}
+}
+
+// TestShardedDeterministicAcrossParallelism pins the coordinator's
+// deterministic-parallelism rule: shard decisions run concurrently but
+// merge in fixed shard order on per-shard RNG streams, so Parallelism 4
+// reproduces the serial trajectory bit-for-bit, retrains included.
+func TestShardedDeterministicAcrossParallelism(t *testing.T) {
+	db := seedDB(t, 1200)
+	run := func(parallelism int) ([]map[int64]string, [][]Decision) {
+		cfg := quickCfg()
+		cfg.Epsilon = 0.3
+		cfg.Parallelism = parallelism
+		s := shardedBluesky(t, db, 4, cfg)
+		files := testFiles()
+		var layouts []map[int64]string
+		var decs [][]Decision
+		for step := 0; step < 6; step++ {
+			l, d, err := s.DecideLayout(t.Context(), files)
+			if err != nil {
+				t.Fatal(err)
+			}
+			layouts = append(layouts, l)
+			decs = append(decs, d)
+			if step == 2 {
+				if _, err := s.globalEngine.Train(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return layouts, decs
+	}
+	l1, d1 := run(1)
+	l4, d4 := run(4)
+	if !reflect.DeepEqual(l1, l4) {
+		t.Fatalf("layout trajectories diverged across Parallelism:\n  serial   %v\n  parallel %v", l1, l4)
+	}
+	if !reflect.DeepEqual(d1, d4) {
+		t.Fatal("decision trajectories diverged across Parallelism")
+	}
+}
+
+// TestShardedRouting checks the file→shard routing contract: files are
+// decided by the shard owning their current device (its engine only
+// scores in-shard candidates), and a file on a device no shard owns is
+// an error, not a silent skip.
+func TestShardedRouting(t *testing.T) {
+	db := seedDB(t, 1200)
+	cfg := quickCfg()
+	cfg.Epsilon = 0 // greedy only: every choice comes from in-shard scores
+	s := shardedBluesky(t, db, 3, cfg)
+
+	// Bluesky into 3 shards: [file0, pic], [people, tmp], [var, USBtmp].
+	files := []FileMeta{
+		{ID: 1, Path: "/a", Size: 1e8, Device: "pic"},
+		{ID: 2, Path: "/b", Size: 1e8, Device: "tmp"},
+		{ID: 3, Path: "/c", Size: 1e8, Device: "USBtmp"},
+	}
+	_, dec, err := s.DecideLayout(t.Context(), files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != len(files) {
+		t.Fatalf("decided %d files, want %d", len(dec), len(files))
+	}
+	owners := map[int64]int{1: 0, 2: 1, 3: 2}
+	for _, d := range dec {
+		shard := s.Shard(owners[d.FileID])
+		for dev := range d.Predictions {
+			if !shard.Contains(dev) {
+				t.Errorf("file %d (shard %d) scored out-of-shard device %q", d.FileID, owners[d.FileID], dev)
+			}
+		}
+		// Migration may still move it out of shard (escalation), but a
+		// greedy non-escalated choice stays in-shard; either way the choice
+		// must be a real device.
+		if _, ok := s.devShard[d.Chosen]; !ok {
+			t.Errorf("file %d placed on unknown device %q", d.FileID, d.Chosen)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if got := s.Shard(i).Decisions(); got != 1 {
+			t.Errorf("shard %d decisions = %d, want 1", i, got)
+		}
+	}
+
+	if _, _, err := s.DecideLayout(t.Context(), []FileMeta{{ID: 9, Device: "nosuch"}}); err == nil {
+		t.Error("file on an unowned device should error")
+	}
+}
+
+// TestShardedEscalation pins the cross-shard escalation rule and its
+// two-phase accounting: an in-shard choice predicted far below the
+// global digest escalates and migrates when the digest device can cover
+// the file, is counted-but-kept when the reservation fails, and never
+// fires for exploration decisions or digests the shard already owns.
+func TestShardedEscalation(t *testing.T) {
+	db := seedDB(t, 1200)
+	s := shardedBluesky(t, db, 2, quickCfg())
+
+	digest := s.throughputDigest()
+	if digest == nil {
+		t.Fatal("no throughput digest on a healthy cluster")
+	}
+	if digest.Name != "file0" {
+		t.Fatalf("digest = %q, want the fastest device file0", digest.Name)
+	}
+	if s.devShard[digest.Name] != 0 {
+		t.Fatalf("digest device owned by shard %d, fixture wants 0", s.devShard[digest.Name])
+	}
+
+	// Far-underperforming choice in shard 1: escalates and migrates.
+	d := Decision{FileID: 1, Current: "tmp", Chosen: "tmp",
+		Predictions: map[string]float64{"tmp": digest.RecentThroughput / 10}}
+	s.escalate(1, &d, digest, 1e6)
+	if d.Chosen != digest.Name {
+		t.Fatalf("underperforming choice not escalated: chosen %q", d.Chosen)
+	}
+	if s.Shard(1).Escalations() != 1 || s.Shard(0).Migrations() != 1 {
+		t.Fatalf("counters after migration: escalations=%d migrations=%d, want 1/1",
+			s.Shard(1).Escalations(), s.Shard(0).Migrations())
+	}
+
+	// A file the digest device cannot cover: escalation is counted, the
+	// reservation fails, and the in-shard choice survives — two-phase
+	// accounting means nothing was committed anywhere.
+	huge := s.cluster.Device(digest.Name).Free() + 1
+	d = Decision{FileID: 2, Current: "tmp", Chosen: "tmp",
+		Predictions: map[string]float64{"tmp": digest.RecentThroughput / 10}}
+	s.escalate(1, &d, digest, huge)
+	if d.Chosen != "tmp" {
+		t.Fatalf("failed reservation still moved the file to %q", d.Chosen)
+	}
+	if s.Shard(1).Escalations() != 2 || s.Shard(0).Migrations() != 1 {
+		t.Fatalf("counters after failed reservation: escalations=%d migrations=%d, want 2/1",
+			s.Shard(1).Escalations(), s.Shard(0).Migrations())
+	}
+
+	// Exploration decisions probe, they do not escalate.
+	d = Decision{FileID: 3, Current: "tmp", Chosen: "tmp", Random: true,
+		Predictions: map[string]float64{"tmp": digest.RecentThroughput / 10}}
+	s.escalate(1, &d, digest, 1e6)
+	if d.Chosen != "tmp" || s.Shard(1).Escalations() != 2 {
+		t.Error("exploration decision escalated")
+	}
+
+	// A digest the deciding shard already owns is not an escalation.
+	d = Decision{FileID: 4, Current: "pic", Chosen: "pic",
+		Predictions: map[string]float64{"pic": digest.RecentThroughput / 10}}
+	s.escalate(0, &d, digest, 1e6)
+	if d.Chosen != "pic" || s.Shard(0).Escalations() != 0 {
+		t.Error("in-shard digest treated as cross-shard escalation")
+	}
+
+	// A choice within escalationFactor of the digest stays put.
+	d = Decision{FileID: 5, Current: "tmp", Chosen: "tmp",
+		Predictions: map[string]float64{"tmp": digest.RecentThroughput / 2}}
+	s.escalate(1, &d, digest, 1e6)
+	if d.Chosen != "tmp" || s.Shard(1).Escalations() != 2 {
+		t.Error("adequately served choice escalated")
+	}
+}
+
+// TestShardedReservationsReleased checks that a full decide cycle leaves
+// every shard's reservation ledger empty: reservations gate admission
+// within one cycle only, so checkpoint boundaries always see a clean
+// slate.
+func TestShardedReservationsReleased(t *testing.T) {
+	db := seedDB(t, 1200)
+	cfg := quickCfg()
+	cfg.Epsilon = 0
+	s := shardedBluesky(t, db, 2, cfg)
+	if _, _, err := s.DecideLayout(t.Context(), testFiles()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < s.ShardCount(); i++ {
+		for _, dev := range s.Shard(i).DeviceNames() {
+			if r := s.Shard(i).Reserved(dev); r != 0 {
+				t.Errorf("shard %d device %s holds %d reserved bytes after the cycle", i, dev, r)
+			}
+		}
+	}
+}
+
+// TestShardedSingleInferencePerCycle is the amortized-inference
+// contract: a decide cycle forwards ALL shards' candidate rows through
+// the network exactly once, so the inference batch-size histogram counts
+// one observation per cycle — not one per shard.
+func TestShardedSingleInferencePerCycle(t *testing.T) {
+	db := seedDB(t, 1200)
+	cfg := quickCfg()
+	s := shardedBluesky(t, db, 3, cfg)
+	reg := telemetry.NewRegistry()
+	s.globalEngine.SetMetrics(reg)
+	s.SetMetrics(reg)
+
+	hist := reg.Histogram(telemetry.MetricInferenceBatchSize, telemetry.DefBatchSizeBuckets)
+	const cycles = 5
+	files := testFiles()
+	for i := 0; i < cycles; i++ {
+		if _, _, err := s.DecideLayout(t.Context(), files); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := hist.Count(); got != cycles {
+		t.Fatalf("inference batches = %d over %d cycles, want exactly one GEMM per cycle", got, cycles)
+	}
+	// Every cycle's batch spans the full working set: files × in-shard
+	// devices summed over shards = 4 files × 2 devices each.
+	if want := float64(cycles * len(files) * 2); hist.Sum() != want {
+		t.Errorf("batched rows = %v, want %v", hist.Sum(), want)
+	}
+	// The per-shard counters registered on the same registry.
+	if got := reg.Counter(telemetry.MetricShardDecisions, telemetry.L("shard", "0")).Value(); got == 0 {
+		t.Error("per-shard decision counter never incremented")
+	}
+}
+
+// TestShardedStateRoundTrip checks bit-identical resume of the whole
+// coordinator: shard engines (RNG streams, adopted scorers, pruning
+// caches), shard accounting, and the global engine restore into a fresh
+// coordinator that continues the exact trajectory. A snapshot from a
+// different partition width is rejected.
+func TestShardedStateRoundTrip(t *testing.T) {
+	db := seedDB(t, 1200)
+	cfg := quickCfg()
+	cfg.Epsilon = 0.3
+	a := shardedBluesky(t, db, 2, cfg)
+
+	files := testFiles()
+	for i := 0; i < 3; i++ {
+		if _, _, err := a.DecideLayout(t.Context(), files); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, err := a.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga, err := a.globalEngine.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := NewSharded(db, storagesim.NewBluesky(1), 2, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.globalEngine.RestoreState(ga); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.UnmarshalState(blob); err != nil {
+		t.Fatal(err)
+	}
+	if b.Shard(0).Decisions() != a.Shard(0).Decisions() {
+		t.Fatalf("restored shard 0 decisions = %d, want %d", b.Shard(0).Decisions(), a.Shard(0).Decisions())
+	}
+	for i := 0; i < 4; i++ {
+		la, da, err := a.DecideLayout(t.Context(), files)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, dbDec, err := b.DecideLayout(t.Context(), files)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(la, lb) {
+			t.Fatalf("step %d: restored layout %v != original %v", i, lb, la)
+		}
+		if !reflect.DeepEqual(da, dbDec) {
+			t.Fatalf("step %d: restored decisions diverged", i)
+		}
+		if i == 1 {
+			if _, err := a.globalEngine.Train(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := b.globalEngine.Train(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Partition-width mismatch is rejected loudly.
+	c, err := NewSharded(db, storagesim.NewBluesky(1), 3, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.UnmarshalState(blob); err == nil {
+		t.Error("restoring a 2-shard snapshot into a 3-shard coordinator should fail")
+	}
+}
+
+// shardedWarehouse builds a coordinator over nDev synthetic devices in
+// eight hardware classes (mirroring the warehouse fixture at repo root)
+// with one seeded access per file, trained and ready to decide.
+func shardedWarehouse(tb testing.TB, nFiles, nDev, shards int, cfg Config) (*Sharded, []FileMeta) {
+	tb.Helper()
+	profiles := make([]storagesim.DeviceProfile, nDev)
+	speeds := make([]float64, nDev)
+	for i := range profiles {
+		class := i % 8
+		speeds[i] = float64(8-class)*1e9 + float64(i/8)*3e7
+		profiles[i] = storagesim.DeviceProfile{
+			Name:     fmt.Sprintf("dev%03d", i),
+			Class:    fmt.Sprintf("class%d", class),
+			ReadBW:   speeds[i],
+			WriteBW:  speeds[i],
+			Capacity: 1e13,
+		}
+	}
+	cluster, err := storagesim.NewCluster(profiles, storagesim.Config{Seed: 7})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	db, err := replaydb.Open(replaydb.Options{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { db.Close() })
+	r := rng.New(31)
+	files := make([]FileMeta, nFiles)
+	for i := range files {
+		id := int64(i + 1)
+		dev := r.Intn(nDev)
+		files[i] = FileMeta{
+			ID:     id,
+			Path:   fmt.Sprintf("/wh/f%04d", i),
+			Size:   int64(1e8 + r.Float64()*4e8),
+			Device: profiles[dev].Name,
+		}
+		if _, err := db.AppendAccess(replaydb.AccessRecord{
+			Time:       float64(i + 1),
+			FileID:     id,
+			Device:     profiles[dev].Name,
+			BytesRead:  int64(1e8 + r.Float64()*9e8),
+			OpenTS:     int64(i + 1),
+			CloseTS:    int64(i + 1),
+			CloseTMS:   500,
+			Throughput: speeds[dev] * (0.7 + 0.6*r.Float64()),
+		}); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	s, err := NewSharded(db, cluster, shards, nil, cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := s.globalEngine.Train(); err != nil {
+		tb.Fatal(err)
+	}
+	return s, files
+}
+
+// TestShardedSpeedup is the headline acceptance check of the sharded
+// plane: at 4096 files × 256 devices, a 16-shard coordinator must decide
+// at least 4× faster than the unsharded engine over the same population.
+// The win is structural — each file is scored only against its shard's
+// 16 devices (a 16× row reduction through one amortized GEMM) and the
+// per-shard pipelines run concurrently.
+func TestShardedSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("warehouse-scale timing in -short mode")
+	}
+	const (
+		nFiles = 4096
+		nDev   = 256
+		reps   = 2
+	)
+	cfg := Config{Epochs: 4, WindowX: 400, Seed: 31, Epsilon: 0.05, LearningRate: 0.05, Parallelism: 4}
+	measure := func(shards int) time.Duration {
+		s, files := shardedWarehouse(t, nFiles, nDev, shards, cfg)
+		if _, _, err := s.DecideLayout(t.Context(), files); err != nil { // warm buffers
+			t.Fatal(err)
+		}
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			if _, _, err := s.DecideLayout(t.Context(), files); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start) / reps
+	}
+	flat := measure(1)
+	sharded := measure(16)
+	ratio := float64(flat) / float64(sharded)
+	t.Logf("unsharded %v/op, 16-shard %v/op: %.1fx", flat, sharded, ratio)
+	if ratio < 4 {
+		t.Errorf("sharded decisions only %.1fx faster than unsharded, want ≥ 4x", ratio)
+	}
+}
+
+// TestShardedRejectsRecurrent pins the dense-only constraint of the
+// cross-shard batch concatenation.
+func TestShardedRejectsRecurrent(t *testing.T) {
+	db := seedDB(t, 100)
+	cfg := quickCfg()
+	cfg.ModelNumber = 12 // LSTM
+	if _, err := NewSharded(db, storagesim.NewBluesky(1), 2, nil, cfg); err == nil {
+		t.Error("recurrent architecture should be rejected for n > 1")
+	}
+	if _, err := NewSharded(db, storagesim.NewBluesky(1), 1, nil, cfg); err != nil {
+		t.Errorf("recurrent architecture with a single shard should build: %v", err)
+	}
+}

@@ -66,6 +66,24 @@ func tieredBuilder(opts Options) policyBuilder {
 	}
 }
 
+// matrixShards is the sharded column's partition width: Bluesky's six
+// mounts split into two device groups of three.
+const matrixShards = 2
+
+// shardedBuilder is the sharded-coordinator variant: the testbed's
+// devices partition into matrixShards groups, each deciding over its own
+// subset with one batched inference per cycle and cross-shard
+// escalation (core.Sharded).
+func shardedBuilder(opts Options) policyBuilder {
+	return func(tb *testbed) (policy.Policy, *core.EngineModel, error) {
+		s, err := core.NewSharded(tb.db, tb.cluster, matrixShards, nil, engineConfig(opts))
+		if err != nil {
+			return nil, nil, err
+		}
+		return s, s.Model(), nil
+	}
+}
+
 // runScenarioPolicy executes the paper's experiment-1 protocol for one
 // policy on one scenario: bootstrap the testbed, take an initial placement
 // decision at measurement start, then run the workload with the policy

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"geomancy/internal/core"
 	"geomancy/internal/policy"
 	"geomancy/internal/rng"
 	"geomancy/internal/scenario"
@@ -16,6 +17,9 @@ const (
 	OnlineName = "online-geomancy"
 	// TieredName labels the device-class-gated variant.
 	TieredName = "tiered-geomancy"
+	// ShardedName labels the sharded-coordinator variant
+	// (core.ShardedPolicyName run at matrixShards device groups).
+	ShardedName = core.ShardedPolicyName
 )
 
 // PolicyMatrixResult is the per-scenario policy comparison: mean
@@ -36,7 +40,8 @@ type PolicyMatrixResult struct {
 	// Winner[i] is the policy with the highest mean on scenario i.
 	Winner []string
 	// GeomancyWins counts scenarios where a learned-family column
-	// (geomancy, online, or tiered) has the strictly highest mean;
+	// (geomancy, sharded, online, or tiered) has the strictly highest
+	// mean;
 	// GeomancyLosses counts the rest.
 	GeomancyWins, GeomancyLosses int
 	// Gain[i] is classic Geomancy's percentage gain on scenario i over
@@ -66,16 +71,17 @@ func matrixColumns(opts Options) []matrixColumn {
 		{"random static", staticBuilder(&policy.RandomStatic{Rng: rng.New(seed + 3)})},
 		{TieredName, tieredBuilder(opts)},
 		{OnlineName, onlineBuilder(opts)},
+		{ShardedName, shardedBuilder(opts)},
 		{GeomancyName, geomancyBuilder(opts)},
 	}
 }
 
 // learnedColumns is the number of learned-family columns at the tail of
-// the matrix (tiered, online, geomancy).
-const learnedColumns = 3
+// the matrix (tiered, online, sharded, geomancy).
+const learnedColumns = 4
 
 // PolicyMatrix runs every named scenario under every baseline policy and
-// the three learned variants, all through the one generic runner
+// the four learned variants, all through the one generic runner
 // (runScenarioPolicy). A nil scenarios slice selects the full catalogue.
 // Each cell runs on a fresh testbed with the same seed, so columns of a
 // row are comparable and the result is deterministic: equal options yield

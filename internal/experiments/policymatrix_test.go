@@ -23,8 +23,9 @@ func TestPolicyMatrixCoversCatalogue(t *testing.T) {
 		t.Errorf("policies = %v, want ≥6 baselines then the learned family ending in %q", res.Policies, GeomancyName)
 	}
 	n := len(res.Policies)
-	if res.Policies[n-2] != OnlineName || res.Policies[n-3] != TieredName {
-		t.Errorf("learned tail = %v, want [%q %q %q]", res.Policies[n-3:], TieredName, OnlineName, GeomancyName)
+	if res.Policies[n-2] != ShardedName || res.Policies[n-3] != OnlineName || res.Policies[n-4] != TieredName {
+		t.Errorf("learned tail = %v, want [%q %q %q %q]",
+			res.Policies[n-4:], TieredName, OnlineName, ShardedName, GeomancyName)
 	}
 	if len(res.Mean) != len(res.Scenarios) || len(res.Winner) != len(res.Scenarios) {
 		t.Fatalf("ragged result: %d scenarios, %d rows, %d winners",
@@ -51,6 +52,51 @@ func TestPolicyMatrixCoversCatalogue(t *testing.T) {
 	}
 	if buf.Len() == 0 {
 		t.Error("empty rendered table")
+	}
+}
+
+// The sharded coordinator column must hold parity with classic Geomancy:
+// same telemetry, same network family, only the decision plane is
+// partitioned — so its mean throughput should track the unsharded
+// column on every scenario, not just in aggregate.
+func TestShardedPolicyMatrixParity(t *testing.T) {
+	res, err := PolicyMatrix(Quick(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardedCol, geomancyCol := -1, -1
+	for j, name := range res.Policies {
+		switch name {
+		case ShardedName:
+			shardedCol = j
+		case GeomancyName:
+			geomancyCol = j
+		}
+	}
+	if shardedCol < 0 || geomancyCol < 0 {
+		t.Fatalf("policies = %v, want both %q and %q", res.Policies, ShardedName, GeomancyName)
+	}
+	var shardedSum, geomancySum float64
+	for i, row := range res.Mean {
+		sharded, geomancy := row[shardedCol], row[geomancyCol]
+		t.Logf("%-16s sharded %.3g  geomancy %.3g  (%.2fx)",
+			res.Scenarios[i], sharded, geomancy, sharded/geomancy)
+		if sharded <= 0 {
+			t.Errorf("scenario %s: non-positive sharded mean %v", res.Scenarios[i], sharded)
+		}
+		// Partitioning restricts each file's candidate set to its shard
+		// (plus escalations), so some drift is expected — but an
+		// order-of-magnitude collapse on any scenario means the shard
+		// engines are scoring through a broken adoption or fsid path.
+		if sharded < 0.5*geomancy {
+			t.Errorf("scenario %s: sharded mean %.3g below half of geomancy's %.3g",
+				res.Scenarios[i], sharded, geomancy)
+		}
+		shardedSum += sharded
+		geomancySum += geomancy
+	}
+	if ratio := shardedSum / geomancySum; ratio < 0.8 {
+		t.Errorf("aggregate sharded/geomancy throughput ratio %.3f, want ≥ 0.8", ratio)
 	}
 }
 

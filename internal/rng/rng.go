@@ -105,6 +105,20 @@ func (r *RNG) Read(p []byte) (int, error) {
 	return len(p), nil
 }
 
+// Split derives an independent child seed from a parent seed and a
+// stream index, using the same xor-shift-multiply finalizer as the
+// splitmix64 source above. Sharded components (one decision stream per
+// shard) seed their RNGs with Split(seed, shard) so shard streams are
+// decorrelated from each other and from the parent stream, while staying
+// a pure function of (seed, index) — the property that makes concurrent
+// per-shard decisions deterministic and checkpoint-stable.
+func Split(seed int64, index int) int64 {
+	z := uint64(seed) + uint64(index+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
 // NewRand returns a plain seeded *rand.Rand for streams that never need
 // checkpointing — retry-backoff jitter, throwaway weight initialization,
 // experiment-harness shuffles. It uses the standard library source, whose

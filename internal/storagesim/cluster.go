@@ -424,6 +424,11 @@ type DeviceSummary struct {
 	// construction can skip devices no move could target anyway.
 	Available bool
 	ReadOnly  bool
+	// Nominal reports that RecentThroughput is the nominal-bandwidth
+	// fallback — the device has never served an access — so shortlist
+	// construction can make sure never-probed devices stay candidates
+	// instead of being starved by class-mates with observed throughput.
+	Nominal bool
 }
 
 // DeviceSummaries returns one summary per device in profile order.
@@ -443,6 +448,7 @@ func (c *Cluster) DeviceSummaries() []DeviceSummary {
 			RecentThroughput: tp,
 			Available:        d.Available,
 			ReadOnly:         d.ReadOnly,
+			Nominal:          !d.recentTPValid,
 		})
 	}
 	return out

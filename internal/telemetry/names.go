@@ -28,6 +28,11 @@ const (
 	MetricInferenceBatchSize    = "geomancy_inference_batch_size"
 	MetricInferenceDuration     = "geomancy_inference_duration_seconds"
 
+	// Sharded coordinator (core.Sharded) — labeled {shard="..."}.
+	MetricShardDecisions   = "geomancy_shard_decisions_total"
+	MetricShardEscalations = "geomancy_shard_escalations_total"
+	MetricShardMigrations  = "geomancy_shard_migrations_total"
+
 	// Interface Daemon (agents) — RPC histogram labeled {type="..."}.
 	MetricDaemonConnectionsTotal = "geomancy_daemon_connections_total"
 	MetricDaemonConnectionsOpen  = "geomancy_daemon_connections_open"
@@ -75,6 +80,9 @@ func RegisterHelp(r *Registry) {
 		MetricTrainingValidationMAE:  "Validation mean absolute relative error of the most recent cycle.",
 		MetricInferenceBatchSize:     "Distribution of candidate rows scored per batched inference.",
 		MetricInferenceDuration:      "Wall time of the most recent batched candidate inference.",
+		MetricShardDecisions:         "Files decided per placement shard.",
+		MetricShardEscalations:       "Shard decisions escalated to the global digest check.",
+		MetricShardMigrations:        "Committed cross-shard migrations into each shard.",
 		MetricDaemonConnectionsTotal: "TCP connections accepted by the Interface Daemon.",
 		MetricDaemonConnectionsOpen:  "TCP connections currently open on the Interface Daemon.",
 		MetricDaemonRPCSeconds:       "Interface Daemon request handling time by message type.",

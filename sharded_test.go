@@ -1,0 +1,128 @@
+package geomancy
+
+import (
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestShardedMatchesUnsharded pins the coordinator's degenerate case: a
+// 1-shard system routes every decision through the global engine on the
+// same RNG stream as the unsharded policy, so the full closed-loop
+// trajectory — layouts, stats, movements, telemetry counts — must be
+// bit-identical to a plain same-seed system.
+func TestShardedMatchesUnsharded(t *testing.T) {
+	plain, err := New(ckptOptions(1)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	if _, err := plain.RunN(10); err != nil {
+		t.Fatal(err)
+	}
+	want := capture(t, plain)
+
+	sharded, err := New(ckptOptions(1, WithShards(1))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sharded.Close()
+	if got := sharded.Shards(); got != 1 {
+		t.Fatalf("Shards() = %d, want 1", got)
+	}
+	if _, err := sharded.RunN(10); err != nil {
+		t.Fatal(err)
+	}
+	assertSameTrajectory(t, capture(t, sharded), want, "1-shard vs unsharded")
+}
+
+// TestShardedResumeEquivalence extends the resume invariant to the
+// sharded plane: a sharded run checkpointed at run N and restored — with
+// every shard engine's RNG stream, adopted scorer, and device-group
+// accounting rebuilt from the snapshot — must produce a bit-identical
+// trajectory to the same-seed uninterrupted run, at every partition
+// width the Bluesky cluster supports and at Parallelism 1 and 4.
+func TestShardedResumeEquivalence(t *testing.T) {
+	const checkpointAt, total = 5, 12
+
+	for _, shards := range []int{1, 2, 3} {
+		for _, p := range []int{1, 4} {
+			t.Run("shards="+strconv.Itoa(shards)+"/parallelism="+strconv.Itoa(p), func(t *testing.T) {
+				opts := ckptOptions(p, WithShards(shards))
+
+				ref, err := New(opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer ref.Close()
+				if _, err := ref.RunN(total); err != nil {
+					t.Fatal(err)
+				}
+				want := capture(t, ref)
+
+				first, err := New(opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := first.RunN(checkpointAt); err != nil {
+					t.Fatal(err)
+				}
+				ckpt := filepath.Join(t.TempDir(), "snap.ckpt")
+				if err := first.Checkpoint(ckpt); err != nil {
+					t.Fatal(err)
+				}
+				if err := first.Close(); err != nil {
+					t.Fatal(err)
+				}
+
+				resumed, err := Restore(ckpt, opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer resumed.Close()
+				if _, err := resumed.RunN(total - checkpointAt); err != nil {
+					t.Fatal(err)
+				}
+				assertSameTrajectory(t, capture(t, resumed), want, "sharded resume")
+			})
+		}
+	}
+}
+
+// A snapshot only restores under its own partition width: shard RNG
+// streams and score caches are meaningless under a different sharding,
+// so both a different WithShards and an unsharded restore are rejected.
+func TestShardedRestoreRejectsPartitionMismatch(t *testing.T) {
+	sys, err := New(ckptOptions(1, WithShards(2))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RunN(6); err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(t.TempDir(), "snap.ckpt")
+	if err := sys.Checkpoint(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Restore(ckpt, ckptOptions(1, WithShards(3))...); err == nil {
+		t.Error("restoring a 2-shard snapshot into a 3-shard system succeeded")
+	} else if !strings.Contains(err.Error(), "shards") {
+		t.Errorf("mismatch error does not mention shards: %v", err)
+	}
+	if _, err := Restore(ckpt, ckptOptions(1)...); err == nil {
+		t.Error("restoring a 2-shard snapshot into an unsharded system succeeded")
+	}
+}
+
+// WithShards drives the sharded Geomancy policy; combining it with a
+// baseline WithPolicy has no meaning and must fail construction.
+func TestShardedRejectsBaselinePolicy(t *testing.T) {
+	if _, err := New(WithShards(2), WithPolicy("lru")); err == nil {
+		t.Fatal("New(WithShards, WithPolicy(lru)) succeeded")
+	}
+}
